@@ -1,0 +1,76 @@
+"""Figure 14: CPU time and space versus grid granularity (IND).
+
+The paper sweeps 5^4..15^4 cells at N=1M and finds ~12^4 optimal: too
+fine a grid wastes heap operations on empty cells, too coarse a grid
+scans points outside influence regions; space grows monotonically with
+granularity (book-keeping). The same trade-off appears at our scaled N
+with the optimum shifted to the occupancy-equivalent granularity.
+"""
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.bench.runner import run_workload
+from repro.bench.workloads import scaled_defaults
+
+GRANULARITIES = [2, 3, 4, 5, 6, 12]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    spec = scaled_defaults(cycles=8)
+    results = {"tma": [], "sma": []}
+    spaces = {"tma": [], "sma": []}
+    for per_axis in GRANULARITIES:
+        for algorithm in ("tma", "sma"):
+            run = run_workload(
+                spec.with_(cells_per_axis=per_axis), algorithm
+            )
+            results[algorithm].append(run.total_seconds)
+            spaces[algorithm].append(run.space.total_mb)
+    return results, spaces
+
+
+def test_fig14a_cpu_vs_granularity(benchmark, sweep):
+    results, _ = sweep
+    benchmark.pedantic(
+        lambda: run_workload(
+            scaled_defaults(cycles=8).with_(cells_per_axis=4), "sma"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_series(
+        "Figure 14(a): CPU time vs grid granularity (IND, d=4)",
+        "cells/axis",
+        GRANULARITIES,
+        {"TMA": results["tma"], "SMA": results["sma"]},
+    )
+    # The finest grid must not be the optimum (heap overhead on empty
+    # cells) — the paper's interior-optimum shape.
+    for algorithm in ("tma", "sma"):
+        series = results[algorithm]
+        best = min(range(len(series)), key=series.__getitem__)
+        assert best != len(GRANULARITIES) - 1, (
+            f"{algorithm}: finest grid unexpectedly optimal: {series}"
+        )
+
+
+def test_fig14b_space_vs_granularity(benchmark, sweep):
+    _, spaces = sweep
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_series(
+        "Figure 14(b): space vs grid granularity (IND, d=4)",
+        "cells/axis",
+        GRANULARITIES,
+        {"TMA": spaces["tma"], "SMA": spaces["sma"]},
+        unit="MB",
+    )
+    # Space grows with granularity (influence-list book-keeping), and
+    # SMA stores at least as much as TMA (skyband extras).
+    for algorithm in ("tma", "sma"):
+        assert spaces[algorithm][-1] > spaces[algorithm][0]
+    assert all(
+        sma >= tma * 0.99
+        for tma, sma in zip(spaces["tma"], spaces["sma"])
+    )

@@ -1,0 +1,64 @@
+"""Figure 18: CPU time versus the number of running queries Q.
+
+Paper shape: "the running time of all methods scales linearly with Q";
+relative performance unchanged (SMA ≤ TMA ≪ TSL).
+"""
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.bench.runner import compare_algorithms
+from repro.bench.workloads import scaled_defaults
+
+QUERY_COUNTS = [5, 10, 20, 40, 80]
+ALGOS = ("tsl", "tma", "sma")
+
+
+def sweep(distribution: str):
+    series = {name: [] for name in ALGOS}
+    checks = {name: [] for name in ALGOS}
+    for q in QUERY_COUNTS:
+        spec = scaled_defaults(
+            n=8_000,
+            rate=80,
+            num_queries=q,
+            cycles=6,
+            distribution=distribution,
+        )
+        runs = compare_algorithms(spec, ALGOS)
+        for name in ALGOS:
+            series[name].append(runs[name].total_seconds)
+            checks[name].append(runs[name].counters.influence_checks)
+    return series, checks
+
+
+@pytest.mark.parametrize("distribution", ["ind", "ant"])
+def test_fig18_cpu_vs_query_cardinality(benchmark, distribution):
+    series, checks = benchmark.pedantic(
+        lambda: sweep(distribution), rounds=1, iterations=1
+    )
+    label = "a" if distribution == "ind" else "b"
+    print_series(
+        f"Figure 18({label}): CPU time vs Q ({distribution.upper()})",
+        "Q",
+        QUERY_COUNTS,
+        {name.upper(): series[name] for name in ALGOS},
+    )
+    for name in ALGOS:
+        assert series[name][-1] > series[name][0], name
+        # Roughly linear growth in Q on top of each method's
+        # Q-independent floor (TSL: sorted-list maintenance; TMA/SMA:
+        # grid insertion/deletion per arrival).
+        growth = series[name][-1] / max(series[name][0], 1e-9)
+        assert 1.2 < growth < 100.0, f"{name}: {growth}"
+    # TSL's per-arrival work is exactly r·Q checks per cycle (it has
+    # no influence lists to narrow the scope) — the structural reason
+    # its Q-scaling line sits highest in the paper's figure.
+    spec_cycles = 6
+    for index, q in enumerate(QUERY_COUNTS):
+        assert checks["tsl"][index] == 80 * q * spec_cycles
+        assert checks["tma"][index] < checks["tsl"][index]
+        assert checks["sma"][index] < checks["tsl"][index]
+    if distribution == "ind":
+        assert sum(series["sma"]) < sum(series["tsl"])
+        assert sum(series["tma"]) < sum(series["tsl"])

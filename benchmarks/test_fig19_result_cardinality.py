@@ -1,0 +1,81 @@
+"""Figure 19: CPU time versus result cardinality k.
+
+Paper shape: influence regions — hence processed cells, maintenance
+and recomputation work — grow with k. TMA and SMA start close, but the
+gap widens with k because Pr_rec (the probability that a current
+result expires, forcing TMA to recompute from scratch) grows with k;
+at k=100/ANT the paper measures TMA almost at TSL's cost.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table, print_series
+from repro.bench.runner import compare_algorithms
+from repro.bench.workloads import scaled_defaults
+
+KS = [1, 5, 10, 20, 50]
+ALGOS = ("tsl", "tma", "sma")
+
+
+def sweep(distribution: str):
+    series = {name: [] for name in ALGOS}
+    prrec = {"tma": [], "sma": []}
+    for k in KS:
+        spec = scaled_defaults(
+            n=8_000,
+            rate=80,
+            num_queries=12,
+            cycles=8,
+            k=k,
+            distribution=distribution,
+        )
+        runs = compare_algorithms(spec, ALGOS)
+        for name in ALGOS:
+            series[name].append(runs[name].total_seconds)
+        for name in ("tma", "sma"):
+            prrec[name].append(runs[name].recomputation_rate)
+    return series, prrec
+
+
+@pytest.mark.parametrize("distribution", ["ind", "ant"])
+def test_fig19_cpu_vs_k(benchmark, distribution):
+    series, prrec = benchmark.pedantic(
+        lambda: sweep(distribution), rounds=1, iterations=1
+    )
+    label = "a" if distribution == "ind" else "b"
+    print_series(
+        f"Figure 19({label}): CPU time vs k ({distribution.upper()})",
+        "k",
+        KS,
+        {name.upper(): series[name] for name in ALGOS},
+    )
+    print("\nEmpirical Pr_rec (recomputations / query / cycle):")
+    print(
+        format_table(
+            ["k"] + [str(k) for k in KS],
+            [
+                ["TMA"] + [f"{p:.3f}" for p in prrec["tma"]],
+                ["SMA"] + [f"{p:.3f}" for p in prrec["sma"]],
+            ],
+        )
+    )
+
+    # Pr_rec grows with k for TMA (the paper's explanation of the
+    # widening TMA/SMA gap) and SMA recomputes no more often than TMA.
+    assert prrec["tma"][-1] > prrec["tma"][0]
+    for index in range(len(KS)):
+        assert prrec["sma"][index] <= prrec["tma"][index] + 1e-9
+
+    if distribution == "ind":
+        # Grid methods stay ahead of TSL on IND (sweep aggregate).
+        assert sum(series["sma"]) < sum(series["tsl"])
+
+    # The TMA-over-SMA cost ratio widens as k grows (compare the
+    # small-k and large-k halves to be robust to per-point noise).
+    ratios = [
+        tma / max(sma, 1e-9)
+        for tma, sma in zip(series["tma"], series["sma"])
+    ]
+    first_half = sum(ratios[:2]) / 2
+    second_half = sum(ratios[-2:]) / 2
+    assert second_half > first_half * 0.9

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Market surveillance: top-k most actively traded movers.
+
+The paper's introduction lists stock market trading among the target
+applications. This example monitors a synthetic tick stream over a
+*time-based* window (the last 5 time units) with a preference function
+that mixes trade volume and price movement, and it also demonstrates
+query churn: mid-stream, an analyst registers a second, pure-momentum
+query and later removes it.
+
+Run:  python examples/stock_ticker.py
+"""
+
+from repro import (
+    LinearFunction,
+    StreamMonitor,
+    TimeBasedWindow,
+    TopKQuery,
+)
+from repro.streams.stock import StockStream
+
+
+def show(label, monitor, qid, ticks_by_rid):
+    entries = monitor.result(qid)
+    print(f"  {label}:")
+    for entry in entries:
+        tick = ticks_by_rid[entry.rid]
+        print(
+            f"    {tick.symbol}  price={tick.price:8.2f} "
+            f"volume={tick.volume:7d}  move={tick.change * 100:+.2f}%  "
+            f"(score {entry.score:.3f})"
+        )
+
+
+def main() -> None:
+    stream = StockStream(
+        symbols=150, ticks_per_cycle=300, seed=21, volatility=0.01
+    )
+    monitor = StreamMonitor(
+        dims=2,
+        window=TimeBasedWindow(5.0),  # ticks stay valid for 5 cycles
+        algorithm="sma",
+    )
+    # Attributes are (normalised volume, normalised |return|).
+    q_active = monitor.add_query(
+        TopKQuery(
+            LinearFunction([1.0, 1.5]), k=5, label="active-movers"
+        )
+    )
+
+    ticks_by_rid = {}
+    momentum_qid = None
+    for cycle in range(1, 13):
+        if cycle == 5:
+            stream.shock("SYM007", 0.40)  # takeover rumour
+            print("cycle 5: (injecting +40% shock into SYM007)")
+        if cycle == 6:
+            momentum_qid = monitor.add_query(
+                TopKQuery(
+                    LinearFunction([0.0, 1.0]), k=3, label="pure-momentum"
+                )
+            )
+            print("cycle 6: analyst registers a pure-momentum query")
+        if cycle == 10 and momentum_qid is not None:
+            monitor.remove_query(momentum_qid)
+            momentum_qid = None
+            print("cycle 10: pure-momentum query terminated")
+
+        batch = stream.next_batch()
+        for item in batch:
+            ticks_by_rid[item.record.rid] = item.tick
+        report = monitor.process([item.record for item in batch])
+
+        if q_active in report.changes or cycle in (5, 6):
+            print(f"cycle {cycle:2d}:")
+            show("top-5 active movers", monitor, q_active, ticks_by_rid)
+            if momentum_qid is not None:
+                show("top-3 momentum", monitor, momentum_qid, ticks_by_rid)
+
+    print(
+        f"\nmaintenance: {monitor.total_cpu_seconds * 1e3:.1f} ms over "
+        f"{len(monitor.cycle_seconds)} cycles; window currently holds "
+        f"{monitor.valid_count} ticks"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""What-if analysis: predicting a query's future from the skyband.
+
+The paper's Section 3.1 insight is not only an implementation trick —
+it gives the monitor *foresight*: with the current window contents,
+the entire future evolution of a top-k result (absent new arrivals)
+is already determined by the k-skyband in score–time space.
+
+This example uses :mod:`repro.skyband.prediction` to answer questions
+an operator actually asks:
+
+- "If the feed stalls now, how will my leaderboard evolve?"
+- "Will this record ever be reported before it expires?"
+- "How long until the current leader falls out?"
+
+Run:  python examples/whatif_prediction.py
+"""
+
+import random
+
+from repro import LinearFunction, RecordFactory, TopKQuery
+from repro.skyband.prediction import (
+    future_skyband,
+    lifetime_of,
+    predict_future_results,
+)
+
+
+def main() -> None:
+    rng = random.Random(99)
+    factory = RecordFactory()
+
+    # A window of 40 readings; rid doubles as the expiry order.
+    window = [
+        factory.make((rng.random(), rng.random())) for _ in range(40)
+    ]
+    query = TopKQuery(LinearFunction([1.0, 1.5]), k=3, label="leaders")
+
+    band = future_skyband(window, query)
+    print(
+        f"window holds {len(window)} records; only {len(band)} can ever "
+        f"appear in the top-3 (the 3-skyband):"
+    )
+    for entry in band[:8]:
+        print(
+            f"  record {entry.rid:3d} score={entry.score:.3f}"
+        )
+    if len(band) > 8:
+        print(f"  ... and {len(band) - 8} more")
+
+    print("\npredicted result timeline if the feed stalls now:")
+    timeline = predict_future_results(window, query)
+    for change in timeline[:8]:
+        cause = (
+            "current state"
+            if change.expiring_rid == -1
+            else f"after record {change.expiring_rid} expires"
+        )
+        ids = [entry.rid for entry in change.top]
+        print(f"  {cause:32s} -> top-3 = {ids}")
+
+    leader = timeline[0].top[0].record.rid
+    survives_until = next(
+        (
+            change.expiring_rid
+            for change in timeline[1:]
+            if all(entry.record.rid != leader for entry in change.top)
+        ),
+        None,
+    )
+    print(
+        f"\ncurrent leader is record {leader}; it leaves the result when "
+        f"record {survives_until} expires"
+        if survives_until is not None
+        else f"\ncurrent leader {leader} stays until its own expiry"
+    )
+
+    # Will a mid-pack record ever be reported?
+    probe = window[len(window) // 2].rid
+    ever, trigger = lifetime_of(window, query, probe)
+    if ever:
+        print(
+            f"record {probe} WILL be reported (first after record "
+            f"{trigger} expires)"
+        )
+    else:
+        print(
+            f"record {probe} will NEVER be reported — it is dominated "
+            f"by 3 newer, better records for its entire remaining life"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — Continuous Monitoring of Top-k Queries over Sliding Windows.
+
+A faithful, from-scratch Python reproduction of Mouratidis, Bakiras &
+Papadias (SIGMOD 2006). The package provides:
+
+- :class:`~repro.core.engine.StreamMonitor` — the main entry point: a
+  main-memory engine monitoring many continuous top-k queries over a
+  count- or time-based sliding window;
+- the paper's two monitoring algorithms, **TMA** and **SMA**, the
+  **TSL** baseline it compares against, and a brute-force oracle;
+- the grid index, the top-k computation module, and the score–time
+  k-skyband machinery underneath;
+- stream generators (IND / ANT and domain scenarios), Section 7's
+  extensions (constrained, threshold, update-stream monitoring), and
+  the Section 6 analytical cost model.
+
+Quickstart::
+
+    from repro import (CountBasedWindow, LinearFunction, StreamMonitor,
+                       TopKQuery)
+
+    monitor = StreamMonitor(dims=2, window=CountBasedWindow(10_000),
+                            algorithm="sma")
+    qid = monitor.add_query(TopKQuery(LinearFunction([1.0, 2.0]), k=10))
+    for batch in my_stream:                     # lists of StreamRecord
+        report = monitor.process(batch)
+        if qid in report.changes:
+            print(report.changes[qid].top)
+"""
+
+from repro.algorithms import (
+    BruteForceAlgorithm,
+    SkybandMonitoringAlgorithm,
+    ThresholdSortedListAlgorithm,
+    TopKMonitoringAlgorithm,
+    make_algorithm,
+)
+from repro.core import (
+    CallableFunction,
+    ConstrainedTopKQuery,
+    CountBasedWindow,
+    CycleReport,
+    LinearFunction,
+    PreferenceFunction,
+    ProductFunction,
+    QuadraticFunction,
+    Rectangle,
+    RecordFactory,
+    ReproError,
+    ResultChange,
+    ResultEntry,
+    StreamMonitor,
+    StreamRecord,
+    ThresholdQuery,
+    TimeBasedWindow,
+    TopKQuery,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BruteForceAlgorithm",
+    "CallableFunction",
+    "ConstrainedTopKQuery",
+    "CountBasedWindow",
+    "CycleReport",
+    "LinearFunction",
+    "PreferenceFunction",
+    "ProductFunction",
+    "QuadraticFunction",
+    "Rectangle",
+    "RecordFactory",
+    "ReproError",
+    "ResultChange",
+    "ResultEntry",
+    "SkybandMonitoringAlgorithm",
+    "StreamMonitor",
+    "StreamRecord",
+    "ThresholdQuery",
+    "ThresholdSortedListAlgorithm",
+    "TimeBasedWindow",
+    "TopKMonitoringAlgorithm",
+    "TopKQuery",
+    "__version__",
+    "make_algorithm",
+]

@@ -1,0 +1,116 @@
+"""Common interface and change-report plumbing for monitoring algorithms.
+
+An algorithm owns *all* of its data structures (grid or sorted lists,
+per-query state). The engine owns the window and hands each cycle's
+``P_ins`` / ``P_del`` batches to :meth:`MonitorAlgorithm.process_cycle`,
+which returns one :class:`~repro.core.results.ResultChange` per query
+whose state was touched — the paper's "report changes to the client".
+
+Change detection works by lazy snapshots: the first time a cycle
+mutates a query's result state, the previous result is stashed; at the
+end of the cycle each touched query is diffed against its snapshot.
+This keeps untouched queries free (no O(Q·k) per-cycle copying).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List
+
+from repro.core.errors import QueryError
+from repro.core.queries import TopKQuery
+from repro.core.results import ResultChange, ResultEntry, diff_results
+from repro.core.stats import OpCounters
+from repro.core.tuples import StreamRecord
+
+
+class MonitorAlgorithm(abc.ABC):
+    """Base class for continuous top-k monitoring algorithms."""
+
+    #: short identifier used by factories and reports ("tma", ...)
+    name: str = "abstract"
+
+    def __init__(self, dims: int) -> None:
+        self.dims = dims
+        self.counters = OpCounters()
+        self._snapshots: Dict[int, List[ResultEntry]] = {}
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def register(self, query: TopKQuery) -> List[ResultEntry]:
+        """Install a query (qid already assigned); return its initial result."""
+
+    @abc.abstractmethod
+    def unregister(self, qid: int) -> None:
+        """Remove a query and every trace of it (influence lists etc.)."""
+
+    @abc.abstractmethod
+    def current_result(self, qid: int) -> List[ResultEntry]:
+        """Current top-k of a query, best-first in canonical order."""
+
+    @abc.abstractmethod
+    def queries(self) -> Iterable[TopKQuery]:
+        """The registered queries."""
+
+    # ------------------------------------------------------------------
+    # Stream maintenance
+    # ------------------------------------------------------------------
+
+    def process_cycle(
+        self,
+        arrivals: List[StreamRecord],
+        expirations: List[StreamRecord],
+    ) -> Dict[int, ResultChange]:
+        """Apply one processing cycle and report per-query changes.
+
+        Arrivals are processed before expirations — the paper's TMA
+        ordering (Section 4.3: handling ``P_ins`` first avoids useless
+        recomputations when arrivals replace expiring results), applied
+        uniformly so all algorithms see identical cycles.
+        """
+        self.counters.arrivals += len(arrivals)
+        self.counters.expirations += len(expirations)
+        self._snapshots.clear()
+        self._apply_cycle(arrivals, expirations)
+        changes: Dict[int, ResultChange] = {}
+        for qid, before in self._snapshots.items():
+            change = diff_results(qid, before, self.current_result(qid))
+            if change.changed:
+                changes[qid] = change
+        self._snapshots.clear()
+        return changes
+
+    @abc.abstractmethod
+    def _apply_cycle(
+        self,
+        arrivals: List[StreamRecord],
+        expirations: List[StreamRecord],
+    ) -> None:
+        """Algorithm-specific cycle maintenance."""
+
+    # ------------------------------------------------------------------
+    # Snapshot helpers for subclasses
+    # ------------------------------------------------------------------
+
+    def _touch(self, qid: int) -> None:
+        """Stash the pre-cycle result of ``qid`` before its first mutation."""
+        if qid not in self._snapshots:
+            self._snapshots[qid] = self.current_result(qid)
+
+    @staticmethod
+    def _unknown_query(qid: int) -> QueryError:
+        return QueryError(f"query {qid} is not registered with this algorithm")
+
+    # ------------------------------------------------------------------
+    # Introspection used by analysis / benchmarks
+    # ------------------------------------------------------------------
+
+    def result_state_sizes(self) -> Dict[int, int]:
+        """Entries of per-query result state (view/skyband/top list).
+
+        Used by the Table 2 benchmark; the default reports k per query.
+        """
+        return {query.qid: query.k for query in self.queries()}

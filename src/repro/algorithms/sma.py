@@ -1,0 +1,173 @@
+"""SMA — the Skyband Monitoring Algorithm (paper Section 5, Figure 11).
+
+SMA exploits the reduction of Section 3.1: the records that can appear
+in any *future* top-k result are exactly the k-skyband of the valid
+records in the score–time plane. Per query it therefore maintains a
+:class:`~repro.skyband.skyband.ScoreTimeSkyband` — a superset of the
+current answer — instead of the exact top-k, trading a little space
+for far fewer from-scratch recomputations:
+
+- an arrival beating the query's *gate* (the kth score frozen at the
+  last from-scratch computation, Figure 11 line 7's comment) enters
+  the skyband with dominance counter 0, bumps the counter of every
+  worse entry, and evicts entries reaching DC = k;
+- an expiring record is simply dropped from the skyband (it can be
+  shown to be a current result member that dominates nothing);
+- only when the skyband underflows k entries — all pre-computed
+  replacements were consumed — does SMA fall back to the top-k
+  computation module and rebuild the skyband (lines 20–22), with the
+  same lazy influence-list discipline as TMA.
+
+Under uniform data, arrivals and expirations inside the influence
+region balance and the skyband hovers at ~k entries; the paper's
+Table 2 (reproduced in ``benchmarks/test_table2_view_sizes.py``) shows
+SMA storing far fewer extras than TSL's kmax-sized views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.algorithms.base import MonitorAlgorithm
+from repro.algorithms.topk_computation import (
+    compute_and_install,
+    query_region,
+    remove_query_everywhere,
+)
+from repro.core.queries import TopKQuery
+from repro.core.results import ResultEntry
+from repro.core.tuples import MIN_RANK_KEY, RankKey, StreamRecord
+from repro.grid.grid import Grid
+from repro.skyband.skyband import ScoreTimeSkyband
+
+
+class _SmaQueryState:
+    """Per-query state: spec, skyband, and the frozen admission gate."""
+
+    __slots__ = ("query", "region", "skyband", "gate", "needs_recompute")
+
+    def __init__(self, query: TopKQuery) -> None:
+        self.query = query
+        self.region = query_region(query)
+        self.skyband = ScoreTimeSkyband(query.k)
+        #: kth key at the last from-scratch computation — NOT updated
+        #: incrementally (Figure 11, line 7 comment).
+        self.gate: RankKey = MIN_RANK_KEY
+        self.needs_recompute = False
+
+    def rebuild_from(self, entries: List[ResultEntry], counters) -> None:
+        self.skyband.rebuild(entries, counters)
+        if len(entries) >= self.query.k:
+            worst = entries[-1]
+            self.gate = (worst.score, worst.record.rid)
+        else:
+            self.gate = MIN_RANK_KEY
+
+    def result_entries(self) -> List[ResultEntry]:
+        return self.skyband.top()
+
+
+class SkybandMonitoringAlgorithm(MonitorAlgorithm):
+    """Grid-based monitoring via score–time skybands (Figure 11)."""
+
+    name = "sma"
+
+    def __init__(self, dims: int, cells_per_axis: int) -> None:
+        super().__init__(dims)
+        self.grid = Grid(dims, cells_per_axis)
+        self._states: Dict[int, _SmaQueryState] = {}
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+
+    def register(self, query: TopKQuery) -> List[ResultEntry]:
+        state = _SmaQueryState(query)
+        outcome = compute_and_install(self.grid, query, self.counters)
+        state.rebuild_from(outcome.entries, self.counters)
+        self._states[query.qid] = state
+        return state.result_entries()
+
+    def unregister(self, qid: int) -> None:
+        state = self._states.pop(qid, None)
+        if state is None:
+            raise self._unknown_query(qid)
+        remove_query_everywhere(self.grid, state.query, self.counters)
+
+    def current_result(self, qid: int) -> List[ResultEntry]:
+        state = self._states.get(qid)
+        if state is None:
+            raise self._unknown_query(qid)
+        return state.result_entries()
+
+    def queries(self) -> Iterable[TopKQuery]:
+        return [state.query for state in self._states.values()]
+
+    # ------------------------------------------------------------------
+    # Cycle maintenance (Figure 11)
+    # ------------------------------------------------------------------
+
+    def _apply_cycle(
+        self,
+        arrivals: List[StreamRecord],
+        expirations: List[StreamRecord],
+    ) -> None:
+        states = self._states
+        changed: List[_SmaQueryState] = []
+
+        for record in arrivals:
+            cell = self.grid.insert(record)
+            for qid in cell.influence:
+                state = states.get(qid)
+                if state is None:
+                    continue
+                self.counters.influence_checks += 1
+                if state.region is not None and not state.region.contains(
+                    record.attrs
+                ):
+                    continue
+                score = state.query.score(record.attrs)
+                if (score, record.rid) > state.gate:
+                    self._touch(qid)
+                    state.skyband.insert(score, record, self.counters)
+
+        for record in expirations:
+            cell = self.grid.delete(record)
+            for qid in cell.influence:
+                state = states.get(qid)
+                if state is None:
+                    continue
+                self.counters.influence_checks += 1
+                if record.rid in state.skyband:
+                    self._touch(qid)  # before mutating, for the diff
+                    state.skyband.remove_by_rid(record.rid)
+                    if (
+                        len(state.skyband) < state.query.k
+                        and not state.needs_recompute
+                    ):
+                        state.needs_recompute = True
+                        changed.append(state)
+
+        for state in changed:
+            state.needs_recompute = False
+            if len(state.skyband) >= state.query.k:
+                continue  # defensive: cannot refill mid-batch, but cheap
+            self.counters.recomputations += 1
+            outcome = compute_and_install(
+                self.grid, state.query, self.counters
+            )
+            state.rebuild_from(outcome.entries, self.counters)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def result_state_sizes(self) -> Dict[int, int]:
+        """Skyband cardinality per query (Table 2's SMA column)."""
+        return {
+            qid: len(state.skyband) for qid, state in self._states.items()
+        }
+
+    def influence_list_entries(self) -> int:
+        """Total IL entries across cells (space accounting, Section 6)."""
+        return sum(len(cell.influence) for cell in self.grid.cells())

@@ -1,0 +1,233 @@
+"""TMA — the Top-k Monitoring Algorithm (paper Section 4, Figure 9).
+
+Maintenance policy: keep *exactly* the current top-k per query.
+
+- **Arrivals first.** Each arrival lands in its grid cell; for every
+  query in that cell's influence list whose gate it beats, it enters
+  the top list and displaces the kth entry. Processing ``P_ins``
+  before ``P_del`` means an arrival can save a query whose result
+  member expires in the same cycle (the Figure 8(a) walk-through,
+  replayed in tests).
+- **Expirations.** An expiring record is dropped from its cell; if it
+  was a result member of some query, that query is *marked affected*
+  and, once the whole batch is applied, recomputed from scratch via
+  the top-k computation module — this is the only from-scratch path,
+  and its frequency is the paper's ``Pr_rec``.
+- **Lazy influence lists.** When arrivals shrink an influence region
+  the lists are *not* updated; stale entries are filtered by the gate
+  comparison and cleaned up only after the next from-scratch
+  computation (see :mod:`repro.algorithms.topk_computation`).
+
+Top lists are plain ascending-sorted lists of ``(key, record)`` pairs:
+k is small (≤ a few hundred), so a bisect + C-level memmove beats any
+interpreted balanced tree; the analytical model keeps the paper's
+O(log k) accounting.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.algorithms.base import MonitorAlgorithm
+from repro.algorithms.topk_computation import (
+    compute_and_install,
+    eager_trim_influence,
+    query_region,
+    remove_query_everywhere,
+)
+from repro.core.queries import TopKQuery
+from repro.core.results import ResultEntry
+from repro.core.tuples import MIN_RANK_KEY, RankKey, StreamRecord
+from repro.grid.grid import Grid
+
+
+class _TmaQueryState:
+    """Per-query state: spec, exact top-k, and membership index."""
+
+    __slots__ = (
+        "query",
+        "region",
+        "top",
+        "member_ids",
+        "affected",
+        "eager_pending",
+    )
+
+    def __init__(self, query: TopKQuery) -> None:
+        self.query = query
+        self.region = query_region(query)
+        #: ascending (key, record): element 0 is the kth (worst) result.
+        self.top: List[Tuple[RankKey, StreamRecord]] = []
+        self.member_ids: Set[int] = set()
+        self.affected = False
+        self.eager_pending = False
+
+    def gate_key(self) -> RankKey:
+        """Key an arrival must beat to enter the result."""
+        if len(self.top) < self.query.k:
+            return MIN_RANK_KEY
+        return self.top[0][0]
+
+    def set_result(self, entries: List[ResultEntry]) -> None:
+        """Replace the result with a freshly computed best-first list."""
+        self.top = [
+            ((entry.score, entry.record.rid), entry.record)
+            for entry in reversed(entries)
+        ]
+        self.member_ids = {record.rid for _, record in self.top}
+
+    def admit(self, key: RankKey, record: StreamRecord) -> None:
+        """Insert a better arrival, displacing the kth entry if full."""
+        insort(self.top, (key, record))
+        self.member_ids.add(record.rid)
+        if len(self.top) > self.query.k:
+            _, evicted = self.top.pop(0)
+            self.member_ids.discard(evicted.rid)
+
+    def result_entries(self) -> List[ResultEntry]:
+        return [
+            ResultEntry(key[0], record) for key, record in reversed(self.top)
+        ]
+
+
+class TopKMonitoringAlgorithm(MonitorAlgorithm):
+    """Grid-based monitoring with exact top-k per query (Figure 9)."""
+
+    name = "tma"
+
+    def __init__(
+        self,
+        dims: int,
+        cells_per_axis: int,
+        eager_cleanup: bool = False,
+    ) -> None:
+        """``eager_cleanup=True`` trims influence lists on every gate
+        rise instead of lazily (ablation of the paper's Section 4.3
+        design choice; results are identical, maintenance is not —
+        see ``benchmarks/test_ablation_design_choices.py``)."""
+        super().__init__(dims)
+        self.grid = Grid(dims, cells_per_axis)
+        self.eager_cleanup = eager_cleanup
+        self._states: Dict[int, _TmaQueryState] = {}
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+
+    def register(self, query: TopKQuery) -> List[ResultEntry]:
+        if query.dims != self.dims:
+            raise self._unknown_dimensionality(query)
+        state = _TmaQueryState(query)
+        outcome = compute_and_install(self.grid, query, self.counters)
+        state.set_result(outcome.entries)
+        self._states[query.qid] = state
+        return state.result_entries()
+
+    def unregister(self, qid: int) -> None:
+        state = self._states.pop(qid, None)
+        if state is None:
+            raise self._unknown_query(qid)
+        remove_query_everywhere(self.grid, state.query, self.counters)
+
+    def current_result(self, qid: int) -> List[ResultEntry]:
+        state = self._states.get(qid)
+        if state is None:
+            raise self._unknown_query(qid)
+        return state.result_entries()
+
+    def queries(self) -> Iterable[TopKQuery]:
+        return [state.query for state in self._states.values()]
+
+    # ------------------------------------------------------------------
+    # Cycle maintenance (Figure 9)
+    # ------------------------------------------------------------------
+
+    def _apply_cycle(
+        self,
+        arrivals: List[StreamRecord],
+        expirations: List[StreamRecord],
+    ) -> None:
+        states = self._states
+        affected: List[_TmaQueryState] = []
+        gate_rose: List[_TmaQueryState] = []
+
+        for record in arrivals:
+            cell = self.grid.insert(record)
+            admitted = []
+            for qid in cell.influence:
+                state = states.get(qid)
+                if state is None:
+                    continue
+                self.counters.influence_checks += 1
+                if state.region is not None and not state.region.contains(
+                    record.attrs
+                ):
+                    continue
+                key: RankKey = (state.query.score(record.attrs), record.rid)
+                if key > state.gate_key():
+                    self._touch(qid)
+                    admitted.append(state)
+                    self.counters.top_list_updates += 1
+            # Influence lists are hash sets; admitting inside the scan
+            # could trim the set being iterated under eager cleanup.
+            for state in admitted:
+                full_before = len(state.top) == state.query.k
+                state.admit(
+                    (state.query.score(record.attrs), record.rid), record
+                )
+                if (
+                    self.eager_cleanup
+                    and full_before
+                    and not state.eager_pending
+                ):
+                    state.eager_pending = True
+                    gate_rose.append(state)
+
+        for state in gate_rose:
+            state.eager_pending = False
+            eager_trim_influence(
+                self.grid,
+                state.query,
+                state.gate_key()[0],
+                self.counters,
+            )
+
+        for record in expirations:
+            cell = self.grid.delete(record)
+            for qid in cell.influence:
+                state = states.get(qid)
+                if state is None:
+                    continue
+                self.counters.influence_checks += 1
+                if record.rid in state.member_ids and not state.affected:
+                    state.affected = True
+                    affected.append(state)
+
+        for state in affected:
+            state.affected = False
+            qid = state.query.qid
+            self._touch(qid)
+            self.counters.recomputations += 1
+            outcome = compute_and_install(
+                self.grid, state.query, self.counters
+            )
+            state.set_result(outcome.entries)
+
+    def _unknown_dimensionality(self, query: TopKQuery):
+        from repro.core.errors import DimensionalityError
+
+        return DimensionalityError(
+            f"query function has {query.dims} dims, algorithm has {self.dims}"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def result_state_sizes(self) -> Dict[int, int]:
+        return {qid: len(state.top) for qid, state in self._states.items()}
+
+    def influence_list_entries(self) -> int:
+        """Total IL entries across cells (space accounting, Section 6)."""
+        return sum(len(cell.influence) for cell in self.grid.cells())

@@ -1,0 +1,188 @@
+"""Shared from-scratch computation + influence-list bookkeeping.
+
+TMA and SMA both delegate from-scratch result computation to the
+traversal of Figure 6 (:func:`repro.grid.traversal.compute_top_k`) and
+then perform the same two pieces of influence-list (IL) bookkeeping:
+
+1. every *processed* cell receives an entry for the query (Figure 6,
+   line 13);
+2. cells that referenced the query under an older, larger influence
+   region are cleaned lazily by flooding outward from the cells left
+   in the traversal heap (Figure 9, lines 14–21).
+
+Why the flood is complete and safe — the argument the paper leaves
+implicit, spelled out because the tests assert it:
+
+- The set of cells holding the query in their IL is always a
+  *threshold set* ``{c : maxscore(c) >= s}`` for the threshold ``s`` in
+  effect at the last from-scratch computation. Such sets are closed
+  "upward" along the preference order.
+- At termination the heap contains exactly the one-step-worse
+  neighbours of processed cells that were not processed — every
+  boundary cell of the new region, each with ``maxscore`` below the
+  new threshold.
+- Stepping from a boundary cell strictly down the preference order
+  never re-enters the new region (maxscore is monotone along steps),
+  so the flood cannot delete fresh IL entries.
+- Any stale cell (old region minus new region) is reachable from some
+  boundary cell through a monotone descending path that stays inside
+  the old region, and every cell on that path still holds the query —
+  so conditioning propagation on "query found here" (as the paper
+  does) loses nothing and stops the flood at the old region's edge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.queries import ConstrainedTopKQuery, TopKQuery
+from repro.core.regions import Rectangle
+from repro.core.scoring import PreferenceFunction
+from repro.core.stats import OpCounters
+from repro.grid.grid import Coords, Grid
+from repro.grid.traversal import TraversalOutcome, compute_top_k, start_coords
+
+
+def query_region(query: TopKQuery) -> Optional[Rectangle]:
+    """Constraint rectangle of a query, or None for ordinary top-k."""
+    if isinstance(query, ConstrainedTopKQuery):
+        return query.constraint
+    return None
+
+
+def compute_and_install(
+    grid: Grid,
+    query: TopKQuery,
+    counters: Optional[OpCounters] = None,
+) -> TraversalOutcome:
+    """Run the top-k computation module and register influence entries.
+
+    Adds the query to the IL of every processed cell (materialising
+    cells as needed so later arrivals into currently-empty cells still
+    find the query), then floods away stale IL entries starting from
+    the cells the traversal left in its heap.
+    """
+    outcome = compute_top_k(
+        grid,
+        query.function,
+        query.k,
+        counters=counters,
+        region=query_region(query),
+    )
+    for coords in outcome.processed:
+        cell = grid.get_cell(coords)
+        if query.qid not in cell.influence:
+            cell.influence.add(query.qid)
+            if counters is not None:
+                counters.influence_list_updates += 1
+    cleanup_influence(
+        grid,
+        query.qid,
+        query.function,
+        outcome.remaining,
+        counters=counters,
+    )
+    return outcome
+
+
+def cleanup_influence(
+    grid: Grid,
+    qid: int,
+    function: PreferenceFunction,
+    seeds: Iterable[Coords],
+    counters: Optional[OpCounters] = None,
+) -> int:
+    """Flood-remove stale IL entries for ``qid`` (Figure 9, lines 14–21).
+
+    Starts from ``seeds`` and steps down the preference order, deleting
+    the query's entry wherever found and propagating only through
+    cells that held it. Returns the number of entries removed.
+    """
+    removed = 0
+    frontier: List[Coords] = list(seeds)
+    seen = set(frontier)
+    while frontier:
+        coords = frontier.pop()
+        cell = grid.peek_cell(coords)
+        if cell is None or qid not in cell.influence:
+            continue
+        cell.influence.discard(qid)
+        removed += 1
+        if counters is not None:
+            counters.influence_list_updates += 1
+        for neighbour in grid.steps_toward_worse(coords, function):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return removed
+
+
+def eager_trim_influence(
+    grid: Grid,
+    query: TopKQuery,
+    threshold_score: float,
+    counters: Optional[OpCounters] = None,
+) -> int:
+    """Eagerly shrink a query's influence lists to the current gate.
+
+    The paper deliberately does *not* do this ("this 'lazy' approach
+    does not affect the correctness") — stale entries are filtered by
+    the gate comparison and cleaned only after the next from-scratch
+    computation. This eager variant exists for the design-choice
+    ablation: it walks the query's whole influence staircase from the
+    preference-optimal corner and deletes entries on cells whose
+    maxscore fell strictly below the new kth score, paying
+    O(|influence region|) on every gate rise.
+
+    Returns the number of entries removed.
+    """
+    function = query.function
+    region = query_region(query)
+    removed = 0
+    frontier: List[Coords] = [start_coords(grid, function, region)]
+    seen = set(frontier)
+    while frontier:
+        coords = frontier.pop()
+        cell = grid.peek_cell(coords)
+        if counters is not None:
+            counters.influence_trim_visits += 1
+        if cell is None or query.qid not in cell.influence:
+            continue
+        if region is None:
+            bound = grid.maxscore(coords, function)
+        else:
+            clipped = grid.maxscore_in_region(coords, function, region)
+            bound = clipped if clipped is not None else float("-inf")
+        # Strict comparison: equal-maxscore cells may hold records that
+        # outrank the kth under the canonical (score, rid) order.
+        if bound < threshold_score:
+            cell.influence.discard(query.qid)
+            removed += 1
+            if counters is not None:
+                counters.influence_list_updates += 1
+        for neighbour in grid.steps_toward_worse(coords, function):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return removed
+
+
+def remove_query_everywhere(
+    grid: Grid,
+    query: TopKQuery,
+    counters: Optional[OpCounters] = None,
+) -> int:
+    """Drop a terminated query from all influence lists.
+
+    The paper initialises the cleanup list with "the corner cell with
+    the maximum maxscore" — the flood then covers the whole (staircase)
+    region the query ever influenced. For a constrained query the seed
+    is the constraint region's optimal corner cell instead.
+    """
+    return cleanup_influence(
+        grid,
+        query.qid,
+        query.function,
+        [start_coords(grid, query.function, query_region(query))],
+        counters=counters,
+    )

@@ -1,0 +1,17 @@
+"""Analytical cost model (Section 6) and paper-style space accounting."""
+
+from repro.analysis.cost_model import (
+    CostModel,
+    WorkloadParameters,
+)
+from repro.analysis.memory import (
+    SpaceBreakdown,
+    estimate_space,
+)
+
+__all__ = [
+    "CostModel",
+    "SpaceBreakdown",
+    "WorkloadParameters",
+    "estimate_space",
+]

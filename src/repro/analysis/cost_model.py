@@ -1,0 +1,136 @@
+"""The Section 6 performance analysis as executable formulas.
+
+All quantities are *operation counts* (unitless), under the paper's
+assumptions: N valid tuples uniformly distributed in the unit
+d-dimensional workspace, r arrivals (and r expirations) per processing
+cycle, Q queries of cardinality k, grid cell extent δ per axis.
+
+The model drives two things in this repository: the documentation's
+predicted trends and ``benchmarks/test_ablation_cost_model.py``, which
+checks that the *measured* operation counters move the way the model
+says they should (the absolute constants are implementation-specific,
+the shapes are not).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadParameters:
+    """The paper's parameter vector (Table 1)."""
+
+    n: int  # data cardinality N (valid tuples)
+    r: int  # arrival rate per processing cycle
+    d: int  # dimensionality
+    k: int  # result cardinality
+    q: int  # number of running queries
+    cells_per_axis: int  # 1/δ
+
+    @property
+    def delta(self) -> float:
+        return 1.0 / self.cells_per_axis
+
+    @property
+    def cell_volume(self) -> float:
+        return self.delta**self.d
+
+    @property
+    def points_per_cell(self) -> float:
+        """N·δ^d — the expected cell occupancy."""
+        return self.n * self.cell_volume
+
+
+class CostModel:
+    """Closed-form costs of TMA / SMA (Section 6)."""
+
+    def __init__(self, params: WorkloadParameters) -> None:
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+
+    def influence_cells(self) -> float:
+        """C — cells intersecting one query's influence region.
+
+        The region holds k of the N uniform records, hence volume k/N,
+        hence ⌈k / (N·δ^d)⌉ cells.
+        """
+        p = self.params
+        return max(1.0, math.ceil(p.k / max(p.points_per_cell, 1e-12)))
+
+    def influence_points(self) -> float:
+        """|C| — points inside the processed cells."""
+        return self.influence_cells() * self.params.points_per_cell
+
+    def topk_computation_cost(self) -> float:
+        """T_comp = O(C·log C + |C|·log k)."""
+        cells = self.influence_cells()
+        points = self.influence_points()
+        return cells * math.log2(cells + 1) + points * math.log2(
+            self.params.k + 1
+        )
+
+    def recomputation_probability(self) -> float:
+        """Pr_rec ≤ 1 − (1 − r/N)^k — some current result expires.
+
+        The bound is loose (arrivals may replace expiring entries) but
+        captures the growth with k and r that Figure 19 exhibits.
+        """
+        p = self.params
+        ratio = min(1.0, p.r / p.n)
+        return 1.0 - (1.0 - ratio) ** p.k
+
+    # ------------------------------------------------------------------
+    # Per-cycle running time
+    # ------------------------------------------------------------------
+
+    def tma_cycle_cost(self) -> float:
+        """T_TMA = O(r + Q·(C·r·δ^d + k·(r/N)·log k + Pr_rec·T_comp))."""
+        p = self.params
+        per_query = (
+            self.influence_cells() * p.r * p.cell_volume
+            + p.k * p.r / p.n * math.log2(p.k + 1)
+            + self.recomputation_probability() * self.topk_computation_cost()
+        )
+        return p.r + p.q * per_query
+
+    def sma_cycle_cost(self) -> float:
+        """T_SMA = O(r + Q·(C·r·δ^d + k²·r/N)).
+
+        Under uniformity SMA never recomputes from scratch: influence-
+        region insertions and deletions balance and the skyband stays
+        at k entries (verified empirically by the ablation benchmark).
+        """
+        p = self.params
+        per_query = (
+            self.influence_cells() * p.r * p.cell_volume
+            + p.k * p.k * p.r / p.n
+        )
+        return p.r + p.q * per_query
+
+    # ------------------------------------------------------------------
+    # Space (entry counts; bytes live in repro.analysis.memory)
+    # ------------------------------------------------------------------
+
+    def index_space(self) -> float:
+        """O(N·d + N + Q·C): records, point-list pointers, ILs."""
+        p = self.params
+        return p.n * p.d + p.n + p.q * self.influence_cells()
+
+    def tma_space(self) -> float:
+        """S_TMA = O(N·(d+1) + Q·(C + d + 2k))."""
+        p = self.params
+        return p.n * (p.d + 1) + p.q * (
+            self.influence_cells() + p.d + 2 * p.k
+        )
+
+    def sma_space(self) -> float:
+        """S_SMA = O(N·(d+1) + Q·(C + d + 3k))."""
+        p = self.params
+        return p.n * (p.d + 1) + p.q * (
+            self.influence_cells() + p.d + 3 * p.k
+        )

@@ -1,0 +1,28 @@
+"""Benchmark harness: workload construction, runners, paper-style reports.
+
+The modules here are imported by the ``benchmarks/`` pytest suite but
+are part of the library proper so downstream users can rerun any paper
+experiment at any scale (including the paper's original parameters —
+see :func:`repro.bench.workloads.paper_defaults`).
+"""
+
+from repro.bench.reporting import format_table, print_series
+from repro.bench.runner import RunResult, compare_algorithms, run_workload
+from repro.bench.workloads import (
+    WorkloadSpec,
+    default_cells_per_axis,
+    paper_defaults,
+    scaled_defaults,
+)
+
+__all__ = [
+    "RunResult",
+    "WorkloadSpec",
+    "compare_algorithms",
+    "default_cells_per_axis",
+    "format_table",
+    "paper_defaults",
+    "print_series",
+    "run_workload",
+    "scaled_defaults",
+]

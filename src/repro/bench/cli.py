@@ -1,0 +1,215 @@
+"""Command-line bench runner: ``python -m repro.bench``.
+
+Two subcommands:
+
+``run``
+    Execute one monitoring comparison at arbitrary workload parameters
+    and print a paper-style report (times, counters, space). Example::
+
+        python -m repro.bench run --n 50000 --rate 500 --queries 100 \
+            --k 20 --dims 4 --distribution ant --algorithms tsl,sma
+
+``selfcheck``
+    A fast correctness sweep: replays randomized streams through all
+    four algorithms and verifies cycle-by-cycle result equality against
+    the brute-force oracle. Exit code 0 means every check passed — run
+    it after any modification before trusting benchmark numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from repro.algorithms import ALGORITHMS, make_algorithm
+from repro.bench.reporting import format_table
+from repro.bench.runner import compare_algorithms
+from repro.bench.workloads import WorkloadSpec
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.tuples import RecordFactory
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "Benchmark runner for the SIGMOD 2006 continuous top-k "
+            "monitoring reproduction"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="compare algorithms on one workload"
+    )
+    run.add_argument("--n", type=int, default=20_000, help="window size N")
+    run.add_argument(
+        "--rate", type=int, default=None, help="arrivals/cycle (default N/100)"
+    )
+    run.add_argument("--queries", type=int, default=20, help="Q")
+    run.add_argument("--k", type=int, default=20)
+    run.add_argument("--dims", type=int, default=4)
+    run.add_argument("--cycles", type=int, default=10)
+    run.add_argument(
+        "--distribution", choices=["ind", "ant", "clu"], default="ind"
+    )
+    run.add_argument(
+        "--function",
+        choices=["linear", "product", "quadratic"],
+        default="linear",
+    )
+    run.add_argument(
+        "--algorithms",
+        default="tsl,tma,sma",
+        help="comma-separated subset of: " + ",".join(sorted(ALGORITHMS)),
+    )
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--cells-per-axis",
+        type=int,
+        default=None,
+        help="grid granularity (default: occupancy-tuned)",
+    )
+    run.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the cross-algorithm result-equality verification",
+    )
+
+    check = commands.add_parser(
+        "selfcheck", help="fast cycle-by-cycle correctness sweep"
+    )
+    check.add_argument("--seeds", type=int, default=3)
+    check.add_argument("--cycles", type=int, default=10)
+    return parser
+
+
+def command_run(args: argparse.Namespace) -> int:
+    names = [name.strip() for name in args.algorithms.split(",") if name]
+    unknown = [name for name in names if name not in ALGORITHMS]
+    if unknown:
+        print(f"unknown algorithms: {unknown}", file=sys.stderr)
+        return 2
+    spec = WorkloadSpec(
+        dims=args.dims,
+        n=args.n,
+        rate=args.rate if args.rate is not None else max(1, args.n // 100),
+        num_queries=args.queries,
+        k=args.k,
+        cycles=args.cycles,
+        distribution=args.distribution,
+        function_family=args.function,
+        seed=args.seed,
+        cells_per_axis=args.cells_per_axis,
+    )
+    print(
+        f"workload: N={spec.n} r={spec.rate} Q={spec.num_queries} "
+        f"k={spec.k} d={spec.dims} {spec.distribution.upper()} "
+        f"{spec.function_family} x{spec.cycles} cycles "
+        f"(grid {spec.grid_cells_per_axis()}/axis)"
+    )
+    results = compare_algorithms(
+        spec, names, check_results=not args.no_check
+    )
+    rows = []
+    for name, run in results.items():
+        rows.append(
+            [
+                name.upper(),
+                f"{run.setup_seconds:.3f}",
+                f"{run.total_seconds:.4f}",
+                f"{run.mean_cycle_seconds * 1e3:.2f}",
+                run.counters.recomputations,
+                f"{run.recomputation_rate:.3f}",
+                f"{run.mean_state_size:.1f}",
+                f"{run.space.total_mb:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "algorithm",
+                "setup [s]",
+                "maintain [s]",
+                "ms/cycle",
+                "recomputes",
+                "Pr_rec",
+                "state/query",
+                "space [MB]",
+            ],
+            rows,
+        )
+    )
+    if not args.no_check:
+        print("result check: all algorithms report identical top-k sets")
+    return 0
+
+
+def command_selfcheck(args: argparse.Namespace) -> int:
+    failures = 0
+    checks = 0
+    for seed in range(args.seeds):
+        rng = random.Random(seed)
+        factory = RecordFactory()
+        algorithms = {
+            name: make_algorithm(name, 2, cells_per_axis=4)
+            for name in ("brute", "tsl", "tma", "sma")
+        }
+        queries = []
+        for qid in range(3):
+            query = TopKQuery(
+                LinearFunction(
+                    [rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0)]
+                ),
+                k=rng.choice([1, 3, 7]),
+            )
+            query.qid = qid
+            for algo in algorithms.values():
+                algo.register(query)
+            queries.append(query)
+        window: List = []
+        for cycle in range(args.cycles):
+            arrivals = [
+                factory.make((rng.random(), rng.random()))
+                for _ in range(8)
+            ]
+            window.extend(arrivals)
+            expired = []
+            while len(window) > 60:
+                expired.append(window.pop(0))
+            outcomes = {}
+            for name, algo in algorithms.items():
+                algo.process_cycle(list(arrivals), list(expired))
+                outcomes[name] = {
+                    query.qid: [
+                        entry.rid
+                        for entry in algo.current_result(query.qid)
+                    ]
+                    for query in queries
+                }
+            reference = outcomes["brute"]
+            for name in ("tsl", "tma", "sma"):
+                checks += 1
+                if outcomes[name] != reference:
+                    failures += 1
+                    print(
+                        f"FAIL seed={seed} cycle={cycle} {name} != brute",
+                        file=sys.stderr,
+                    )
+    status = "OK" if failures == 0 else "FAILED"
+    print(f"selfcheck {status}: {checks} comparisons, {failures} failures")
+    return 0 if failures == 0 else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return command_run(args)
+    return command_selfcheck(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,173 @@
+"""Run algorithms over workloads and collect paper-comparable metrics.
+
+Fairness contract (the paper's implicit setup): every algorithm under
+comparison sees a byte-identical stream (same seed → same records with
+the same ids), identical queries, and the same window — only the
+maintenance machinery differs. :func:`compare_algorithms` enforces
+this and additionally cross-checks that all algorithms finish with
+identical top-k results, so a benchmark can never silently time a
+wrong answer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.memory import SpaceBreakdown, estimate_space
+from repro.core.engine import StreamMonitor
+from repro.core.stats import OpCounters
+from repro.core.window import CountBasedWindow
+from repro.bench.workloads import WorkloadSpec
+from repro.streams.generators import make_distribution
+from repro.streams.stream import StreamDriver
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Everything one (workload, algorithm) run produced."""
+
+    algorithm: str
+    spec: WorkloadSpec
+    setup_seconds: float
+    cycle_seconds: List[float]
+    counters: OpCounters
+    space: SpaceBreakdown
+    #: mean per-query result-state size (view / skyband / top list)
+    mean_state_size: float
+    #: final top-k ids per query, for cross-algorithm equality checks
+    final_results: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.cycle_seconds)
+
+    @property
+    def mean_cycle_seconds(self) -> float:
+        if not self.cycle_seconds:
+            return 0.0
+        return self.total_seconds / len(self.cycle_seconds)
+
+    def percentile_cycle_seconds(self, fraction: float) -> float:
+        """Per-cycle latency percentile (e.g. 0.95 for p95).
+
+        Continuous monitoring is a latency problem as much as a
+        throughput one: a recomputation-heavy cycle stalls every
+        report in it, so tail latency separates TMA from SMA more
+        sharply than the mean does.
+        """
+        if not self.cycle_seconds:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+        ordered = sorted(self.cycle_seconds)
+        index = min(
+            len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+    @property
+    def p95_cycle_seconds(self) -> float:
+        return self.percentile_cycle_seconds(0.95)
+
+    @property
+    def max_cycle_seconds(self) -> float:
+        return max(self.cycle_seconds) if self.cycle_seconds else 0.0
+
+    @property
+    def recomputation_rate(self) -> float:
+        """Empirical Pr_rec: recomputations per query per cycle."""
+        cycles = max(1, len(self.cycle_seconds))
+        queries = max(1, self.spec.num_queries)
+        return self.counters.recomputations / (cycles * queries)
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    algorithm: str,
+    state_size_probes: int = 4,
+) -> RunResult:
+    """Execute one monitoring run and return its metrics.
+
+    The run follows the paper's Section 8 protocol: fill the window
+    with N warm-up tuples, register the Q queries (initial computation
+    is *setup*, not measured), then process ``spec.cycles`` timestamps
+    of r arrivals + r expirations each, measuring only maintenance.
+    """
+    distribution = make_distribution(spec.distribution, spec.dims)
+    driver = StreamDriver(distribution, spec.rate, seed=spec.seed)
+    warmup = driver.warmup(spec.n)
+
+    monitor = StreamMonitor(
+        spec.dims,
+        CountBasedWindow(spec.n),
+        algorithm=algorithm,
+        cells_per_axis=(
+            spec.grid_cells_per_axis() if algorithm in ("tma", "sma") else None
+        ),
+    )
+
+    setup_started = time.perf_counter()
+    monitor.process(warmup)
+    qids = [monitor.add_query(query) for query in spec.make_queries()]
+    setup_seconds = time.perf_counter() - setup_started
+
+    monitor.cycle_seconds.clear()
+    monitor.counters.reset()
+
+    state_sizes: List[float] = []
+    probe_every = max(1, spec.cycles // max(1, state_size_probes))
+    for cycle_index in range(spec.cycles):
+        monitor.process(driver.next_batch())
+        if cycle_index % probe_every == 0:
+            sizes = monitor.algorithm.result_state_sizes()
+            if sizes:
+                state_sizes.append(sum(sizes.values()) / len(sizes))
+
+    final_results = {
+        qid: [entry.rid for entry in monitor.result(qid)] for qid in qids
+    }
+    return RunResult(
+        algorithm=algorithm,
+        spec=spec,
+        setup_seconds=setup_seconds,
+        cycle_seconds=list(monitor.cycle_seconds),
+        counters=monitor.counters.snapshot(),
+        space=estimate_space(monitor.algorithm),
+        mean_state_size=(
+            sum(state_sizes) / len(state_sizes) if state_sizes else 0.0
+        ),
+        final_results=final_results,
+    )
+
+
+def compare_algorithms(
+    spec: WorkloadSpec,
+    algorithms: Sequence[str] = ("tsl", "tma", "sma"),
+    check_results: bool = True,
+) -> Dict[str, RunResult]:
+    """Run several algorithms on the identical workload.
+
+    Raises:
+        AssertionError: when ``check_results`` and two algorithms
+            disagree on any final top-k set — a benchmark must never
+            time a wrong answer.
+    """
+    results = {name: run_workload(spec, name) for name in algorithms}
+    if check_results and len(results) > 1:
+        names = list(results)
+        reference = results[names[0]].final_results
+        for name in names[1:]:
+            candidate = results[name].final_results
+            if candidate != reference:
+                diffs = [
+                    qid
+                    for qid in reference
+                    if candidate.get(qid) != reference[qid]
+                ]
+                raise AssertionError(
+                    f"{name} disagrees with {names[0]} on queries {diffs[:5]} "
+                    f"(spec={spec})"
+                )
+    return results

@@ -1,0 +1,62 @@
+"""Core model: records, scoring, windows, queries, results, engine."""
+
+from repro.core.engine import StreamMonitor
+from repro.core.errors import (
+    DimensionalityError,
+    NonMonotoneFunctionError,
+    QueryError,
+    ReproError,
+    StreamError,
+    WindowError,
+)
+from repro.core.queries import (
+    ConstrainedTopKQuery,
+    QueryTable,
+    ThresholdQuery,
+    TopKQuery,
+)
+from repro.core.regions import Rectangle
+from repro.core.results import CycleReport, ResultChange, ResultEntry
+from repro.core.scoring import (
+    CallableFunction,
+    LinearFunction,
+    PreferenceFunction,
+    ProductFunction,
+    QuadraticFunction,
+    check_monotone,
+)
+from repro.core.stats import OpCounters, RunStats
+from repro.core.tuples import RecordFactory, StreamRecord, rank_key
+from repro.core.window import CountBasedWindow, SlidingWindow, TimeBasedWindow
+
+__all__ = [
+    "CallableFunction",
+    "ConstrainedTopKQuery",
+    "CountBasedWindow",
+    "CycleReport",
+    "DimensionalityError",
+    "LinearFunction",
+    "NonMonotoneFunctionError",
+    "OpCounters",
+    "PreferenceFunction",
+    "ProductFunction",
+    "QuadraticFunction",
+    "QueryError",
+    "QueryTable",
+    "Rectangle",
+    "RecordFactory",
+    "ReproError",
+    "ResultChange",
+    "ResultEntry",
+    "RunStats",
+    "SlidingWindow",
+    "StreamError",
+    "StreamMonitor",
+    "StreamRecord",
+    "ThresholdQuery",
+    "TimeBasedWindow",
+    "TopKQuery",
+    "WindowError",
+    "check_monotone",
+    "rank_key",
+]

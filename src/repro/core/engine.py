@@ -1,0 +1,168 @@
+"""The monitoring engine: windows + algorithm + change reports.
+
+:class:`StreamMonitor` wires together a sliding window, a monitoring
+algorithm, and the query table, and exposes the processing-cycle model
+of the paper: each call to :meth:`StreamMonitor.process` is one cycle —
+a batch of arrivals enters the window, the records that fall out of the
+window expire, the algorithm maintains every registered query, and the
+per-query result changes are reported back.
+
+Timing discipline: the engine times *only* the algorithm's maintenance
+work (the paper's measured quantity), not stream generation or window
+bookkeeping, and accumulates per-cycle wall-clock in
+:attr:`StreamMonitor.cycle_seconds`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+from repro.core.errors import StreamError
+from repro.core.queries import QueryTable, TopKQuery
+from repro.core.results import CycleReport, ResultChange, ResultEntry
+from repro.core.tuples import RecordFactory, StreamRecord
+from repro.core.window import SlidingWindow
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms import MonitorAlgorithm
+
+
+class StreamMonitor:
+    """Continuous top-k monitoring over one multidimensional stream.
+
+    Args:
+        dims: data dimensionality.
+        window: a :class:`~repro.core.window.SlidingWindow` instance
+            (count-based or time-based).
+        algorithm: algorithm name (``"tma"``, ``"sma"``, ``"tsl"``,
+            ``"brute"``) or a pre-built
+            :class:`~repro.algorithms.base.MonitorAlgorithm`.
+        cells_per_axis: grid granularity for grid-based algorithms.
+        **algorithm_options: forwarded to the algorithm factory.
+
+    Example:
+        >>> from repro import LinearFunction, TopKQuery, CountBasedWindow
+        >>> monitor = StreamMonitor(2, CountBasedWindow(4), algorithm="sma",
+        ...                         cells_per_axis=4)
+        >>> qid = monitor.add_query(TopKQuery(LinearFunction([1.0, 2.0]), k=1))
+        >>> records = monitor.make_records([[0.3, 0.4], [0.9, 0.8]])
+        >>> report = monitor.process(records)
+        >>> [entry.rid for entry in monitor.result(qid)]
+        [1]
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        window: SlidingWindow,
+        algorithm: Union[str, "MonitorAlgorithm"] = "sma",
+        cells_per_axis: Optional[int] = None,
+        **algorithm_options,
+    ) -> None:
+        # Imported here to keep repro.core importable on its own
+        # (repro.algorithms.base imports repro.core in turn).
+        from repro.algorithms import MonitorAlgorithm, make_algorithm
+
+        self.dims = dims
+        self.window = window
+        if isinstance(algorithm, MonitorAlgorithm):
+            self.algorithm = algorithm
+        else:
+            self.algorithm = make_algorithm(
+                algorithm, dims, cells_per_axis, **algorithm_options
+            )
+        self.query_table = QueryTable()
+        self.cycle_seconds: List[float] = []
+        self._factory = RecordFactory()
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def add_query(self, query: TopKQuery) -> int:
+        """Register a query; its initial result is computed immediately."""
+        qid = self.query_table.register(query)
+        self.algorithm.register(query)
+        return qid
+
+    def remove_query(self, qid: int) -> None:
+        """Terminate a query and scrub its book-keeping."""
+        self.query_table.unregister(qid)
+        self.algorithm.unregister(qid)
+
+    def result(self, qid: int) -> List[ResultEntry]:
+        """Current top-k of a query, best-first."""
+        return self.algorithm.current_result(qid)
+
+    # ------------------------------------------------------------------
+    # Stream processing
+    # ------------------------------------------------------------------
+
+    def make_records(
+        self, rows: Sequence[Sequence[float]], time_: Optional[float] = None
+    ) -> List[StreamRecord]:
+        """Mint records (ids assigned in order) for ad-hoc streams."""
+        stamp = self._clock if time_ is None else time_
+        return [self._factory.make(row, stamp) for row in rows]
+
+    def process(
+        self,
+        arrivals: Sequence[StreamRecord],
+        now: Optional[float] = None,
+    ) -> CycleReport:
+        """Run one processing cycle and return the change report.
+
+        ``now`` defaults to the latest arrival time (or the previous
+        clock when the batch is empty); it drives time-based eviction
+        and must never move backwards.
+        """
+        if now is None:
+            now = max(
+                [self._clock] + [record.time for record in arrivals]
+            )
+        if now < self._clock:
+            raise StreamError(
+                f"clock moved backwards: {now} < {self._clock}"
+            )
+        self._clock = now
+
+        for record in arrivals:
+            self.window.insert(record)
+        expirations = self.window.evict(now)
+
+        started = time.perf_counter()
+        changes: Dict[int, ResultChange] = self.algorithm.process_cycle(
+            list(arrivals), expirations
+        )
+        elapsed = time.perf_counter() - started
+        self.cycle_seconds.append(elapsed)
+
+        return CycleReport(
+            timestamp=now,
+            arrivals=len(arrivals),
+            expirations=len(expirations),
+            changes=changes,
+            cpu_seconds=elapsed,
+        )
+
+    def advance(self, now: float) -> CycleReport:
+        """Process a cycle with no arrivals (time-based expiry only)."""
+        return self.process([], now=now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def valid_count(self) -> int:
+        return len(self.window)
+
+    @property
+    def total_cpu_seconds(self) -> float:
+        return sum(self.cycle_seconds)
+
+    @property
+    def counters(self):
+        return self.algorithm.counters

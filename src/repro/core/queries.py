@@ -1,0 +1,145 @@
+"""Query specifications and the query table QT.
+
+The paper's query table (Section 4.1) stores per query: a unique id,
+the scoring function, the requested result cardinality k, and the
+current result. The *result state* (top list / skyband / materialized
+view) belongs to the monitoring algorithm, so here a query is the pure
+specification; algorithms attach their state keyed by ``qid``.
+
+Three query species from the paper:
+
+- :class:`TopKQuery` — the primary contribution (Sections 4–5);
+- :class:`ConstrainedTopKQuery` — top-k restricted to a rectangular
+  constraint region (Section 7, Figure 12);
+- :class:`ThresholdQuery` — monitor all points with score above a
+  user threshold (Section 7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+from repro.core.errors import QueryError
+from repro.core.regions import Rectangle
+from repro.core.scoring import PreferenceFunction
+
+
+@dataclass(eq=False)
+class TopKQuery:
+    """Continuous top-k query specification.
+
+    Attributes:
+        function: per-dimension monotone preference function.
+        k: number of results to maintain (>= 1).
+        label: optional human-readable name for reports.
+        qid: assigned by :class:`QueryTable` at registration; -1 before.
+    """
+
+    function: PreferenceFunction
+    k: int
+    label: str = ""
+    qid: int = -1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+
+    @property
+    def dims(self) -> int:
+        return self.function.dims
+
+    def score(self, attrs) -> float:
+        return self.function.score(attrs)
+
+    def __repr__(self) -> str:
+        name = self.label or f"q{self.qid}"
+        return f"TopKQuery({name}, k={self.k}, f={self.function!r})"
+
+
+@dataclass(eq=False)
+class ConstrainedTopKQuery(TopKQuery):
+    """Top-k over points inside a rectangular constraint region."""
+
+    constraint: Rectangle = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.constraint is None:
+            raise QueryError("constrained query requires a constraint region")
+        if self.constraint.dims != self.function.dims:
+            raise QueryError(
+                f"constraint has {self.constraint.dims} dims, function "
+                f"{self.function.dims}"
+            )
+
+    def admits(self, attrs) -> bool:
+        return self.constraint.contains(attrs)
+
+    def __repr__(self) -> str:
+        name = self.label or f"q{self.qid}"
+        return (
+            f"ConstrainedTopKQuery({name}, k={self.k}, f={self.function!r}, "
+            f"R={self.constraint.lower}..{self.constraint.upper})"
+        )
+
+
+@dataclass(eq=False)
+class ThresholdQuery:
+    """Monitor every valid point whose score exceeds ``threshold``."""
+
+    function: PreferenceFunction
+    threshold: float
+    label: str = ""
+    qid: int = -1
+
+    @property
+    def dims(self) -> int:
+        return self.function.dims
+
+    def score(self, attrs) -> float:
+        return self.function.score(attrs)
+
+    def __repr__(self) -> str:
+        name = self.label or f"q{self.qid}"
+        return f"ThresholdQuery({name}, t={self.threshold:g}, f={self.function!r})"
+
+
+class QueryTable:
+    """Registry of running queries keyed by qid (the paper's QT)."""
+
+    def __init__(self) -> None:
+        self._queries: Dict[int, object] = {}
+        self._ids = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._queries.values())
+
+    def __contains__(self, qid: int) -> bool:
+        return qid in self._queries
+
+    def register(self, query) -> int:
+        """Assign a fresh qid and store the query; return the qid."""
+        if query.qid != -1 and query.qid in self._queries:
+            raise QueryError(f"query already registered with qid {query.qid}")
+        qid = next(self._ids)
+        query.qid = qid
+        self._queries[qid] = query
+        return qid
+
+    def unregister(self, qid: int):
+        """Remove and return the query with ``qid``."""
+        try:
+            return self._queries.pop(qid)
+        except KeyError:
+            raise QueryError(f"unknown query id {qid}") from None
+
+    def get(self, qid: int):
+        try:
+            return self._queries[qid]
+        except KeyError:
+            raise QueryError(f"unknown query id {qid}") from None

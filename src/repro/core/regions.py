@@ -1,0 +1,85 @@
+"""Axis-parallel rectangles (hyper-boxes).
+
+Used by grid cell geometry and by the constrained top-k extension
+(paper Section 7): "each constraint is expressed as a range along a
+dimension and the conjunction of all constraints forms a
+hyper-rectangle in the d-dimensional attribute space".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.errors import DimensionalityError
+
+
+@dataclass(frozen=True, slots=True)
+class Rectangle:
+    """Closed-below, open-above box ``[lower, upper)`` per dimension.
+
+    The half-open convention matches grid cells (paper Section 4.1:
+    cell ci,j covers ``[i·δ, (i+1)·δ)`` on each axis). For constraint
+    regions the distinction only matters on the boundary; the paper
+    does not specify boundary semantics, so we follow the cells'.
+    """
+
+    lower: Tuple[float, ...]
+    upper: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lower) != len(self.upper):
+            raise DimensionalityError(
+                f"lower has {len(self.lower)} dims, upper {len(self.upper)}"
+            )
+        if any(lo > hi for lo, hi in zip(self.lower, self.upper)):
+            raise DimensionalityError(
+                f"empty rectangle: lower={self.lower} upper={self.upper}"
+            )
+
+    @property
+    def dims(self) -> int:
+        return len(self.lower)
+
+    def contains(self, attrs: Sequence[float]) -> bool:
+        """Point membership (lower-closed, upper-open)."""
+        return all(
+            lo <= value < hi
+            for lo, value, hi in zip(self.lower, attrs, self.upper)
+        )
+
+    def intersects(
+        self, lower: Sequence[float], upper: Sequence[float]
+    ) -> bool:
+        """Whether the box ``[lower, upper)`` overlaps this rectangle."""
+        return all(
+            lo < other_hi and other_lo < hi
+            for lo, hi, other_lo, other_hi in zip(
+                self.lower, self.upper, lower, upper
+            )
+        )
+
+    def clip(
+        self, lower: Sequence[float], upper: Sequence[float]
+    ) -> Optional["Rectangle"]:
+        """Intersection with ``[lower, upper)``, or None when disjoint."""
+        new_lower = tuple(
+            max(a, b) for a, b in zip(self.lower, lower)
+        )
+        new_upper = tuple(
+            min(a, b) for a, b in zip(self.upper, upper)
+        )
+        if any(lo >= hi for lo, hi in zip(new_lower, new_upper)):
+            return None
+        return Rectangle(new_lower, new_upper)
+
+    def volume(self) -> float:
+        product = 1.0
+        for lo, hi in zip(self.lower, self.upper):
+            product *= hi - lo
+        return product
+
+    @staticmethod
+    def unit(dims: int) -> "Rectangle":
+        """The unit workspace ``[0, 1)^d`` (scores treat 1.0 as inside)."""
+        return Rectangle((0.0,) * dims, (1.0,) * dims)

@@ -1,0 +1,86 @@
+"""Result representation and change reports.
+
+Each processing cycle ends with "report changes to the client" (paper
+Figures 9 and 11, last line). A change report per query carries the
+records that entered and left the top-k set plus the full current
+result, best-first in the canonical rank order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Sequence
+
+from repro.core.tuples import StreamRecord
+
+
+class ResultEntry(NamedTuple):
+    """A scored record; sorts naturally in rank order via (score, rid)."""
+
+    score: float
+    record: StreamRecord
+
+    @property
+    def rid(self) -> int:
+        return self.record.rid
+
+    @property
+    def key(self):
+        return (self.score, self.record.rid)
+
+
+def entries_best_first(entries: Sequence[ResultEntry]) -> List[ResultEntry]:
+    """Sort entries into canonical best-first order."""
+    return sorted(entries, key=lambda entry: entry.key, reverse=True)
+
+
+@dataclass(slots=True)
+class ResultChange:
+    """Delta of one query's result over one processing cycle."""
+
+    qid: int
+    added: List[ResultEntry] = field(default_factory=list)
+    removed: List[ResultEntry] = field(default_factory=list)
+    top: List[ResultEntry] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def top_ids(self) -> List[int]:
+        return [entry.rid for entry in self.top]
+
+
+def diff_results(
+    qid: int,
+    old: Sequence[ResultEntry],
+    new: Sequence[ResultEntry],
+) -> ResultChange:
+    """Compute the change report between two result snapshots."""
+    old_ids = {entry.rid for entry in old}
+    new_ids = {entry.rid for entry in new}
+    added = [entry for entry in new if entry.rid not in old_ids]
+    removed = [entry for entry in old if entry.rid not in new_ids]
+    return ResultChange(
+        qid=qid,
+        added=entries_best_first(added),
+        removed=entries_best_first(removed),
+        top=list(new),
+    )
+
+
+@dataclass(slots=True)
+class CycleReport:
+    """Everything one call to the engine's ``process`` produced."""
+
+    timestamp: float
+    arrivals: int
+    expirations: int
+    changes: Dict[int, ResultChange] = field(default_factory=dict)
+    cpu_seconds: float = 0.0
+
+    def changed_queries(self) -> List[int]:
+        return [qid for qid, change in self.changes.items() if change.changed]
+
+    def result_of(self, qid: int) -> List[ResultEntry]:
+        return self.changes[qid].top

@@ -1,0 +1,70 @@
+"""Constrained top-k helpers (Section 7, Figure 12).
+
+A constrained query monitors only points inside a hyper-rectangle.
+The grid algorithms support this natively: the top-k computation
+module starts at the cell maximising the function *within* the
+constraint region, restricts the traversal to region-intersecting
+cells, and the maintenance modules filter arrivals/expirations by
+containment (see :func:`repro.algorithms.topk_computation.query_region`
+call sites). This module provides the user-facing constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.errors import QueryError
+from repro.core.queries import ConstrainedTopKQuery
+from repro.core.regions import Rectangle
+from repro.core.scoring import PreferenceFunction
+
+
+def constrained_query(
+    function: PreferenceFunction,
+    k: int,
+    ranges: Sequence[Optional[Tuple[float, float]]],
+    label: str = "",
+) -> ConstrainedTopKQuery:
+    """Build a constrained top-k query from per-dimension ranges.
+
+    Args:
+        function: monotone preference function.
+        k: result cardinality.
+        ranges: one ``(low, high)`` per dimension, or ``None`` for an
+            unconstrained dimension (becomes ``[0, 1)``). This mirrors
+            the paper's "each constraint is expressed as a range along
+            a dimension".
+        label: optional display name.
+
+    Example:
+        >>> from repro import LinearFunction
+        >>> q = constrained_query(LinearFunction([1.0, 2.0]), k=3,
+        ...                       ranges=[(0.2, 0.7), None])
+        >>> q.constraint.lower, q.constraint.upper
+        ((0.2, 0.0), (0.7, 1.0))
+    """
+    if len(ranges) != function.dims:
+        raise QueryError(
+            f"{len(ranges)} ranges for a {function.dims}-dimensional function"
+        )
+    lower = []
+    upper = []
+    for dim, bounds in enumerate(ranges):
+        if bounds is None:
+            lower.append(0.0)
+            upper.append(1.0)
+            continue
+        low, high = bounds
+        if not (0.0 <= low < high <= 1.0):
+            raise QueryError(
+                f"range for dimension {dim} must satisfy "
+                f"0 <= low < high <= 1, got ({low}, {high})"
+            )
+        lower.append(low)
+        upper.append(high)
+    return ConstrainedTopKQuery(
+        function=function,
+        k=k,
+        label=label,
+        constraint=Rectangle(tuple(lower), tuple(upper)),
+    )

@@ -1,0 +1,25 @@
+"""Regular-grid index over the d-dimensional workspace (Section 4.1).
+
+The grid is the only index the system needs: cells hold *point lists*
+(the valid records inside the cell) and *influence lists* (the ids of
+the queries whose influence region intersects the cell). The top-k
+computation module in :mod:`repro.grid.traversal` walks cells in
+descending ``maxscore`` order and provably touches only the cells that
+intersect a query's influence region.
+"""
+
+from repro.grid.cell import Cell
+from repro.grid.grid import Grid
+from repro.grid.traversal import (
+    TraversalOutcome,
+    collect_cells_above_threshold,
+    compute_top_k,
+)
+
+__all__ = [
+    "Cell",
+    "Grid",
+    "TraversalOutcome",
+    "collect_cells_above_threshold",
+    "compute_top_k",
+]

@@ -1,0 +1,59 @@
+"""A grid cell: geometry + point list + influence list.
+
+Paper Section 4.1: each cell keeps (i) a list of pointers to the valid
+records it covers, maintained FIFO because window eviction is FIFO, and
+(ii) an *influence list* ILc with an entry for every query whose
+influence region intersects the cell, "organized as a hash-table on the
+query ids for supporting fast search, insertion and deletion".
+
+The point list here is an insertion-ordered dict keyed by record id:
+iteration order is FIFO (covering the sliding-window model) while
+deletion by id is O(1) (covering the update-stream model of Section 7,
+where the paper switches the point lists to hash tables).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.core.tuples import StreamRecord
+
+
+class Cell:
+    """One grid cell. Created lazily by :class:`repro.grid.grid.Grid`."""
+
+    __slots__ = ("coords", "lower", "upper", "points", "influence")
+
+    def __init__(
+        self,
+        coords: Tuple[int, ...],
+        lower: Tuple[float, ...],
+        upper: Tuple[float, ...],
+    ) -> None:
+        self.coords = coords
+        self.lower = lower
+        self.upper = upper
+        #: record id -> record, insertion-ordered (FIFO iteration).
+        self.points: Dict[int, StreamRecord] = {}
+        #: qids of queries whose influence region intersects this cell.
+        self.influence: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cell{self.coords}[{len(self.points)} pts, "
+            f"{len(self.influence)} queries]"
+        )
+
+    def add_point(self, record: StreamRecord) -> None:
+        self.points[record.rid] = record
+
+    def remove_point(self, record: StreamRecord) -> None:
+        """Remove a record; KeyError if absent (callers guarantee it)."""
+        del self.points[record.rid]
+
+    def iter_points(self) -> Iterator[StreamRecord]:
+        """Valid records in this cell, oldest-first."""
+        return iter(self.points.values())

@@ -1,0 +1,243 @@
+"""The top-k computation module (paper Figure 6).
+
+Visits grid cells in descending ``maxscore`` order using a max-heap
+seeded with the cell at the preference-optimal corner of the workspace.
+After processing a cell, the heap receives one neighbour per dimension,
+one step down the preference order (Figure 5(b)) — monotonicity
+guarantees the cell with the next-highest maxscore is always already in
+the heap. The search stops when the best remaining heap key can no
+longer beat the current kth result, so only cells intersecting the
+query's influence region are processed (the paper's minimality
+property).
+
+Two deliberate deviations from the paper's pseudo-code, both documented
+here because tests rely on them:
+
+1. **Tie-aware termination.** The paper stops when ``maxscore <=
+   q.top_score``. We stop only when ``maxscore < top_score`` (strict),
+   i.e. cells whose maxscore *equals* the kth score are still
+   processed. Under the library's canonical rank order ``(score, rid)``
+   a record tying the kth score with a later arrival outranks it, and
+   such a record may sit in an equal-maxscore cell; processing those
+   cells makes every algorithm agree with the brute-force oracle even
+   on tied scores. With continuous-valued data (all benchmarks) the
+   extra processed cells are measure-zero.
+2. **Neighbours are en-heaped unconditionally** (as the paper's code
+   also does — see its lines 9–12 and the remark below Figure 6): the
+   entries left in the heap at termination are returned so TMA can
+   seed its lazy influence-list cleanup from them (Figure 9 line 14).
+
+The optional ``region`` argument implements constrained top-k
+computation (Section 7, Figure 12): the traversal is restricted to
+cells intersecting the constraint rectangle, keys become the maxscore
+of the *clipped* cell, and points outside the region are skipped.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.core.regions import Rectangle
+from repro.core.results import ResultEntry
+from repro.core.scoring import PreferenceFunction
+from repro.core.stats import OpCounters
+from repro.grid.grid import Coords, Grid
+
+
+@dataclass(slots=True)
+class TraversalOutcome:
+    """What one run of the top-k computation module produced.
+
+    Attributes:
+        entries: up to k results, best-first in canonical order.
+        processed: coords of de-heaped (scanned) cells — exactly the
+            cells whose influence list must reference the query.
+        remaining: coords left in the heap at termination — the seeds
+            for TMA's influence-list cleanup flood.
+    """
+
+    entries: List[ResultEntry] = field(default_factory=list)
+    processed: List[Coords] = field(default_factory=list)
+    remaining: List[Coords] = field(default_factory=list)
+
+    @property
+    def kth_key(self) -> Tuple[float, int]:
+        """Canonical key of the worst reported entry (gate for admission)."""
+        if not self.entries:
+            return (float("-inf"), -1)
+        worst = self.entries[-1]
+        return (worst.score, worst.record.rid)
+
+
+def start_coords(
+    grid: Grid,
+    function: PreferenceFunction,
+    region: Optional[Rectangle] = None,
+) -> Coords:
+    """First cell of the traversal: the preference-optimal corner cell.
+
+    With a constraint ``region`` this is the cell holding the region's
+    optimal corner (Figure 12 starts at c5,5); without one, the cell at
+    the workspace corner maximising the function (Figure 5(b), c6,6).
+    """
+    if region is None:
+        return grid.best_corner_coords(function)
+    return _region_start_coords(grid, function, region)
+
+
+def _region_start_coords(
+    grid: Grid, function: PreferenceFunction, region: Rectangle
+) -> Coords:
+    """Cell holding the preference-optimal corner of ``region``.
+
+    The optimal corner may lie exactly on a cell boundary (e.g. region
+    upper bound 0.5 on a 0.1-grid); on increasing dimensions the
+    boundary belongs to the *previous* cell because the region is
+    upper-open, so the index is pulled back to keep the start cell
+    intersecting the region.
+    """
+    g = grid.cells_per_axis
+    coords: List[int] = []
+    for dim, direction in enumerate(function.directions):
+        if direction > 0:
+            scaled = region.upper[dim] * g
+            index = int(scaled)
+            if index == scaled:  # on a boundary: step back inside
+                index -= 1
+        else:
+            index = int(region.lower[dim] * g)
+        coords.append(min(g - 1, max(0, index)))
+    return tuple(coords)
+
+
+def compute_top_k(
+    grid: Grid,
+    function: PreferenceFunction,
+    k: int,
+    counters: Optional[OpCounters] = None,
+    region: Optional[Rectangle] = None,
+    point_filter: Optional[Callable] = None,
+) -> TraversalOutcome:
+    """Run the top-k computation module of Figure 6.
+
+    Args:
+        grid: the index over the valid records.
+        function: the query's monotone preference function.
+        k: result cardinality.
+        counters: operation counters to update (optional).
+        region: constraint rectangle for constrained queries.
+        point_filter: extra record predicate (record -> bool).
+
+    Returns:
+        A :class:`TraversalOutcome`; ``entries`` holds fewer than k
+        results only when fewer than k eligible records are valid.
+    """
+    if counters is not None:
+        counters.topk_computations += 1
+
+    # Candidate top-k as a min-heap of canonical keys, so the current
+    # kth key is O(1) to read and O(log k) to improve.
+    candidates: List[Tuple[float, int, object]] = []
+
+    def kth_score() -> float:
+        if len(candidates) < k:
+            return float("-inf")
+        return candidates[0][0]
+
+    heap: List[Tuple[float, int, Coords]] = []  # (-maxscore, seq, coords)
+    seq = 0
+    enheaped: Set[Coords] = set()
+    processed: List[Coords] = []
+
+    def push(coords: Coords) -> None:
+        nonlocal seq
+        if coords in enheaped:
+            return
+        if region is None:
+            key = grid.maxscore(coords, function)
+        else:
+            clipped = grid.maxscore_in_region(coords, function, region)
+            if clipped is None:
+                return  # cell disjoint from the constraint region
+            key = clipped
+        enheaped.add(coords)
+        seq += 1
+        heapq.heappush(heap, (-key, seq, coords))
+        if counters is not None:
+            counters.cells_enheaped += 1
+
+    push(start_coords(grid, function, region))
+
+    while heap:
+        best_key = -heap[0][0]
+        # Tie-aware termination: strictly worse cells cannot contribute
+        # (see module docstring, deviation 1).
+        if len(candidates) >= k and best_key < kth_score():
+            break
+        _, _, coords = heapq.heappop(heap)
+        processed.append(coords)
+        if counters is not None:
+            counters.cells_processed += 1
+
+        cell = grid.peek_cell(coords)
+        if cell is not None:
+            for record in cell.iter_points():
+                if region is not None and not region.contains(record.attrs):
+                    continue
+                if point_filter is not None and not point_filter(record):
+                    continue
+                score = function.score(record.attrs)
+                if counters is not None:
+                    counters.points_scored += 1
+                entry = (score, record.rid, record)
+                if len(candidates) < k:
+                    heapq.heappush(candidates, entry)
+                elif entry[:2] > candidates[0][:2]:
+                    heapq.heapreplace(candidates, entry)
+
+        for neighbour in grid.steps_toward_worse(coords, function):
+            push(neighbour)
+
+    remaining = [item[2] for item in heap]
+    entries = [
+        ResultEntry(score, record)
+        for score, _, record in sorted(
+            candidates, key=lambda item: item[:2], reverse=True
+        )
+    ]
+    return TraversalOutcome(
+        entries=entries, processed=processed, remaining=remaining
+    )
+
+
+def collect_cells_above_threshold(
+    grid: Grid,
+    function: PreferenceFunction,
+    threshold: float,
+    counters: Optional[OpCounters] = None,
+) -> List[Coords]:
+    """Cells whose maxscore exceeds ``threshold`` (Section 7).
+
+    Threshold monitoring does not care about visiting order, so — as
+    the paper notes — a plain list flood replaces the heap: start at
+    the preference-optimal corner, expand one step down the preference
+    order per dimension, prune when maxscore drops to the threshold.
+    """
+    start = grid.best_corner_coords(function)
+    result: List[Coords] = []
+    seen: Set[Coords] = {start}
+    frontier: List[Coords] = [start]
+    while frontier:
+        coords = frontier.pop()
+        if grid.maxscore(coords, function) <= threshold:
+            continue
+        result.append(coords)
+        if counters is not None:
+            counters.cells_processed += 1
+        for neighbour in grid.steps_toward_worse(coords, function):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return result

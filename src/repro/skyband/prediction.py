@@ -1,0 +1,130 @@
+"""Future-result prediction from the score–time skyband (Section 3.1).
+
+The paper's Figure 2 observation: given the current window contents
+and *no further arrivals*, the complete future evolution of a top-k
+result is determined — and the records that will ever appear in it are
+exactly the k-skyband in score–time space. This module turns that
+observation into an API: :func:`predict_future_results` returns the
+full timeline of result changes a query will go through as the window
+drains, computed in O(n log n + n·k) from the skyband rather than by
+replaying every expiration against the whole window.
+
+Useful in its own right (e.g. "will this record ever be reported?",
+"when does the current leader fall out?") and used by the tests as an
+executable statement of the paper's reduction theorem.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.queries import TopKQuery
+from repro.core.results import ResultEntry
+from repro.core.tuples import RankKey, StreamRecord
+
+
+@dataclass(frozen=True, slots=True)
+class PredictedChange:
+    """One step of the predicted result timeline.
+
+    Attributes:
+        expiring_rid: the record whose expiry causes this change (the
+            timeline is indexed by expirations, matching count- and
+            time-based windows alike since eviction is FIFO).
+        top: the top-k in force *after* that expiry, best-first.
+    """
+
+    expiring_rid: int
+    top: Tuple[ResultEntry, ...]
+
+
+def future_skyband(
+    records: Sequence[StreamRecord], query: TopKQuery
+) -> List[ResultEntry]:
+    """Records that will appear in some future top-k, best-first.
+
+    This is the k-skyband of the valid records in (score, expiry-order)
+    space — computed by a single backward sweep: walking records from
+    newest to oldest while keeping the k best keys seen so far, a
+    record is in the skyband iff fewer than k newer records outrank it.
+    O(n log n) overall.
+    """
+    scored: List[Tuple[RankKey, StreamRecord]] = [
+        ((query.score(record.attrs), record.rid), record)
+        for record in records
+    ]
+    scored.sort(key=lambda pair: pair[0][1], reverse=True)  # newest first
+
+    band: List[Tuple[RankKey, StreamRecord]] = []
+    best_newer: List[RankKey] = []  # ascending; at most k entries
+    for key, record in scored:
+        dominators = len(best_newer) - _bisect_leq(best_newer, key)
+        if dominators < query.k:
+            band.append((key, record))
+        insort(best_newer, key)
+        if len(best_newer) > query.k:
+            best_newer.pop(0)
+    band.sort(key=lambda pair: pair[0], reverse=True)
+    return [ResultEntry(key[0], record) for key, record in band]
+
+
+def _bisect_leq(keys: List[RankKey], key: RankKey) -> int:
+    """Index of the first element > ``key`` in an ascending list."""
+    from bisect import bisect_right
+
+    return bisect_right(keys, key)
+
+
+def predict_future_results(
+    records: Iterable[StreamRecord], query: TopKQuery
+) -> List[PredictedChange]:
+    """The full future timeline of ``query``'s top-k, one entry per
+    result-changing expiration, assuming no further arrivals.
+
+    The first element describes the current result (``expiring_rid ==
+    -1``); subsequent elements give the new top-k after each expiry
+    that actually changes it. Expiries of non-result records are
+    omitted (they cannot affect the result — their score is below the
+    kth).
+    """
+    band = future_skyband(list(records), query)
+    # Entries ascending by rid = expiry order.
+    remaining: List[ResultEntry] = sorted(
+        band, key=lambda entry: entry.record.rid
+    )
+    # Current result = k best of the skyband.
+    timeline: List[PredictedChange] = []
+
+    def current_top() -> Tuple[ResultEntry, ...]:
+        best = sorted(remaining, key=lambda e: e.key, reverse=True)
+        return tuple(best[: query.k])
+
+    timeline.append(PredictedChange(-1, current_top()))
+    while remaining:
+        expiring = remaining.pop(0)  # oldest skyband member
+        previous = timeline[-1].top
+        new_top = current_top()
+        if new_top != previous:
+            timeline.append(
+                PredictedChange(expiring.record.rid, new_top)
+            )
+    return timeline
+
+
+def lifetime_of(
+    records: Iterable[StreamRecord], query: TopKQuery, rid: int
+) -> Tuple[bool, int]:
+    """Will record ``rid`` ever be reported, and from which expiry on?
+
+    Returns:
+        ``(ever_reported, first_expiring_rid)`` — the second element
+        is the rid whose expiry first brings ``rid`` into the result
+        (-1 if it is in the current result; undefined when the first
+        element is False).
+    """
+    for change in predict_future_results(records, query):
+        if any(entry.record.rid == rid for entry in change.top):
+            return True, change.expiring_rid
+    return False, -1

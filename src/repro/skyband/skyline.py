@@ -1,0 +1,81 @@
+"""General d-dimensional skyline and k-skyband (Section 3.1).
+
+A block-nested-loop implementation used as an oracle: tests validate
+(i) the geometric claims of Section 3.1 (skyline membership equals
+"wins some top-1 query", k-skyband ⊇ any top-k result) and (ii) the
+score–time reduction behind SMA, by replaying streams and checking
+that every record that ever enters a top-k result belongs to the
+k-skyband of (score, expiry-order) pairs.
+
+O(n²) — fine for validation workloads, never used by the monitoring
+algorithms themselves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def dominates(
+    a: Sequence[float],
+    b: Sequence[float],
+    directions: Sequence[int],
+) -> bool:
+    """Whether ``a`` dominates ``b``: no worse everywhere, better somewhere.
+
+    ``directions[i]`` is +1 when larger values are preferable on
+    dimension i and -1 when smaller values are.
+    """
+    strictly_better = False
+    for value_a, value_b, direction in zip(a, b, directions):
+        oriented_a = value_a * direction
+        oriented_b = value_b * direction
+        if oriented_a < oriented_b:
+            return False
+        if oriented_a > oriented_b:
+            strictly_better = True
+    return strictly_better
+
+
+def dominance_count(
+    point: Sequence[float],
+    points: Sequence[Sequence[float]],
+    directions: Sequence[int],
+) -> int:
+    """Number of points in ``points`` that dominate ``point``."""
+    return sum(
+        1 for other in points if dominates(other, point, directions)
+    )
+
+
+def k_skyband(
+    points: Sequence[Sequence[float]],
+    k: int,
+    directions: Sequence[int],
+) -> List[int]:
+    """Indices of points dominated by at most ``k - 1`` others.
+
+    The skyline is ``k_skyband(points, 1, ...)`` — the paper's
+    "special instance of the skyband where k = 1".
+    """
+    members: List[int] = []
+    for index, point in enumerate(points):
+        count = 0
+        for other_index, other in enumerate(points):
+            if other_index == index:
+                continue
+            if dominates(other, point, directions):
+                count += 1
+                if count >= k:
+                    break
+        if count < k:
+            members.append(index)
+    return members
+
+
+def skyline(
+    points: Sequence[Sequence[float]],
+    directions: Sequence[int],
+) -> List[int]:
+    """Indices of non-dominated points."""
+    return k_skyband(points, 1, directions)

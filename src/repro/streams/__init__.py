@@ -1,0 +1,33 @@
+"""Stream generators and drivers.
+
+- :mod:`repro.streams.generators` — the paper's synthetic IND
+  (independent/uniform) and ANT (anti-correlated) distributions plus a
+  clustered extra.
+- :mod:`repro.streams.stream` — the sliding-window stream driver that
+  produces per-cycle arrival batches (the paper's simulation loop).
+- :mod:`repro.streams.update_stream` — the Section 7 update-stream
+  model with explicit, non-FIFO deletions.
+- :mod:`repro.streams.netflow` / :mod:`repro.streams.stock` — the
+  introduction's motivating scenarios as runnable synthetic feeds.
+"""
+
+from repro.streams.generators import (
+    AntiCorrelated,
+    Clustered,
+    DataDistribution,
+    Independent,
+    make_distribution,
+)
+from repro.streams.stream import StreamDriver
+from repro.streams.update_stream import UpdateBatch, UpdateStreamDriver
+
+__all__ = [
+    "AntiCorrelated",
+    "Clustered",
+    "DataDistribution",
+    "Independent",
+    "StreamDriver",
+    "UpdateBatch",
+    "UpdateStreamDriver",
+    "make_distribution",
+]

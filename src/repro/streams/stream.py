@@ -1,0 +1,77 @@
+"""Sliding-window stream driver — the paper's simulation loop.
+
+Section 8's setup: a count-based window of N tuples; every timestamp r
+new points arrive (and, once the window is full, r old ones expire).
+:class:`StreamDriver` reproduces that: a warm-up fills the window, then
+:meth:`StreamDriver.batches` yields one arrival batch per timestamp.
+
+Records are minted by a shared :class:`~repro.core.tuples.RecordFactory`
+so ids are globally unique and in arrival order. Batches are plain
+lists, so the same materialised stream can be replayed against several
+algorithms (the fairness requirement of every comparison benchmark).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.core.errors import StreamError
+from repro.core.tuples import RecordFactory, StreamRecord
+from repro.streams.generators import DataDistribution
+
+
+class StreamDriver:
+    """Generate per-cycle arrival batches from a data distribution.
+
+    Args:
+        distribution: the point sampler (IND/ANT/...).
+        rate: arrivals per cycle (the paper's r).
+        seed: RNG seed — two drivers with equal configuration produce
+            identical streams.
+        start_time: timestamp of the warm-up batch; cycles then tick
+            by ``time_step``.
+    """
+
+    def __init__(
+        self,
+        distribution: DataDistribution,
+        rate: int,
+        seed: int = 0,
+        start_time: float = 0.0,
+        time_step: float = 1.0,
+    ) -> None:
+        if rate < 1:
+            raise StreamError(f"rate must be >= 1, got {rate}")
+        self.distribution = distribution
+        self.rate = rate
+        self.time_step = time_step
+        self._rng = random.Random(seed)
+        self._factory = RecordFactory()
+        self._clock = start_time
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    def warmup(self, count: int) -> List[StreamRecord]:
+        """Initial window fill: ``count`` records at the current time."""
+        rows = self.distribution.sample_many(self._rng, count)
+        return [self._factory.make(row, self._clock) for row in rows]
+
+    def next_batch(self, count: Optional[int] = None) -> List[StreamRecord]:
+        """Advance the clock one step and mint the next arrival batch."""
+        self._clock += self.time_step
+        rows = self.distribution.sample_many(
+            self._rng, self.rate if count is None else count
+        )
+        return [self._factory.make(row, self._clock) for row in rows]
+
+    def batches(self, cycles: int) -> Iterator[List[StreamRecord]]:
+        """Yield ``cycles`` consecutive arrival batches."""
+        for _ in range(cycles):
+            yield self.next_batch()
+
+    def materialize(self, cycles: int) -> List[List[StreamRecord]]:
+        """Concretise ``cycles`` batches for replay across algorithms."""
+        return [self.next_batch() for _ in range(cycles)]

@@ -1,0 +1,114 @@
+"""Intrusive doubly-linked FIFO list with O(1) removal by handle.
+
+The paper stores *all* valid records in a single first-in-first-out
+list: "The new arrivals are placed at the end of the list, and the
+tuples that fall out of the window are discarded from the head"
+(Section 4.1). The update-stream extension (Section 7) additionally
+needs O(1) removal of an arbitrary record when an explicit deletion
+arrives — hence handles.
+
+``append`` returns a :class:`FifoNode`; keep it to ``remove`` the value
+later without scanning. All operations are O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class FifoNode:
+    """Linked-list node handle. Treat as opaque outside this module."""
+
+    __slots__ = ("value", "prev", "next", "_list")
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+        self.prev: Optional[FifoNode] = None
+        self.next: Optional[FifoNode] = None
+        self._list: Optional["FifoList"] = None
+
+
+class FifoList:
+    """Doubly-linked FIFO list of values."""
+
+    __slots__ = ("_head", "_tail", "_size")
+
+    def __init__(self) -> None:
+        self._head: Optional[FifoNode] = None
+        self._tail: Optional[FifoNode] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        """Yield values oldest-first."""
+        node = self._head
+        while node is not None:
+            yield node.value
+            node = node.next
+
+    def append(self, value: Any) -> FifoNode:
+        """Add ``value`` at the tail (most recent); return its handle."""
+        node = FifoNode(value)
+        node._list = self
+        if self._tail is None:
+            self._head = self._tail = node
+        else:
+            node.prev = self._tail
+            self._tail.next = node
+            self._tail = node
+        self._size += 1
+        return node
+
+    def popleft(self) -> Any:
+        """Remove and return the oldest value.
+
+        Raises:
+            IndexError: if the list is empty.
+        """
+        if self._head is None:
+            raise IndexError("popleft from an empty FifoList")
+        node = self._head
+        self._unlink(node)
+        return node.value
+
+    def peekleft(self) -> Any:
+        """Return the oldest value without removing it."""
+        if self._head is None:
+            raise IndexError("peekleft on an empty FifoList")
+        return self._head.value
+
+    def peekright(self) -> Any:
+        """Return the newest value without removing it."""
+        if self._tail is None:
+            raise IndexError("peekright on an empty FifoList")
+        return self._tail.value
+
+    def remove(self, node: FifoNode) -> Any:
+        """Remove a node previously returned by :meth:`append`.
+
+        Raises:
+            ValueError: if the node does not belong to this list (for
+                example if it was already removed).
+        """
+        if node._list is not self:
+            raise ValueError("node does not belong to this FifoList")
+        self._unlink(node)
+        return node.value
+
+    def _unlink(self, node: FifoNode) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+        node.prev = node.next = None
+        node._list = None
+        self._size -= 1

@@ -1,0 +1,216 @@
+"""Order-statistic balanced tree (treap with subtree sizes).
+
+SMA initialises the dominance counters of a freshly computed skyband by
+scanning the entries in descending score order and asking, for each
+entry, *how many already-seen entries expire after it* (paper Section 5:
+"an internal node in BT contains the cardinality of the sub-tree rooted
+at that node so that the computation of dominance counters takes in
+total O(k log k) time").
+
+A treap gives expected O(log n) insert/delete/rank with a tiny, fully
+auditable implementation — no rebalancing case analysis. Priorities come
+from a dedicated :class:`random.Random` seeded per-tree, so behaviour is
+reproducible and independent of global random state.
+
+Keys must be mutually comparable. Duplicate keys are allowed and counted
+with multiplicity (ranks treat duplicates as distinct elements).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional
+
+
+class _Node:
+    __slots__ = ("key", "priority", "left", "right", "size", "count")
+
+    def __init__(self, key: Any, priority: float) -> None:
+        self.key = key
+        self.priority = priority
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.size = 1  # total multiplicity in this subtree
+        self.count = 1  # multiplicity of this key
+
+    def update(self) -> None:
+        self.size = self.count
+        if self.left is not None:
+            self.size += self.left.size
+        if self.right is not None:
+            self.size += self.right.size
+
+
+def _size(node: Optional[_Node]) -> int:
+    return node.size if node is not None else 0
+
+
+class OrderStatisticTree:
+    """Multiset with O(log n) rank/selection queries.
+
+    Example:
+        >>> tree = OrderStatisticTree()
+        >>> for value in (5, 1, 9, 5):
+        ...     tree.insert(value)
+        >>> tree.count_greater(5)
+        1
+        >>> tree.count_less(5)
+        1
+        >>> tree.kth(0), tree.kth(3)
+        (1, 9)
+    """
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._root: Optional[_Node] = None
+        self._rng = random.Random(seed)
+
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return True
+        return False
+
+    def insert(self, key: Any) -> None:
+        """Insert ``key`` (duplicates increase multiplicity)."""
+        self._root = self._insert(self._root, key)
+
+    def remove(self, key: Any) -> None:
+        """Remove one occurrence of ``key``.
+
+        Raises:
+            KeyError: if ``key`` is not present.
+        """
+        if key not in self:
+            raise KeyError(key)
+        self._root = self._remove(self._root, key)
+
+    def count_greater(self, key: Any) -> int:
+        """Number of stored elements strictly greater than ``key``."""
+        total = 0
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                # node and its right subtree are all strictly greater.
+                total += node.count + _size(node.right)
+                node = node.left
+            else:
+                # node.key <= key: only the right subtree can qualify.
+                node = node.right
+        return total
+
+    def count_less(self, key: Any) -> int:
+        """Number of stored elements strictly less than ``key``."""
+        total = 0
+        node = self._root
+        while node is not None:
+            if node.key < key:
+                total += node.count + _size(node.left)
+                node = node.right
+            else:
+                node = node.left
+        return total
+
+    def count_greater_equal(self, key: Any) -> int:
+        """Number of stored elements greater than or equal to ``key``."""
+        return len(self) - self.count_less(key)
+
+    def kth(self, index: int) -> Any:
+        """Return the ``index``-th smallest element (0-based).
+
+        Raises:
+            IndexError: if ``index`` is out of range.
+        """
+        if index < 0 or index >= len(self):
+            raise IndexError(index)
+        node = self._root
+        while node is not None:
+            left = _size(node.left)
+            if index < left:
+                node = node.left
+            elif index < left + node.count:
+                return node.key
+            else:
+                index -= left + node.count
+                node = node.right
+        raise AssertionError("tree invariant violated")  # pragma: no cover
+
+    def __iter__(self) -> Iterator[Any]:
+        """Yield elements in ascending order with multiplicity."""
+        stack: List[Any] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            for _ in range(node.count):
+                yield node.key
+            node = node.right
+
+    def _insert(self, node: Optional[_Node], key: Any) -> _Node:
+        if node is None:
+            return _Node(key, self._rng.random())
+        if key < node.key:
+            node.left = self._insert(node.left, key)
+            if node.left.priority > node.priority:
+                node = self._rotate_right(node)
+        elif node.key < key:
+            node.right = self._insert(node.right, key)
+            if node.right.priority > node.priority:
+                node = self._rotate_left(node)
+        else:
+            node.count += 1
+        node.update()
+        return node
+
+    def _remove(self, node: Optional[_Node], key: Any) -> Optional[_Node]:
+        if node is None:  # pragma: no cover - guarded by caller
+            return None
+        if key < node.key:
+            node.left = self._remove(node.left, key)
+        elif node.key < key:
+            node.right = self._remove(node.right, key)
+        else:
+            if node.count > 1:
+                node.count -= 1
+            else:
+                if node.left is None:
+                    return node.right
+                if node.right is None:
+                    return node.left
+                if node.left.priority > node.right.priority:
+                    node = self._rotate_right(node)
+                    node.right = self._remove(node.right, key)
+                else:
+                    node = self._rotate_left(node)
+                    node.left = self._remove(node.left, key)
+        node.update()
+        return node
+
+    @staticmethod
+    def _rotate_right(node: _Node) -> _Node:
+        pivot = node.left
+        assert pivot is not None
+        node.left = pivot.right
+        pivot.right = node
+        node.update()
+        pivot.update()
+        return pivot
+
+    @staticmethod
+    def _rotate_left(node: _Node) -> _Node:
+        pivot = node.right
+        assert pivot is not None
+        node.right = pivot.left
+        pivot.left = node
+        node.update()
+        pivot.update()
+        return pivot

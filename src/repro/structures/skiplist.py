@@ -1,0 +1,227 @@
+"""An indexable skip list — the pointer-based sorted-list alternative.
+
+TSL (Section 3.2) maintains one sorted list per dimension under
+r insertions + r deletions per cycle. Two classic main-memory
+implementations compete:
+
+- a **sorted array** (:class:`repro.structures.sorted_list.SortedKeyList`):
+  O(log n) search but O(n) memmove per update — in CPython the memmove
+  runs in C and wins for surprisingly large n;
+- a **skip list** (this module): expected O(log n) search *and*
+  update, the structure a C implementation (as in the paper's era)
+  would typically use.
+
+The skip list is *indexable*: each forward pointer carries the width
+(number of elements it skips), so positional access — which TA's
+round-robin sorted access needs — is also O(log n).
+
+``benchmarks/test_ablation_sorted_structures.py`` measures the
+trade-off; both implementations expose the same interface, so TSL can
+be constructed with either (``list_impl="array" | "skiplist"``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+_MAX_LEVEL = 32
+_P = 0.5
+
+
+class _Node:
+    __slots__ = ("item", "key", "forward", "width")
+
+    def __init__(self, item: Any, key: Any, level: int) -> None:
+        self.item = item
+        self.key = key
+        self.forward: List[Optional["_Node"]] = [None] * level
+        self.width: List[int] = [1] * level
+
+
+class IndexableSkipList:
+    """Ordered multiset with O(log n) add/remove/position operations.
+
+    Drop-in compatible with the slice of
+    :class:`~repro.structures.sorted_list.SortedKeyList` that TSL and
+    TA use: ``add``, ``remove``, ``discard``, ``__getitem__`` (by
+    index), ``__len__``, iteration in key order, ``count_key_less`` /
+    ``count_key_greater``.
+
+    Elements with equal keys are kept in insertion order relative to
+    each other (new duplicates are placed after existing ones).
+    """
+
+    def __init__(
+        self,
+        iterable: Optional[Sequence[Any]] = None,
+        key: Optional[Callable[[Any], Any]] = None,
+        seed: int = 0xC0DE,
+    ) -> None:
+        self._key = key if key is not None else lambda item: item
+        self._rng = random.Random(seed)
+        self._level = 1
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._size = 0
+        if iterable:
+            for item in iterable:
+                self.add(item)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.item
+            node = node.forward[0]
+
+    def __getitem__(self, index: int) -> Any:
+        """Positional access in O(log n) via pointer widths."""
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(index)
+        node = self._head
+        remaining = index + 1
+        for level in range(self._level - 1, -1, -1):
+            while (
+                node.forward[level] is not None
+                and node.width[level] <= remaining
+            ):
+                remaining -= node.width[level]
+                node = node.forward[level]
+        assert node is not self._head
+        return node.item
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def add(self, item: Any) -> int:
+        """Insert ``item``; return the index it landed at."""
+        item_key = self._key(item)
+        update: List[_Node] = [self._head] * _MAX_LEVEL
+        rank: List[int] = [0] * (_MAX_LEVEL + 1)
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            rank[level] = rank[level + 1] if level + 1 < self._level else 0
+            while node.forward[level] is not None and not (
+                item_key < node.forward[level].key
+            ):
+                rank[level] += node.width[level]
+                node = node.forward[level]
+            update[level] = node
+
+        new_level = self._random_level()
+        if new_level > self._level:
+            for level in range(self._level, new_level):
+                rank[level] = 0
+                update[level] = self._head
+                self._head.width[level] = self._size + 1
+            self._level = new_level
+
+        new_node = _Node(item, item_key, new_level)
+        position = rank[0]  # elements strictly before the new node
+        for level in range(new_level):
+            new_node.forward[level] = update[level].forward[level]
+            update[level].forward[level] = new_node
+            new_node.width[level] = (
+                update[level].width[level] - (position - rank[level])
+            )
+            update[level].width[level] = position - rank[level] + 1
+        for level in range(new_level, self._level):
+            update[level].width[level] += 1
+        self._size += 1
+        return position
+
+    def remove(self, item: Any) -> int:
+        """Remove ``item`` (matched by key then equality/identity).
+
+        Returns the index it occupied; raises ValueError if absent.
+        """
+        index = self._find_index(item)
+        if index is None:
+            raise ValueError(f"{item!r} not in IndexableSkipList")
+        self._remove_at(index)
+        return index
+
+    def discard(self, item: Any) -> bool:
+        index = self._find_index(item)
+        if index is None:
+            return False
+        self._remove_at(index)
+        return True
+
+    def count_key_less(self, key: Any) -> int:
+        node = self._head
+        count = 0
+        for level in range(self._level - 1, -1, -1):
+            while (
+                node.forward[level] is not None
+                and node.forward[level].key < key
+            ):
+                count += node.width[level]
+                node = node.forward[level]
+        return count
+
+    def count_key_greater(self, key: Any) -> int:
+        node = self._head
+        count = 0
+        for level in range(self._level - 1, -1, -1):
+            while node.forward[level] is not None and not (
+                key < node.forward[level].key
+            ):
+                count += node.width[level]
+                node = node.forward[level]
+        return self._size - count
+
+    def _find_index(self, item: Any) -> Optional[int]:
+        item_key = self._key(item)
+        index = self.count_key_less(item_key)
+        while index < self._size:
+            candidate = self[index]
+            if self._key(candidate) != item_key:
+                return None
+            if candidate is item or candidate == item:
+                return index
+            index += 1
+        return None
+
+    def _remove_at(self, index: int) -> None:
+        update: List[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        remaining = index  # number of elements to leave before target
+        for level in range(self._level - 1, -1, -1):
+            while (
+                node.forward[level] is not None
+                and node.width[level] <= remaining
+            ):
+                remaining -= node.width[level]
+                node = node.forward[level]
+            update[level] = node
+        target = update[0].forward[0]
+        assert target is not None
+        for level in range(self._level):
+            if update[level].forward[level] is target:
+                update[level].width[level] += target.width[level] - 1
+                update[level].forward[level] = target.forward[level]
+            else:
+                update[level].width[level] -= 1
+        while (
+            self._level > 1
+            and self._head.forward[self._level - 1] is None
+        ):
+            self._level -= 1
+        self._size -= 1
+
+    def bulk_add(self, items: Sequence[Any]) -> None:
+        """Interface parity with SortedKeyList; inserts one by one
+        (a skip list has no cheaper bulk path without rebuild)."""
+        for item in items:
+            self.add(item)

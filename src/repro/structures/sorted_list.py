@@ -1,0 +1,158 @@
+"""A list kept sorted by an explicit key function.
+
+Used in three places that the paper describes as ordered containers:
+
+- the d *sorted attribute lists* of the TSL baseline (Section 3.2) —
+  one per dimension, ordered by preference so TA's sorted access walks
+  them from index 0;
+- each query's ``top_list`` in TMA (Section 4.1, "with a red-black tree
+  implementation an update costs O(log k)");
+- each query's ``skyband`` in SMA (Section 5, kept in descending score
+  order).
+
+Search is O(log n) via :mod:`bisect`; insertion and deletion pay an
+O(n) memmove which is performed in C and, for the list sizes the
+algorithms maintain (k..kmax entries, or N/d per attribute list at the
+scaled-down workloads), is faster in CPython than any pointer-based
+balanced tree written in Python. The asymptotic accounting in
+``repro.analysis.cost_model`` follows the paper's O(log) figures.
+
+Duplicate keys are permitted; elements with equal keys are further
+ordered by their ``tiebreak`` (default: insertion is positioned after
+existing equals, removal requires identity match scan within the equal
+range).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort_right
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+
+class SortedKeyList:
+    """Sequence kept in ascending key order.
+
+    Args:
+        key: callable mapping an element to its sort key. Defaults to
+            the identity.
+        iterable: optional initial elements (sorted on construction).
+    """
+
+    __slots__ = ("_key", "_keys", "_items")
+
+    def __init__(
+        self,
+        iterable: Optional[Sequence[Any]] = None,
+        key: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        self._key = key if key is not None else lambda item: item
+        items = sorted(iterable, key=self._key) if iterable else []
+        self._items: List[Any] = items
+        self._keys: List[Any] = [self._key(item) for item in items]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __reversed__(self) -> Iterator[Any]:
+        return reversed(self._items)
+
+    def __getitem__(self, index: Any) -> Any:
+        return self._items[index]
+
+    def __contains__(self, item: Any) -> bool:
+        return self._find(item) is not None
+
+    def add(self, item: Any) -> int:
+        """Insert ``item`` keeping order; return its index."""
+        item_key = self._key(item)
+        index = bisect_right(self._keys, item_key)
+        self._keys.insert(index, item_key)
+        self._items.insert(index, item)
+        return index
+
+    def bulk_add(self, items: Sequence[Any]) -> None:
+        """Insert many items at once in O((n+m)·log(n+m)).
+
+        Bulk loading (window warm-up, TA refill preparation) would pay
+        m·O(n) memmoves via :meth:`add`; extending and re-sorting is
+        asymptotically and practically cheaper for large batches, and
+        Timsort exploits the existing order.
+        """
+        self._items.extend(items)
+        self._items.sort(key=self._key)
+        self._keys = [self._key(item) for item in self._items]
+
+    def remove(self, item: Any) -> int:
+        """Remove ``item`` (matched by key, then identity/equality).
+
+        Returns:
+            The index the item occupied.
+
+        Raises:
+            ValueError: if the item is not present.
+        """
+        index = self._find(item)
+        if index is None:
+            raise ValueError(f"{item!r} not in SortedKeyList")
+        del self._keys[index]
+        del self._items[index]
+        return index
+
+    def discard(self, item: Any) -> bool:
+        """Remove ``item`` if present; return whether a removal happened."""
+        index = self._find(item)
+        if index is None:
+            return False
+        del self._keys[index]
+        del self._items[index]
+        return True
+
+    def pop(self, index: int = -1) -> Any:
+        """Remove and return the element at ``index``."""
+        item = self._items.pop(index)
+        self._keys.pop(index)
+        return item
+
+    def index_of_key(self, key: Any) -> int:
+        """Leftmost index whose key is >= ``key`` (bisect_left)."""
+        return bisect_left(self._keys, key)
+
+    def count_key_greater(self, key: Any) -> int:
+        """Number of elements with key strictly greater than ``key``."""
+        return len(self._keys) - bisect_right(self._keys, key)
+
+    def count_key_less(self, key: Any) -> int:
+        """Number of elements with key strictly less than ``key``."""
+        return bisect_left(self._keys, key)
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._keys.clear()
+
+    def _find(self, item: Any) -> Optional[int]:
+        item_key = self._key(item)
+        lo = bisect_left(self._keys, item_key)
+        hi = bisect_right(self._keys, item_key)
+        for index in range(lo, hi):
+            candidate = self._items[index]
+            if candidate is item or candidate == item:
+                return index
+        return None
+
+
+def insort_unique(
+    values: List[Tuple[Any, Any]], entry: Tuple[Any, Any]
+) -> None:
+    """Insert ``(key, payload)`` into a plain sorted list of pairs.
+
+    Small helper for call sites that keep a raw list of ``(key, item)``
+    tuples instead of a :class:`SortedKeyList` (cheaper when the list
+    never exceeds a few dozen entries).
+    """
+    insort_right(values, entry)

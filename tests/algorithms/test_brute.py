@@ -1,0 +1,67 @@
+"""Tests for the brute-force oracle algorithm."""
+
+import pytest
+
+from repro.algorithms.brute import BruteForceAlgorithm
+from repro.core.errors import QueryError
+from repro.core.queries import ConstrainedTopKQuery, TopKQuery
+from repro.core.regions import Rectangle
+from repro.core.scoring import LinearFunction
+from repro.core.tuples import RecordFactory
+
+
+@pytest.fixture
+def factory():
+    return RecordFactory()
+
+
+class TestBruteForce:
+    def test_register_with_existing_data(self, factory):
+        algo = BruteForceAlgorithm(2)
+        algo.process_cycle([factory.make((0.9, 0.9))], [])
+        query = TopKQuery(LinearFunction([1.0, 1.0]), 1)
+        query.qid = 0
+        entries = algo.register(query)
+        assert [e.rid for e in entries] == [0]
+
+    def test_cycle_updates_results(self, factory):
+        algo = BruteForceAlgorithm(2)
+        query = TopKQuery(LinearFunction([1.0, 1.0]), 2)
+        query.qid = 0
+        algo.register(query)
+        a, b, c = (
+            factory.make((0.1, 0.1)),
+            factory.make((0.5, 0.5)),
+            factory.make((0.9, 0.9)),
+        )
+        changes = algo.process_cycle([a, b, c], [])
+        assert changes[0].top_ids() == [c.rid, b.rid]
+        changes = algo.process_cycle([], [c])
+        assert changes[0].top_ids() == [b.rid, a.rid]
+
+    def test_constrained_query_respected(self, factory):
+        algo = BruteForceAlgorithm(2)
+        query = ConstrainedTopKQuery(
+            LinearFunction([1.0, 1.0]),
+            1,
+            constraint=Rectangle((0.0, 0.0), (0.5, 0.5)),
+        )
+        query.qid = 0
+        algo.register(query)
+        inside = factory.make((0.4, 0.4))
+        outside = factory.make((0.9, 0.9))
+        algo.process_cycle([inside, outside], [])
+        assert [e.rid for e in algo.current_result(0)] == [inside.rid]
+
+    def test_unknown_query_errors(self):
+        algo = BruteForceAlgorithm(2)
+        with pytest.raises(QueryError):
+            algo.current_result(3)
+        with pytest.raises(QueryError):
+            algo.unregister(3)
+
+    def test_valid_records_snapshot(self, factory):
+        algo = BruteForceAlgorithm(2)
+        record = factory.make((0.5, 0.5))
+        algo.process_cycle([record], [])
+        assert algo.valid_records() == [record]

@@ -1,0 +1,192 @@
+"""Tests for the TSL baseline: TA module + Yi et al. view maintenance."""
+
+import random
+
+import pytest
+
+from repro.algorithms.tsl import ThresholdSortedListAlgorithm, default_kmax
+from repro.core.errors import QueryError
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.tuples import RecordFactory
+
+from tests.conftest import brute_top_k
+
+
+@pytest.fixture
+def factory():
+    return RecordFactory()
+
+
+def make_tsl(dims=2, **kwargs):
+    return ThresholdSortedListAlgorithm(dims=dims, **kwargs)
+
+
+class TestDefaultKmax:
+    def test_paper_tuned_values(self):
+        assert default_kmax(1) == 4
+        assert default_kmax(5) == 10
+        assert default_kmax(10) == 20
+        assert default_kmax(20) == 30
+        assert default_kmax(50) == 70
+        assert default_kmax(100) == 120
+
+    def test_interpolation_above_k(self):
+        for k in (2, 7, 33, 400):
+            assert default_kmax(k) > k
+
+
+class TestThresholdAlgorithm:
+    def test_ta_exact_on_random_data(self, factory):
+        rng = random.Random(1)
+        algo = make_tsl()
+        records = [
+            factory.make((rng.random(), rng.random())) for _ in range(80)
+        ]
+        algo.process_cycle(records, [])
+        query = TopKQuery(LinearFunction([0.7, 0.3]), k=5)
+        query.qid = 0
+        entries = algo.register(query)
+        expected = brute_top_k(records, query)
+        assert [e.rid for e in entries] == [e.rid for e in expected]
+
+    def test_ta_early_termination_skips_records(self, factory):
+        rng = random.Random(2)
+        algo = make_tsl()
+        records = [
+            factory.make((rng.random(), rng.random())) for _ in range(400)
+        ]
+        algo.process_cycle(records, [])
+        query = TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        query.qid = 0
+        algo.register(query)
+        # TA must stop well before random-accessing all 400 records.
+        assert algo.counters.random_accesses < 400
+
+    def test_ta_with_decreasing_dimension(self, factory):
+        algo = make_tsl()
+        records = [
+            factory.make((0.9, 0.9)),
+            factory.make((0.8, 0.1)),  # best for x1 - x2
+            factory.make((0.2, 0.2)),
+        ]
+        algo.process_cycle(records, [])
+        query = TopKQuery(LinearFunction([1.0, -1.0]), k=1)
+        query.qid = 0
+        entries = algo.register(query)
+        assert [e.rid for e in entries] == [1]
+
+    def test_ta_fewer_records_than_kmax(self, factory):
+        algo = make_tsl()
+        records = [factory.make((0.5, 0.5))]
+        algo.process_cycle(records, [])
+        query = TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        query.qid = 0
+        entries = algo.register(query)
+        assert len(entries) == 1
+
+    def test_ta_tie_heavy_data_is_canonical(self, factory):
+        algo = make_tsl()
+        records = [factory.make((0.5, 0.5)) for _ in range(6)]
+        algo.process_cycle(records, [])
+        query = TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+        query.qid = 0
+        entries = algo.register(query)
+        assert [e.rid for e in entries] == [5, 4]
+
+
+class TestViewMaintenance:
+    def test_view_size_bounds(self, factory):
+        rng = random.Random(3)
+        algo = make_tsl()
+        query = TopKQuery(LinearFunction([1.0, 1.0]), k=5)
+        query.qid = 0
+        records = [
+            factory.make((rng.random(), rng.random())) for _ in range(100)
+        ]
+        algo.process_cycle(records, [])
+        algo.register(query)
+        kmax = algo._states[0].kmax
+        window = list(records)
+        for _ in range(25):
+            arrivals = [
+                factory.make((rng.random(), rng.random())) for _ in range(5)
+            ]
+            window.extend(arrivals)
+            expired = [window.pop(0) for _ in range(5)]
+            algo.process_cycle(arrivals, expired)
+            size = len(algo._states[0].view)
+            assert query.k <= size <= kmax
+
+    def test_refill_triggered_on_underflow(self, factory):
+        algo = make_tsl(kmax_for=lambda k: k)  # kmax == k: fragile views
+        query = TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        query.qid = 0
+        a = factory.make((0.9, 0.9))
+        b = factory.make((0.5, 0.5))
+        algo.process_cycle([a, b], [])
+        algo.register(query)
+        assert algo.counters.view_refills == 0
+        algo.process_cycle([], [a])
+        assert algo.counters.view_refills == 1
+        assert [e.rid for e in algo.current_result(0)] == [b.rid]
+
+    def test_kmax_smaller_than_k_rejected(self, factory):
+        algo = make_tsl(kmax_for=lambda k: k - 1)
+        query = TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+        query.qid = 0
+        with pytest.raises(QueryError):
+            algo.register(query)
+
+    def test_view_grows_below_kmax(self, factory):
+        algo = make_tsl()
+        query = TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+        query.qid = 0
+        algo.register(query)  # empty view
+        records = [factory.make((0.1 * i, 0.1)) for i in range(1, 4)]
+        algo.process_cycle(records, [])
+        assert len(algo._states[0].view) == 3
+
+    def test_sorted_lists_track_window(self, factory):
+        algo = make_tsl()
+        records = [factory.make((0.2, 0.8)), factory.make((0.6, 0.4))]
+        algo.process_cycle(records, [])
+        assert algo.sorted_list_entries() == 4  # 2 dims x 2 records
+        algo.process_cycle([], [records[0]])
+        assert algo.sorted_list_entries() == 2
+
+    def test_unregister(self):
+        algo = make_tsl()
+        query = TopKQuery(LinearFunction([1.0, 1.0]), 1)
+        query.qid = 0
+        algo.register(query)
+        algo.unregister(0)
+        with pytest.raises(QueryError):
+            algo.current_result(0)
+
+
+class TestRandomizedAgainstOracle:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sliding_stream_matches_brute(self, seed):
+        rng = random.Random(200 + seed)
+        factory = RecordFactory()
+        algo = make_tsl()
+        query = TopKQuery(
+            LinearFunction([rng.uniform(0.1, 1), rng.uniform(0.1, 1)]),
+            k=3,
+        )
+        query.qid = 0
+        algo.register(query)
+        window = []
+        for _ in range(30):
+            arrivals = [
+                factory.make((rng.random(), rng.random())) for _ in range(5)
+            ]
+            window.extend(arrivals)
+            expired = []
+            while len(window) > 35:
+                expired.append(window.pop(0))
+            algo.process_cycle(arrivals, expired)
+            got = [e.rid for e in algo.current_result(0)]
+            expected = [e.rid for e in brute_top_k(window, query)]
+            assert got == expected

@@ -1,0 +1,125 @@
+"""Tests for TSL's adaptive-kmax mode (Yi et al.'s dynamic policy)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.tsl import ThresholdSortedListAlgorithm, _TslQueryState
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.tuples import RecordFactory
+
+from tests.conftest import brute_top_k
+
+
+def make_state(k=10, kmax=10):
+    query = TopKQuery(LinearFunction([1.0, 1.0]), k)
+    query.qid = 0
+    return _TslQueryState(query, kmax)
+
+
+class TestAdaptRule:
+    def algo(self):
+        return ThresholdSortedListAlgorithm(2, adaptive_kmax=True)
+
+    def test_quick_refill_grows_kmax(self):
+        state = make_state(k=10, kmax=10)
+        state.updates_since_refill = 3  # refilled almost immediately
+        self.algo()._adapt_kmax(state)
+        assert state.kmax > 10
+
+    def test_growth_is_bounded(self):
+        state = make_state(k=10, kmax=80)
+        state.updates_since_refill = 0
+        self.algo()._adapt_kmax(state)
+        assert state.kmax == 80  # 8k cap
+
+    def test_long_lived_view_shrinks_kmax(self):
+        state = make_state(k=10, kmax=60)
+        state.updates_since_refill = 601  # soaked lots of traffic
+        self.algo()._adapt_kmax(state)
+        assert state.kmax < 60
+
+    def test_shrink_never_below_k_plus_one(self):
+        state = make_state(k=10, kmax=11)
+        state.updates_since_refill = 2000
+        self.algo()._adapt_kmax(state)
+        assert state.kmax >= 11
+
+    def test_moderate_usage_keeps_kmax(self):
+        state = make_state(k=10, kmax=30)
+        state.updates_since_refill = 90  # between the two triggers
+        self.algo()._adapt_kmax(state)
+        assert state.kmax == 30
+
+
+class TestAdaptiveEndToEnd:
+    def test_results_stay_oracle_exact(self):
+        rng = random.Random(77)
+        factory = RecordFactory()
+        algo = ThresholdSortedListAlgorithm(
+            2, kmax_for=lambda k: k, adaptive_kmax=True
+        )
+        query = TopKQuery(LinearFunction([0.8, 0.5]), k=3)
+        query.qid = 0
+        algo.register(query)
+        window = []
+        for _ in range(40):
+            arrivals = [
+                factory.make((rng.random(), rng.random()))
+                for _ in range(5)
+            ]
+            window.extend(arrivals)
+            expired = []
+            while len(window) > 30:
+                expired.append(window.pop(0))
+            algo.process_cycle(arrivals, expired)
+            got = [e.rid for e in algo.current_result(0)]
+            expected = [e.rid for e in brute_top_k(window, query)]
+            assert got == expected
+
+    def test_kmax_grows_under_refill_pressure(self):
+        rng = random.Random(78)
+        factory = RecordFactory()
+        algo = ThresholdSortedListAlgorithm(
+            2, kmax_for=lambda k: k, adaptive_kmax=True
+        )
+        query = TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+        query.qid = 0
+        algo.register(query)
+        window = []
+        # Aggressive churn: 50% of the window replaced per cycle.
+        for _ in range(30):
+            arrivals = [
+                factory.make((rng.random(), rng.random()))
+                for _ in range(10)
+            ]
+            window.extend(arrivals)
+            expired = []
+            while len(window) > 20:
+                expired.append(window.pop(0))
+            algo.process_cycle(arrivals, expired)
+        assert algo._states[0].kmax > query.k
+        assert algo.counters.view_refills > 0
+
+    def test_static_mode_never_adapts(self):
+        rng = random.Random(79)
+        factory = RecordFactory()
+        algo = ThresholdSortedListAlgorithm(
+            2, kmax_for=lambda k: k, adaptive_kmax=False
+        )
+        query = TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+        query.qid = 0
+        algo.register(query)
+        window = []
+        for _ in range(20):
+            arrivals = [
+                factory.make((rng.random(), rng.random()))
+                for _ in range(10)
+            ]
+            window.extend(arrivals)
+            expired = []
+            while len(window) > 20:
+                expired.append(window.pop(0))
+            algo.process_cycle(arrivals, expired)
+        assert algo._states[0].kmax == query.k

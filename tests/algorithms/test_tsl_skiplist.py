@@ -1,0 +1,67 @@
+"""Tests for TSL running on the skip-list container."""
+
+import random
+
+import pytest
+
+from repro.algorithms.tsl import ThresholdSortedListAlgorithm
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.tuples import RecordFactory
+from repro.structures.skiplist import IndexableSkipList
+
+from tests.conftest import brute_top_k
+
+
+def test_invalid_impl_rejected():
+    with pytest.raises(ValueError):
+        ThresholdSortedListAlgorithm(2, list_impl="btree")
+
+
+def test_container_choice_applied():
+    algo = ThresholdSortedListAlgorithm(2, list_impl="skiplist")
+    assert algo.list_impl == "skiplist"
+    assert all(
+        isinstance(lst, IndexableSkipList) for lst in algo._sorted_lists
+    )
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_skiplist_tsl_matches_oracle(seed):
+    rng = random.Random(900 + seed)
+    factory = RecordFactory()
+    algo = ThresholdSortedListAlgorithm(2, list_impl="skiplist")
+    query = TopKQuery(
+        LinearFunction([rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0)]), k=4
+    )
+    query.qid = 0
+    algo.register(query)
+    window = []
+    for _ in range(30):
+        arrivals = [
+            factory.make((rng.random(), rng.random())) for _ in range(5)
+        ]
+        window.extend(arrivals)
+        expired = []
+        while len(window) > 35:
+            expired.append(window.pop(0))
+        algo.process_cycle(arrivals, expired)
+        got = [e.rid for e in algo.current_result(0)]
+        expected = [e.rid for e in brute_top_k(window, query)]
+        assert got == expected
+
+
+def test_skiplist_tsl_refills_via_ta(factory=None):
+    factory = RecordFactory()
+    algo = ThresholdSortedListAlgorithm(
+        2, list_impl="skiplist", kmax_for=lambda k: k
+    )
+    query = TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+    query.qid = 0
+    best = factory.make((0.9, 0.9))
+    backup = factory.make((0.5, 0.5))
+    algo.process_cycle([best, backup], [])
+    algo.register(query)
+    algo.process_cycle([], [best])
+    assert algo.counters.view_refills == 1
+    assert [e.rid for e in algo.current_result(0)] == [backup.rid]

@@ -1,0 +1,67 @@
+"""Cross-checks between space accounting and the Section 6 model."""
+
+import random
+
+from repro.algorithms import make_algorithm
+from repro.analysis.cost_model import CostModel, WorkloadParameters
+from repro.analysis.memory import WORD, estimate_space
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.tuples import RecordFactory
+
+
+def build(algorithm, n=500, dims=2, queries=4, k=5, cells=4, seed=6):
+    rng = random.Random(seed)
+    factory = RecordFactory()
+    algo = make_algorithm(
+        algorithm,
+        dims,
+        cells_per_axis=cells if algorithm in ("tma", "sma") else None,
+    )
+    records = [
+        factory.make(tuple(rng.random() for _ in range(dims)))
+        for _ in range(n)
+    ]
+    algo.process_cycle(records, [])
+    for qid in range(queries):
+        query = TopKQuery(
+            LinearFunction([rng.uniform(0.1, 1) for _ in range(dims)]), k
+        )
+        query.qid = qid
+        algo.register(query)
+    return algo
+
+
+class TestModelAgreement:
+    def test_record_term_matches_model_scaling(self):
+        """S grows linearly in N for the grid methods (the N·(d+1) term)."""
+        small = estimate_space(build("tma", n=300)).total
+        large = estimate_space(build("tma", n=900)).total
+        # Tripling N roughly triples the record-dominated total.
+        assert 2.0 < large / small < 4.0
+
+    def test_sma_minus_tma_is_the_dc_term(self):
+        """S_SMA − S_TMA ≈ Q·k·WORD right after registration, when the
+        skybands hold exactly k entries each (Section 6's 3k vs 2k)."""
+        tma = estimate_space(build("tma", seed=9))
+        sma = estimate_space(build("sma", seed=9))
+        delta = sma.query_state - tma.query_state
+        assert delta == 4 * 5 * WORD  # Q=4 queries x k=5 x one counter word
+
+    def test_model_space_ordering_matches_accounting(self):
+        params = WorkloadParameters(
+            n=500, r=5, d=2, k=5, q=4, cells_per_axis=4
+        )
+        model = CostModel(params)
+        assert model.sma_space() > model.tma_space()
+        tma = estimate_space(build("tma", seed=10)).total
+        sma = estimate_space(build("sma", seed=10)).total
+        assert sma >= tma
+
+    def test_grid_space_excludes_unallocated_cells(self):
+        """Lazy cells cost nothing until touched — total space must not
+        scale with the *nominal* grid size."""
+        coarse = estimate_space(build("tma", cells=4, seed=11)).total
+        fine = estimate_space(build("tma", cells=32, seed=11)).total
+        # 64x more nominal cells must not cost anywhere near 64x.
+        assert fine < coarse * 3

@@ -1,0 +1,91 @@
+"""Tests for the ``python -m repro.bench`` command-line runner."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.n == 20_000
+        assert args.rate is None
+        assert args.algorithms == "tsl,tma,sma"
+
+    def test_selfcheck_defaults(self):
+        args = build_parser().parse_args(["selfcheck"])
+        assert args.command == "selfcheck"
+        assert args.seeds == 3
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_distribution(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--distribution", "zipf"])
+
+
+class TestRunCommand:
+    def test_small_run(self, capsys):
+        code = main(
+            [
+                "run",
+                "--n",
+                "400",
+                "--rate",
+                "20",
+                "--queries",
+                "4",
+                "--k",
+                "3",
+                "--dims",
+                "2",
+                "--cycles",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload: N=400" in out
+        assert "TSL" in out and "TMA" in out and "SMA" in out
+        assert "identical top-k sets" in out
+
+    def test_algorithm_subset(self, capsys):
+        code = main(
+            [
+                "run",
+                "--n",
+                "300",
+                "--rate",
+                "15",
+                "--queries",
+                "3",
+                "--cycles",
+                "2",
+                "--dims",
+                "2",
+                "--algorithms",
+                "sma",
+                "--no-check",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SMA" in out
+        assert "TSL" not in out
+        assert "identical" not in out
+
+    def test_unknown_algorithm(self, capsys):
+        code = main(["run", "--algorithms", "magic"])
+        assert code == 2
+        assert "unknown algorithms" in capsys.readouterr().err
+
+
+class TestSelfcheck:
+    def test_passes(self, capsys):
+        code = main(["selfcheck", "--seeds", "1", "--cycles", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selfcheck OK" in out

@@ -1,0 +1,74 @@
+"""Tests for the benchmark runner and reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import format_table, print_series, speedup
+from repro.bench.runner import compare_algorithms, run_workload
+from repro.bench.workloads import WorkloadSpec
+
+SMALL = WorkloadSpec(
+    dims=2, n=400, rate=20, num_queries=4, k=5, cycles=4, seed=2
+)
+
+
+class TestRunWorkload:
+    def test_smoke(self):
+        result = run_workload(SMALL, "sma")
+        assert result.algorithm == "sma"
+        assert len(result.cycle_seconds) == SMALL.cycles
+        assert result.counters.arrivals == SMALL.rate * SMALL.cycles
+        assert result.counters.expirations == SMALL.rate * SMALL.cycles
+        assert result.space.total > 0
+        assert len(result.final_results) == SMALL.num_queries
+        assert result.mean_state_size >= SMALL.k
+
+    def test_recomputation_rate(self):
+        result = run_workload(SMALL, "tma")
+        assert 0.0 <= result.recomputation_rate <= 1.0
+
+    def test_same_spec_same_results(self):
+        a = run_workload(SMALL, "tma")
+        b = run_workload(SMALL, "tma")
+        assert a.final_results == b.final_results
+
+
+class TestCompare:
+    def test_agreement_enforced(self):
+        results = compare_algorithms(SMALL, ("brute", "tsl", "tma", "sma"))
+        assert set(results) == {"brute", "tsl", "tma", "sma"}
+        reference = results["brute"].final_results
+        for name in ("tsl", "tma", "sma"):
+            assert results[name].final_results == reference
+
+    def test_check_can_be_disabled(self):
+        results = compare_algorithms(
+            SMALL, ("tma",), check_results=False
+        )
+        assert "tma" in results
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["x", "value"], [[1, "aaa"], [22, "b"]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("x")
+        assert "---" not in lines[0]
+
+    def test_print_series(self, capsys):
+        print_series(
+            "Figure X",
+            "k",
+            [1, 2],
+            {"TMA": [0.5, 1.0], "SMA": [0.25, 0.5]},
+        )
+        out = capsys.readouterr().out
+        assert "Figure X" in out
+        assert "TMA [s]" in out
+        assert "0.2500" in out
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(1.0, 0.0) == float("inf")

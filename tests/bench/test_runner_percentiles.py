@@ -1,0 +1,53 @@
+"""Tests for the runner's latency-percentile reporting."""
+
+import pytest
+
+from repro.bench.runner import RunResult
+from repro.bench.workloads import WorkloadSpec
+from repro.analysis.memory import SpaceBreakdown
+from repro.core.stats import OpCounters
+
+
+def result_with(cycle_seconds):
+    return RunResult(
+        algorithm="test",
+        spec=WorkloadSpec(),
+        setup_seconds=0.0,
+        cycle_seconds=cycle_seconds,
+        counters=OpCounters(),
+        space=SpaceBreakdown(),
+        mean_state_size=0.0,
+    )
+
+
+class TestPercentiles:
+    def test_empty(self):
+        result = result_with([])
+        assert result.percentile_cycle_seconds(0.95) == 0.0
+        assert result.p95_cycle_seconds == 0.0
+        assert result.max_cycle_seconds == 0.0
+
+    def test_single_cycle(self):
+        result = result_with([0.5])
+        assert result.percentile_cycle_seconds(0.0) == 0.5
+        assert result.percentile_cycle_seconds(1.0) == 0.5
+
+    def test_ordering_independent(self):
+        result = result_with([0.3, 0.1, 0.2])
+        assert result.percentile_cycle_seconds(0.0) == 0.1
+        assert result.percentile_cycle_seconds(1.0) == 0.3
+        assert result.max_cycle_seconds == 0.3
+
+    def test_p95_on_uniform_ramp(self):
+        result = result_with([i / 100.0 for i in range(101)])
+        assert result.p95_cycle_seconds == pytest.approx(0.95)
+
+    def test_invalid_fraction(self):
+        result = result_with([0.1])
+        with pytest.raises(ValueError):
+            result.percentile_cycle_seconds(1.5)
+
+    def test_tail_exceeds_mean_under_bursts(self):
+        # 9 fast cycles, one recomputation burst.
+        result = result_with([0.01] * 9 + [1.0])
+        assert result.p95_cycle_seconds > result.mean_cycle_seconds

@@ -1,0 +1,105 @@
+"""Tests for the benchmark workload builder."""
+
+import pytest
+
+from repro.bench.workloads import (
+    TABLE_1,
+    WorkloadSpec,
+    default_cells_per_axis,
+    paper_defaults,
+    scaled_defaults,
+)
+from repro.core.scoring import (
+    LinearFunction,
+    ProductFunction,
+    QuadraticFunction,
+)
+
+
+class TestGridSizing:
+    def test_paper_operating_point(self):
+        # N=1M, d=4 should land on the paper's 12-per-axis optimum.
+        assert default_cells_per_axis(4, 1_000_000) == 12
+
+    def test_scales_with_n(self):
+        assert default_cells_per_axis(4, 20_000) < 12
+        assert default_cells_per_axis(2, 20_000) > default_cells_per_axis(
+            4, 20_000
+        )
+
+    def test_minimum_two(self):
+        assert default_cells_per_axis(6, 100) >= 2
+
+
+class TestWorkloadSpec:
+    def test_with_creates_modified_copy(self):
+        spec = WorkloadSpec()
+        other = spec.with_(k=50)
+        assert other.k == 50
+        assert spec.k == 20
+        assert other.dims == spec.dims
+
+    def test_query_generation_deterministic(self):
+        a = WorkloadSpec(seed=5).make_queries()
+        b = WorkloadSpec(seed=5).make_queries()
+        assert len(a) == len(b) == WorkloadSpec().num_queries
+        for qa, qb in zip(a, b):
+            assert qa.function.weights == qb.function.weights
+            assert qa.k == qb.k
+
+    def test_query_generation_varies_with_seed(self):
+        a = WorkloadSpec(seed=1).make_queries()
+        b = WorkloadSpec(seed=2).make_queries()
+        assert a[0].function.weights != b[0].function.weights
+
+    def test_function_families(self):
+        assert isinstance(
+            WorkloadSpec(function_family="linear").make_functions()[0],
+            LinearFunction,
+        )
+        assert isinstance(
+            WorkloadSpec(function_family="product").make_functions()[0],
+            ProductFunction,
+        )
+        assert isinstance(
+            WorkloadSpec(function_family="quadratic").make_functions()[0],
+            QuadraticFunction,
+        )
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(function_family="cubic").make_functions()
+
+    def test_explicit_grid_granularity_wins(self):
+        spec = WorkloadSpec(cells_per_axis=9)
+        assert spec.grid_cells_per_axis() == 9
+
+
+class TestDefaults:
+    def test_scaled_defaults_ratios(self):
+        spec = scaled_defaults()
+        assert spec.rate == spec.n // 100  # the paper's r = N/100
+        assert spec.dims == 4
+        assert spec.k == 20
+
+    def test_paper_defaults_match_table1(self):
+        spec = paper_defaults()
+        assert spec.n == 1_000_000
+        assert spec.rate == 10_000
+        assert spec.num_queries == 1_000
+        assert spec.cells_per_axis == 12
+
+    def test_overrides(self):
+        assert scaled_defaults(k=50).k == 50
+        assert paper_defaults(dims=2).dims == 2
+
+    def test_table1_documented(self):
+        assert "Result cardinality (k)" in TABLE_1
+        assert TABLE_1["Result cardinality (k)"]["range"] == [
+            1,
+            5,
+            10,
+            20,
+            50,
+            100,
+        ]

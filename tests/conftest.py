@@ -1,0 +1,54 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.core.queries import TopKQuery
+from repro.core.results import ResultEntry
+from repro.core.tuples import RecordFactory, StreamRecord
+
+
+def brute_top_k(
+    records: Sequence[StreamRecord], query: TopKQuery
+) -> List[ResultEntry]:
+    """Reference top-k under the canonical (score, rid) order."""
+    from repro.algorithms.topk_computation import query_region
+
+    region = query_region(query)
+    scored = [
+        (query.score(record.attrs), record.rid, record)
+        for record in records
+        if region is None or region.contains(record.attrs)
+    ]
+    scored.sort(key=lambda item: item[:2], reverse=True)
+    return [
+        ResultEntry(score, record) for score, _, record in scored[: query.k]
+    ]
+
+
+def result_ids(entries: Sequence[ResultEntry]) -> List[int]:
+    return [entry.rid for entry in entries]
+
+
+def make_records(
+    rows: Sequence[Sequence[float]],
+    start_id: int = 0,
+    time: float = 0.0,
+) -> List[StreamRecord]:
+    factory = RecordFactory(start=start_id)
+    return [factory.make(row, time) for row in rows]
+
+
+def random_rows(
+    rng: random.Random, count: int, dims: int
+) -> List[Tuple[float, ...]]:
+    return [tuple(rng.random() for _ in range(dims)) for _ in range(count)]
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

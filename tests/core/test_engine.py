@@ -1,0 +1,109 @@
+"""Tests for the StreamMonitor engine."""
+
+import pytest
+
+from repro.core.engine import StreamMonitor
+from repro.core.errors import QueryError, StreamError
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.window import CountBasedWindow, TimeBasedWindow
+
+
+def make_monitor(algorithm="tma", capacity=8, cells=4):
+    return StreamMonitor(
+        2, CountBasedWindow(capacity), algorithm=algorithm, cells_per_axis=cells
+    )
+
+
+class TestLifecycle:
+    def test_docstring_scenario(self):
+        monitor = StreamMonitor(
+            2, CountBasedWindow(4), algorithm="sma", cells_per_axis=4
+        )
+        qid = monitor.add_query(TopKQuery(LinearFunction([1.0, 2.0]), k=1))
+        records = monitor.make_records([[0.3, 0.4], [0.9, 0.8]])
+        monitor.process(records)
+        assert [entry.rid for entry in monitor.result(qid)] == [1]
+
+    def test_add_and_remove_query(self):
+        monitor = make_monitor()
+        qid = monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=2))
+        assert monitor.result(qid) == []
+        monitor.remove_query(qid)
+        with pytest.raises(QueryError):
+            monitor.result(qid)
+
+    def test_algorithm_instance_passthrough(self):
+        from repro.algorithms.brute import BruteForceAlgorithm
+
+        algo = BruteForceAlgorithm(2)
+        monitor = StreamMonitor(2, CountBasedWindow(4), algorithm=algo)
+        assert monitor.algorithm is algo
+
+    def test_unknown_algorithm_name(self):
+        with pytest.raises(ValueError):
+            StreamMonitor(2, CountBasedWindow(4), algorithm="nope")
+
+
+class TestProcessing:
+    def test_report_contents(self):
+        monitor = make_monitor(capacity=2)
+        qid = monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=1))
+        batch = monitor.make_records([[0.2, 0.2], [0.9, 0.9]])
+        report = monitor.process(batch)
+        assert report.arrivals == 2
+        assert report.expirations == 0
+        assert qid in report.changes
+        assert report.changes[qid].top_ids() == [1]
+
+        # Push the window over capacity: the two old records expire.
+        batch2 = monitor.make_records([[0.5, 0.5], [0.1, 0.1]], time_=1.0)
+        report2 = monitor.process(batch2)
+        assert report2.expirations == 2
+        assert monitor.result(qid)[0].rid == 2
+        assert monitor.valid_count == 2
+
+    def test_clock_monotonic(self):
+        monitor = make_monitor()
+        monitor.process(monitor.make_records([[0.5, 0.5]], time_=5.0))
+        with pytest.raises(StreamError):
+            monitor.process([], now=4.0)
+
+    def test_cycle_seconds_accumulate(self):
+        monitor = make_monitor()
+        monitor.process(monitor.make_records([[0.5, 0.5]]))
+        monitor.process([], now=1.0)
+        assert len(monitor.cycle_seconds) == 2
+        assert monitor.total_cpu_seconds >= 0.0
+
+    def test_counters_exposed(self):
+        monitor = make_monitor()
+        monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=1))
+        monitor.process(monitor.make_records([[0.5, 0.5]]))
+        assert monitor.counters.arrivals == 1
+
+
+class TestTimeBased:
+    def test_advance_expires_without_arrivals(self):
+        monitor = StreamMonitor(
+            2,
+            TimeBasedWindow(2.0),
+            algorithm="tma",
+            cells_per_axis=4,
+        )
+        qid = monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=1))
+        monitor.process(monitor.make_records([[0.9, 0.9]], time_=0.0))
+        assert monitor.result(qid)[0].rid == 0
+        report = monitor.advance(2.0)
+        assert report.expirations == 1
+        assert monitor.result(qid) == []
+
+    def test_mixed_ages(self):
+        monitor = StreamMonitor(
+            2, TimeBasedWindow(2.0), algorithm="sma", cells_per_axis=4
+        )
+        qid = monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=2))
+        monitor.process(monitor.make_records([[0.9, 0.9]], time_=0.0))
+        monitor.process(monitor.make_records([[0.8, 0.8]], time_=1.0))
+        monitor.advance(2.0)  # expires only the t=0 record
+        assert [entry.rid for entry in monitor.result(qid)] == [1]

@@ -1,0 +1,70 @@
+"""Tests for axis-parallel rectangles."""
+
+import pytest
+
+from repro.core.errors import DimensionalityError
+from repro.core.regions import Rectangle
+
+
+class TestConstruction:
+    def test_mismatched_dims(self):
+        with pytest.raises(DimensionalityError):
+            Rectangle((0.0,), (1.0, 1.0))
+
+    def test_inverted_bounds(self):
+        with pytest.raises(DimensionalityError):
+            Rectangle((0.5, 0.0), (0.4, 1.0))
+
+    def test_unit(self):
+        box = Rectangle.unit(3)
+        assert box.lower == (0.0, 0.0, 0.0)
+        assert box.upper == (1.0, 1.0, 1.0)
+        assert box.dims == 3
+
+
+class TestContains:
+    def test_half_open_semantics(self):
+        box = Rectangle((0.2, 0.2), (0.8, 0.8))
+        assert box.contains((0.2, 0.5))  # lower closed
+        assert not box.contains((0.8, 0.5))  # upper open
+        assert box.contains((0.5, 0.5))
+        assert not box.contains((0.1, 0.5))
+
+
+class TestIntersects:
+    def test_overlap(self):
+        box = Rectangle((0.2, 0.2), (0.8, 0.8))
+        assert box.intersects((0.5, 0.5), (1.0, 1.0))
+        assert not box.intersects((0.8, 0.0), (1.0, 1.0))  # touch only
+        assert not box.intersects((0.9, 0.9), (1.0, 1.0))
+
+    def test_containment_is_intersection(self):
+        box = Rectangle((0.0, 0.0), (1.0, 1.0))
+        assert box.intersects((0.4, 0.4), (0.6, 0.6))
+
+
+class TestClip:
+    def test_clip_overlapping(self):
+        box = Rectangle((0.2, 0.2), (0.8, 0.8))
+        clipped = box.clip((0.5, 0.0), (1.0, 0.5))
+        assert clipped is not None
+        assert clipped.lower == (0.5, 0.2)
+        assert clipped.upper == (0.8, 0.5)
+
+    def test_clip_disjoint_returns_none(self):
+        box = Rectangle((0.2, 0.2), (0.4, 0.4))
+        assert box.clip((0.5, 0.5), (0.9, 0.9)) is None
+
+    def test_clip_touching_returns_none(self):
+        box = Rectangle((0.0, 0.0), (0.5, 0.5))
+        assert box.clip((0.5, 0.0), (1.0, 1.0)) is None
+
+
+class TestVolume:
+    def test_volume(self):
+        assert Rectangle((0.0, 0.0), (0.5, 0.25)).volume() == pytest.approx(
+            0.125
+        )
+
+    def test_degenerate_volume(self):
+        assert Rectangle((0.5, 0.0), (0.5, 1.0)).volume() == 0.0

@@ -1,0 +1,165 @@
+"""Tests for monotone preference functions and rectangle bounds."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import DimensionalityError, NonMonotoneFunctionError
+from repro.core.scoring import (
+    CallableFunction,
+    LinearFunction,
+    ProductFunction,
+    QuadraticFunction,
+    check_monotone,
+    enumerate_corners,
+    global_best_corner,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestLinear:
+    def test_score(self):
+        f = LinearFunction([1.0, 2.0])
+        assert f.score((0.5, 0.25)) == pytest.approx(1.0)
+
+    def test_directions_from_signs(self):
+        f = LinearFunction([1.0, -3.0, 0.5])
+        assert f.directions == (1, -1, 1)
+
+    def test_zero_weight_ignores_dimension(self):
+        f = LinearFunction([1.0, 0.0])
+        assert f.directions == (1, 1)
+        assert f.score((0.3, 0.9)) == pytest.approx(0.3)
+
+    def test_paper_example_figure_1a(self):
+        # f(x1, x2) = x1 + 2*x2; point (1,1) maximises it.
+        f = LinearFunction([1.0, 2.0])
+        assert global_best_corner(f) == (1.0, 1.0)
+        assert f.score((1.0, 1.0)) == pytest.approx(3.0)
+
+    def test_paper_example_figure_7a(self):
+        # f(x1, x2) = x1 - x2 is increasing on x1, decreasing on x2.
+        f = LinearFunction([1.0, -1.0])
+        assert f.directions == (1, -1)
+        assert global_best_corner(f) == (1.0, 0.0)
+
+    def test_repr(self):
+        assert "x1" in repr(LinearFunction([1.0, 2.0]))
+
+
+class TestProduct:
+    def test_score(self):
+        f = ProductFunction([0.5, 1.0])
+        assert f.score((0.5, 0.0)) == pytest.approx(1.0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(NonMonotoneFunctionError):
+            ProductFunction([-0.1, 0.5])
+
+    def test_all_increasing(self):
+        assert ProductFunction([0.2, 0.3, 0.4]).directions == (1, 1, 1)
+
+    def test_paper_example_figure_7b(self):
+        # f(x1, x2) = x1 * x2 with zero offsets.
+        f = ProductFunction([0.0, 0.0])
+        assert f.score((0.5, 0.4)) == pytest.approx(0.2)
+
+
+class TestQuadratic:
+    def test_score(self):
+        f = QuadraticFunction([2.0, 1.0])
+        assert f.score((0.5, 0.5)) == pytest.approx(0.75)
+
+    def test_directions(self):
+        assert QuadraticFunction([1.0, -1.0]).directions == (1, -1)
+
+
+class TestCallable:
+    def test_wraps_function(self):
+        f = CallableFunction(lambda a, b: min(a, b), [1, 1], label="min")
+        assert f.score((0.3, 0.8)) == pytest.approx(0.3)
+        assert "min" in repr(f)
+
+    def test_bad_directions_rejected(self):
+        with pytest.raises(NonMonotoneFunctionError):
+            CallableFunction(lambda a: a, [2])
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(DimensionalityError):
+            CallableFunction(lambda: 0.0, [])
+
+
+class TestCorners:
+    def test_best_corner_mixed_directions(self):
+        f = LinearFunction([1.0, -1.0])
+        assert f.best_corner((0.2, 0.4), (0.6, 0.8)) == (0.6, 0.4)
+        assert f.worst_corner((0.2, 0.4), (0.6, 0.8)) == (0.2, 0.8)
+
+    def test_maxscore_minscore(self):
+        f = LinearFunction([1.0, 2.0])
+        assert f.maxscore((0.0, 0.0), (0.5, 0.5)) == pytest.approx(1.5)
+        assert f.minscore((0.0, 0.0), (0.5, 0.5)) == pytest.approx(0.0)
+
+    def test_enumerate_corners(self):
+        corners = enumerate_corners((0.0, 0.0), (1.0, 1.0))
+        assert len(corners) == 4
+        assert (0.0, 1.0) in corners
+
+
+class TestCheckMonotone:
+    def test_valid_functions_pass(self):
+        check_monotone(LinearFunction([1.0, -2.0]))
+        check_monotone(ProductFunction([0.5, 0.5]))
+        check_monotone(QuadraticFunction([1.0, 1.0]))
+
+    def test_violation_detected(self):
+        # Claims increasing on both dims but is not (peak at 0.5).
+        bumpy = CallableFunction(
+            lambda a, b: -((a - 0.5) ** 2) + b, [1, 1], label="bumpy"
+        )
+        with pytest.raises(NonMonotoneFunctionError):
+            check_monotone(bumpy)
+
+
+class TestBoundProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-2.0, max_value=2.0).filter(
+                lambda w: abs(w) > 1e-3
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.data(),
+    )
+    def test_maxscore_bounds_all_points_linear(self, weights, data):
+        f = LinearFunction(weights)
+        dims = len(weights)
+        lower = tuple(
+            data.draw(st.floats(min_value=0.0, max_value=0.5))
+            for _ in range(dims)
+        )
+        upper = tuple(
+            lo + data.draw(st.floats(min_value=0.0, max_value=0.5))
+            for lo in lower
+        )
+        bound = f.maxscore(lower, upper)
+        floor = f.minscore(lower, upper)
+        for _ in range(5):
+            point = tuple(
+                data.draw(st.floats(min_value=lower[i], max_value=upper[i]))
+                for i in range(dims)
+            )
+            score = f.score(point)
+            assert score <= bound + 1e-9
+            assert score >= floor - 1e-9
+
+    @given(st.lists(unit, min_size=2, max_size=4))
+    def test_maxscore_dominates_corners_product(self, offsets):
+        f = ProductFunction(offsets)
+        lower = tuple(0.1 for _ in offsets)
+        upper = tuple(0.7 for _ in offsets)
+        bound = f.maxscore(lower, upper)
+        for corner in enumerate_corners(lower, upper):
+            assert f.score(corner) <= bound + 1e-9

@@ -1,0 +1,77 @@
+"""Tests for records, factories, and the canonical rank order."""
+
+import pytest
+
+from repro.core.errors import DimensionalityError
+from repro.core.tuples import (
+    MIN_RANK_KEY,
+    RecordFactory,
+    StreamRecord,
+    iter_sorted_by_rank,
+    rank_key,
+)
+
+
+class TestStreamRecord:
+    def test_fields(self):
+        record = StreamRecord(7, (0.1, 0.2), 3.0)
+        assert record.rid == 7
+        assert record.attrs == (0.1, 0.2)
+        assert record.time == 3.0
+        assert record.dims == 2
+
+    def test_frozen(self):
+        record = StreamRecord(0, (0.5,))
+        with pytest.raises(AttributeError):
+            record.rid = 1
+
+    def test_require_dims(self):
+        record = StreamRecord(0, (0.5, 0.5))
+        record.require_dims(2)
+        with pytest.raises(DimensionalityError):
+            record.require_dims(3)
+
+
+class TestRecordFactory:
+    def test_ids_are_consecutive(self):
+        factory = RecordFactory()
+        records = [factory.make([0.1]), factory.make([0.2])]
+        assert [r.rid for r in records] == [0, 1]
+        assert factory.next_id == 2
+
+    def test_start_offset(self):
+        factory = RecordFactory(start=100)
+        assert factory.make([0.0]).rid == 100
+
+    def test_make_batch(self):
+        factory = RecordFactory()
+        batch = factory.make_batch([[0.1], [0.2], [0.3]], time=5.0)
+        assert [r.rid for r in batch] == [0, 1, 2]
+        assert all(r.time == 5.0 for r in batch)
+
+    def test_attrs_are_tuples(self):
+        record = RecordFactory().make([0.1, 0.2])
+        assert isinstance(record.attrs, tuple)
+
+
+class TestRankOrder:
+    def test_rank_key(self):
+        record = StreamRecord(4, (0.5,))
+        assert rank_key(0.7, record) == (0.7, 4)
+
+    def test_min_rank_key_below_everything(self):
+        assert MIN_RANK_KEY < (float("-1e300"), 0)
+        assert MIN_RANK_KEY < (0.0, -1)
+
+    def test_score_ties_broken_by_later_arrival(self):
+        older = StreamRecord(1, (0.5,))
+        newer = StreamRecord(2, (0.5,))
+        assert rank_key(0.5, newer) > rank_key(0.5, older)
+
+    def test_iter_sorted_by_rank(self):
+        a = StreamRecord(1, (0.0,))
+        b = StreamRecord(2, (0.0,))
+        c = StreamRecord(3, (0.0,))
+        pairs = [(0.3, a), (0.9, b), (0.3, c)]
+        ordered = list(iter_sorted_by_rank(pairs))
+        assert [record.rid for _, record in ordered] == [2, 3, 1]

@@ -1,0 +1,237 @@
+"""The gold test: TMA ≡ SMA ≡ TSL ≡ brute force, cycle by cycle.
+
+Randomized streams are replayed against all four algorithms; after
+*every* processing cycle, every query's result must be identical under
+the canonical rank order. Sweeps cover both data distributions, both
+window types, several dimensionalities, ks, and all three function
+families of the paper (plus mixed monotonicity directions).
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.core.queries import TopKQuery
+from repro.core.scoring import (
+    LinearFunction,
+    ProductFunction,
+    QuadraticFunction,
+)
+from repro.core.tuples import RecordFactory
+
+ALGORITHMS = ("brute", "tsl", "tma", "sma")
+
+
+def replay(
+    dims,
+    make_function,
+    ks,
+    seed,
+    cycles=10,
+    rate=8,
+    capacity=60,
+    cells=4,
+):
+    """Drive all four algorithms over one stream; compare every cycle."""
+    rng = random.Random(seed)
+    factory = RecordFactory()
+    algorithms = {
+        name: make_algorithm(name, dims, cells_per_axis=cells)
+        for name in ALGORITHMS
+    }
+    queries = {}
+    for index, k in enumerate(ks):
+        function = make_function(rng)
+        for name, algo in algorithms.items():
+            query = TopKQuery(function, k)
+            query.qid = index
+            if name == list(algorithms)[0]:
+                queries[index] = query
+            algo.register(query)
+
+    window = []
+    for cycle in range(cycles):
+        arrivals = [
+            factory.make(tuple(rng.random() for _ in range(dims)))
+            for _ in range(rate)
+        ]
+        window.extend(arrivals)
+        expired = []
+        while len(window) > capacity:
+            expired.append(window.pop(0))
+
+        results = {}
+        for name, algo in algorithms.items():
+            algo.process_cycle(list(arrivals), list(expired))
+            results[name] = {
+                qid: [e.rid for e in algo.current_result(qid)]
+                for qid in queries
+            }
+        reference = results["brute"]
+        for name in ALGORITHMS[1:]:
+            assert results[name] == reference, (
+                f"{name} diverged from brute at cycle {cycle} (seed {seed})"
+            )
+
+
+class TestLinearFunctions:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_2d(self, seed):
+        replay(
+            2,
+            lambda rng: LinearFunction(
+                [rng.uniform(0.05, 1.0) for _ in range(2)]
+            ),
+            ks=(1, 3, 7),
+            seed=seed,
+        )
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_3d(self, seed):
+        replay(
+            3,
+            lambda rng: LinearFunction(
+                [rng.uniform(0.05, 1.0) for _ in range(3)]
+            ),
+            ks=(2, 5),
+            seed=10 + seed,
+            cells=3,
+        )
+
+    def test_4d(self):
+        replay(
+            4,
+            lambda rng: LinearFunction(
+                [rng.uniform(0.05, 1.0) for _ in range(4)]
+            ),
+            ks=(4,),
+            seed=42,
+            cells=3,
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mixed_directions(self, seed):
+        def make(rng):
+            return LinearFunction(
+                [
+                    rng.uniform(0.05, 1.0) * rng.choice([-1, 1])
+                    for _ in range(2)
+                ]
+            )
+
+        replay(2, make, ks=(1, 4), seed=20 + seed)
+
+
+class TestNonLinearFunctions:
+    @pytest.mark.parametrize("seed", range(2))
+    def test_product(self, seed):
+        replay(
+            2,
+            lambda rng: ProductFunction(
+                [rng.uniform(0.0, 1.0) for _ in range(2)]
+            ),
+            ks=(1, 5),
+            seed=30 + seed,
+        )
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_quadratic(self, seed):
+        replay(
+            2,
+            lambda rng: QuadraticFunction(
+                [rng.uniform(0.05, 1.0) for _ in range(2)]
+            ),
+            ks=(2, 6),
+            seed=40 + seed,
+        )
+
+    def test_quadratic_mixed_directions(self):
+        replay(
+            2,
+            lambda rng: QuadraticFunction([0.8, -0.6]),
+            ks=(3,),
+            seed=50,
+        )
+
+
+class TestAntiCorrelatedData:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ant_stream(self, seed):
+        """ANT data crowds the frontier — the stress case for skybands."""
+        from repro.streams.generators import AntiCorrelated
+
+        rng = random.Random(60 + seed)
+        distribution = AntiCorrelated(2)
+        factory = RecordFactory()
+        algorithms = {
+            name: make_algorithm(name, 2, cells_per_axis=4)
+            for name in ALGORITHMS
+        }
+        function = LinearFunction([0.9, 0.7])
+        for name, algo in algorithms.items():
+            query = TopKQuery(function, 5)
+            query.qid = 0
+            algo.register(query)
+        window = []
+        for cycle in range(12):
+            arrivals = [
+                factory.make(distribution.sample(rng)) for _ in range(8)
+            ]
+            window.extend(arrivals)
+            expired = []
+            while len(window) > 50:
+                expired.append(window.pop(0))
+            outcomes = {}
+            for name, algo in algorithms.items():
+                algo.process_cycle(list(arrivals), list(expired))
+                outcomes[name] = [
+                    e.rid for e in algo.current_result(0)
+                ]
+            assert (
+                outcomes["tma"]
+                == outcomes["sma"]
+                == outcomes["tsl"]
+                == outcomes["brute"]
+            ), f"cycle {cycle}"
+
+
+class TestTieHeavyStreams:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_discrete_attribute_grid(self, seed):
+        """Integer-lattice attributes force constant score ties."""
+        rng = random.Random(70 + seed)
+
+        class LatticeFactory:
+            def __init__(self):
+                self.factory = RecordFactory()
+
+            def make(self):
+                return self.factory.make(
+                    (rng.randrange(4) / 4.0, rng.randrange(4) / 4.0)
+                )
+
+        lattice = LatticeFactory()
+        algorithms = {
+            name: make_algorithm(name, 2, cells_per_axis=4)
+            for name in ALGORITHMS
+        }
+        function = LinearFunction([1.0, 1.0])
+        for name, algo in algorithms.items():
+            query = TopKQuery(function, 3)
+            query.qid = 0
+            algo.register(query)
+        window = []
+        for cycle in range(12):
+            arrivals = [lattice.make() for _ in range(6)]
+            window.extend(arrivals)
+            expired = []
+            while len(window) > 30:
+                expired.append(window.pop(0))
+            outcomes = {}
+            for name, algo in algorithms.items():
+                algo.process_cycle(list(arrivals), list(expired))
+                outcomes[name] = [e.rid for e in algo.current_result(0)]
+            reference = outcomes["brute"]
+            for name in ALGORITHMS[1:]:
+                assert outcomes[name] == reference, f"{name} @ {cycle}"

@@ -1,0 +1,93 @@
+"""Validates the Section 3.1 reduction: future top-k results ⇔ k-skyband.
+
+The paper's key theorem: with no further arrivals, the records that
+appear in *some* future top-k result are exactly the k-skyband of the
+valid records in the (score, expiration-time) space. We replay windows
+to exhaustion and compare against the BNL oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.tuples import RecordFactory
+from repro.skyband.skyline import k_skyband
+
+from tests.conftest import brute_top_k
+
+
+def future_result_union(records, query):
+    """Drain the window FIFO; collect every record ever in the top-k."""
+    live = list(records)
+    seen = set()
+    while live:
+        for entry in brute_top_k(live, query):
+            seen.add(entry.rid)
+        live.pop(0)  # oldest expires
+    return seen
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_future_results_equal_score_time_skyband(seed, k):
+    rng = random.Random(seed)
+    factory = RecordFactory()
+    records = [
+        factory.make((rng.random(), rng.random(), rng.random()))
+        for _ in range(40)
+    ]
+    query = TopKQuery(
+        LinearFunction([rng.uniform(0.1, 1.0) for _ in range(3)]), k
+    )
+
+    union = future_result_union(records, query)
+
+    # k-skyband in the 2-D score-time plane: dimensions (score, rid),
+    # both increasingly preferable (larger rid = expires later).
+    score_time_points = [
+        (query.score(record.attrs), float(record.rid)) for record in records
+    ]
+    band = {
+        records[index].rid
+        for index in k_skyband(score_time_points, k, (1, 1))
+    }
+    assert union == band
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_reduction_is_dimensionality_independent(seed):
+    """The skyband is always 2-D regardless of the attribute count."""
+    rng = random.Random(100 + seed)
+    factory = RecordFactory()
+    dims = 5
+    records = [
+        factory.make(tuple(rng.random() for _ in range(dims)))
+        for _ in range(30)
+    ]
+    query = TopKQuery(LinearFunction([1.0] * dims), 3)
+    union = future_result_union(records, query)
+    score_time_points = [
+        (query.score(record.attrs), float(record.rid)) for record in records
+    ]
+    band = {
+        records[index].rid
+        for index in k_skyband(score_time_points, 3, (1, 1))
+    }
+    assert union == band
+
+
+def test_tie_breaking_matches_dominance():
+    """Equal scores: the later-expiring record dominates the earlier.
+
+    With two identical records and k=1, only the newer can appear in
+    any result, and only the newer is in the 1-skyband under our
+    canonical order.
+    """
+    factory = RecordFactory()
+    older = factory.make((0.5, 0.5))
+    newer = factory.make((0.5, 0.5))
+    query = TopKQuery(LinearFunction([1.0, 1.0]), 1)
+    union = future_result_union([older, newer], query)
+    assert union == {newer.rid}

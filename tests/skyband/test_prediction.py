@@ -1,0 +1,169 @@
+"""Tests for future-result prediction (Section 3.1, Figure 2)."""
+
+import random
+
+import pytest
+
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.tuples import RecordFactory
+from repro.skyband.prediction import (
+    future_skyband,
+    lifetime_of,
+    predict_future_results,
+)
+
+from tests.conftest import brute_top_k
+
+
+def replay_oracle(records, query):
+    """Ground truth: drain the window FIFO, record each result change."""
+    live = list(records)
+    timeline = [(-1, tuple(brute_top_k(live, query)))]
+    while live:
+        expiring = live.pop(0)
+        top = tuple(brute_top_k(live, query))
+        if top != timeline[-1][1]:
+            timeline.append((expiring.rid, top))
+    return timeline
+
+
+class TestPaperFigure2:
+    """Figure 2's worked example, replayed exactly.
+
+    The paper's narration: "The top-2 set at time 0 is {p1, p2}. When
+    p1 expires at time 2, it is replaced by p3. At time 4, p3 expires
+    and the result becomes {p2, p5}. Finally, at time 5, p7 replaces
+    p2." The records appearing in some result are the solid ones of
+    Figure 2(b): p1, p2, p3, p5, p7; the hollow p4, p6, p8 never
+    surface.
+
+    rid encodes expiry order. The constraints above pin it (up to the
+    hollow records' slack) to p1, p3, p6, p4, p2, p8, p5, p7 with
+    scores p1 > p2 > p3 > p5 > p7 > p4 > p6 > p8.
+    """
+
+    #: name -> (rid/expiry position, score)
+    LAYOUT = {
+        "p1": (1, 0.95),
+        "p3": (2, 0.80),
+        "p6": (3, 0.30),
+        "p4": (4, 0.40),
+        "p2": (5, 0.90),
+        "p8": (6, 0.20),
+        "p5": (7, 0.70),
+        "p7": (8, 0.60),
+    }
+
+    def build(self):
+        records = [
+            RecordFactory(start=rid).make((score,))
+            for rid, score in sorted(self.LAYOUT.values())
+        ]
+        query = TopKQuery(LinearFunction([1.0]), k=2)
+        return records, query
+
+    def rid(self, name):
+        return self.LAYOUT[name][0]
+
+    def test_timeline(self):
+        records, query = self.build()
+        timeline = predict_future_results(records, query)
+        tops = [
+            (change.expiring_rid, [e.rid for e in change.top])
+            for change in timeline
+        ]
+        r = self.rid
+        assert tops == [
+            (-1, [r("p1"), r("p2")]),  # {p1, p2}
+            (r("p1"), [r("p2"), r("p3")]),  # p1 expires -> {p2, p3}
+            (r("p3"), [r("p2"), r("p5")]),  # p3 expires -> {p2, p5}
+            (r("p2"), [r("p5"), r("p7")]),  # p2 expires -> {p5, p7}
+            (r("p5"), [r("p7")]),  # window drains below k
+            (r("p7"), []),
+        ]
+
+    def test_skyband_is_figure_2b(self):
+        """The solid records of Figure 2(b): exactly {p1,p2,p3,p5,p7}."""
+        records, query = self.build()
+        band = {entry.record.rid for entry in future_skyband(records, query)}
+        assert band == {
+            self.rid(name) for name in ("p1", "p2", "p3", "p5", "p7")
+        }
+
+    def test_hollow_records_never_reported(self):
+        records, query = self.build()
+        for name in ("p4", "p6", "p8"):
+            ever, _ = lifetime_of(records, query, self.rid(name))
+            assert ever is False, name
+
+    def test_lifetime_of(self):
+        records, query = self.build()
+        r = self.rid
+        assert lifetime_of(records, query, r("p1")) == (True, -1)
+        assert lifetime_of(records, query, r("p3")) == (True, r("p1"))
+        assert lifetime_of(records, query, r("p5")) == (True, r("p3"))
+        assert lifetime_of(records, query, r("p7")) == (True, r("p2"))
+
+
+class TestAgainstReplayOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_random_windows(self, seed, k):
+        rng = random.Random(seed)
+        factory = RecordFactory()
+        records = [
+            factory.make((rng.random(), rng.random())) for _ in range(30)
+        ]
+        query = TopKQuery(
+            LinearFunction([rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0)]),
+            k,
+        )
+        predicted = [
+            (change.expiring_rid, change.top)
+            for change in predict_future_results(records, query)
+        ]
+        assert predicted == replay_oracle(records, query)
+
+    def test_tie_heavy_window(self):
+        factory = RecordFactory()
+        records = [factory.make((0.5,)) for _ in range(6)]
+        query = TopKQuery(LinearFunction([1.0]), k=2)
+        predicted = [
+            (change.expiring_rid, change.top)
+            for change in predict_future_results(records, query)
+        ]
+        assert predicted == replay_oracle(records, query)
+
+    def test_empty_window(self):
+        query = TopKQuery(LinearFunction([1.0]), k=2)
+        timeline = predict_future_results([], query)
+        assert len(timeline) == 1
+        assert timeline[0].top == ()
+
+
+class TestFutureSkyband:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_bnl_oracle(self, seed):
+        from repro.skyband.skyline import k_skyband
+
+        rng = random.Random(50 + seed)
+        factory = RecordFactory()
+        records = [
+            factory.make((rng.random(), rng.random())) for _ in range(40)
+        ]
+        query = TopKQuery(LinearFunction([0.7, 0.4]), k=3)
+        fast = {e.record.rid for e in future_skyband(records, query)}
+        points = [
+            (query.score(r.attrs), float(r.rid)) for r in records
+        ]
+        slow = {records[i].rid for i in k_skyband(points, 3, (1, 1))}
+        assert fast == slow
+
+    def test_band_is_best_first(self):
+        factory = RecordFactory()
+        records = [factory.make((v,)) for v in (0.2, 0.9, 0.5)]
+        query = TopKQuery(LinearFunction([1.0]), k=2)
+        band = future_skyband(records, query)
+        keys = [entry.key for entry in band]
+        assert keys == sorted(keys, reverse=True)

@@ -1,0 +1,131 @@
+"""Tests for the general d-dimensional skyline / k-skyband oracle.
+
+Includes a replay of the paper's Figure 1(b) geometry and the
+Section 3.1 claims connecting skybands to top-k results.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoring import LinearFunction
+from repro.skyband.skyline import (
+    dominance_count,
+    dominates,
+    k_skyband,
+    skyline,
+)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates((0.5, 0.5), (0.4, 0.4), (1, 1))
+        assert not dominates((0.4, 0.4), (0.5, 0.5), (1, 1))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((0.5, 0.5), (0.5, 0.5), (1, 1))
+
+    def test_partial_improvement_with_tie(self):
+        assert dominates((0.5, 0.5), (0.5, 0.4), (1, 1))
+
+    def test_incomparable(self):
+        assert not dominates((0.9, 0.1), (0.1, 0.9), (1, 1))
+        assert not dominates((0.1, 0.9), (0.9, 0.1), (1, 1))
+
+    def test_directions_flip(self):
+        # Smaller second coordinate preferable.
+        assert dominates((0.5, 0.2), (0.4, 0.6), (1, -1))
+        assert not dominates((0.5, 0.6), (0.4, 0.2), (1, -1))
+
+
+class TestFigure1b:
+    """Figure 1(b): skyline {p1,p2,p3}, 2-skyband {p1..p7}.
+
+    Coordinates chosen to reproduce the figure's structure: p1..p3 on
+    the frontier, p4..p7 dominated once, p8..p10 dominated twice+.
+    """
+
+    POINTS = {
+        "p1": (0.15, 0.90),
+        "p2": (0.55, 0.70),
+        "p3": (0.90, 0.25),
+        "p4": (0.35, 0.68),  # dominated by p2 only
+        "p5": (0.50, 0.60),  # dominated by p2 only
+        "p6": (0.10, 0.85),  # dominated by p1 only
+        "p7": (0.80, 0.20),  # dominated by p3 only
+        "p8": (0.30, 0.55),  # dominated by p2, p5
+        "p9": (0.45, 0.50),  # dominated by p2, p5
+        "p10": (0.05, 0.30),  # dominated by many
+    }
+
+    def rows(self):
+        names = sorted(self.POINTS, key=lambda n: int(n[1:]))
+        return names, [self.POINTS[n] for n in names]
+
+    def test_skyline(self):
+        names, rows = self.rows()
+        members = {names[i] for i in skyline(rows, (1, 1))}
+        assert members == {"p1", "p2", "p3"}
+
+    def test_two_skyband(self):
+        names, rows = self.rows()
+        members = {names[i] for i in k_skyband(rows, 2, (1, 1))}
+        assert members == {"p1", "p2", "p3", "p4", "p5", "p6", "p7"}
+
+    def test_top1_result_always_on_skyline(self):
+        """Section 3.1: any monotone top-1 lands on the skyline."""
+        names, rows = self.rows()
+        skyline_members = {names[i] for i in skyline(rows, (1, 1))}
+        rng = random.Random(3)
+        for _ in range(50):
+            f = LinearFunction([rng.uniform(0.05, 1.0) for _ in range(2)])
+            best = max(range(len(rows)), key=lambda i: (f.score(rows[i]), i))
+            assert names[best] in skyline_members
+
+    def test_non_skyband_never_in_top2(self):
+        """Tuples outside the 2-skyband lose every top-2 query."""
+        names, rows = self.rows()
+        band = {names[i] for i in k_skyband(rows, 2, (1, 1))}
+        outside = set(names) - band
+        rng = random.Random(4)
+        for _ in range(50):
+            f = LinearFunction([rng.uniform(0.05, 1.0) for _ in range(2)])
+            ranked = sorted(
+                range(len(rows)),
+                key=lambda i: (f.score(rows[i]), i),
+                reverse=True,
+            )
+            top2 = {names[i] for i in ranked[:2]}
+            assert not (top2 & outside)
+
+
+class TestKSkyband:
+    def test_skyline_is_1_skyband(self):
+        rng = random.Random(9)
+        rows = [(rng.random(), rng.random()) for _ in range(60)]
+        assert skyline(rows, (1, 1)) == k_skyband(rows, 1, (1, 1))
+
+    def test_k_large_includes_everything(self):
+        rows = [(0.1, 0.1), (0.2, 0.2), (0.3, 0.3)]
+        assert k_skyband(rows, 10, (1, 1)) == [0, 1, 2]
+
+    def test_dominance_count(self):
+        rows = [(0.9, 0.9), (0.5, 0.5), (0.1, 0.1)]
+        assert dominance_count(rows[2], rows, (1, 1)) == 2
+        assert dominance_count(rows[0], rows, (1, 1)) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6)),
+            min_size=1,
+            max_size=30,
+        ),
+        k=st.integers(1, 3),
+    )
+    def test_skyband_nesting(self, rows, k):
+        """(k)-skyband ⊆ (k+1)-skyband, both under the same directions."""
+        small = set(k_skyband(rows, k, (1, 1)))
+        large = set(k_skyband(rows, k + 1, (1, 1)))
+        assert small <= large

@@ -1,0 +1,111 @@
+"""Tests for the IND / ANT / CLU data distributions."""
+
+import random
+
+import pytest
+
+from repro.core.errors import StreamError
+from repro.streams.generators import (
+    AntiCorrelated,
+    Clustered,
+    Independent,
+    correlation_matrix,
+    make_distribution,
+)
+
+
+class TestIndependent:
+    def test_range_and_dims(self, rng):
+        dist = Independent(4)
+        for point in dist.sample_many(rng, 200):
+            assert len(point) == 4
+            assert all(0.0 <= v < 1.0 for v in point)
+
+    def test_roughly_uniform_mean(self, rng):
+        dist = Independent(2)
+        points = dist.sample_many(rng, 3000)
+        for dim in range(2):
+            mean = sum(p[dim] for p in points) / len(points)
+            assert 0.45 < mean < 0.55
+
+    def test_near_zero_correlation(self, rng):
+        points = Independent(3).sample_many(rng, 3000)
+        corr = correlation_matrix(points)
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    assert abs(corr[i][j]) < 0.1
+
+
+class TestAntiCorrelated:
+    def test_range_and_dims(self, rng):
+        dist = AntiCorrelated(4)
+        for point in dist.sample_many(rng, 200):
+            assert len(point) == 4
+            assert all(0.0 <= v < 1.0 for v in point)
+
+    def test_negative_pairwise_correlation(self, rng):
+        points = AntiCorrelated(2).sample_many(rng, 3000)
+        corr = correlation_matrix(points)
+        assert corr[0][1] < -0.3  # strongly anti-correlated
+
+    def test_sum_concentrates_near_half_d(self, rng):
+        dims = 4
+        points = AntiCorrelated(dims).sample_many(rng, 1000)
+        sums = [sum(p) for p in points]
+        mean_sum = sum(sums) / len(sums)
+        assert abs(mean_sum - dims / 2) < 0.25
+
+    def test_one_dimension_fallback(self, rng):
+        dist = AntiCorrelated(1)
+        for point in dist.sample_many(rng, 50):
+            assert 0.0 <= point[0] < 1.0
+
+    def test_invalid_spread(self):
+        with pytest.raises(StreamError):
+            AntiCorrelated(2, spread=0.0)
+
+
+class TestClustered:
+    def test_points_near_centres(self, rng):
+        dist = Clustered(2, clusters=3, sigma=0.02, seed=5)
+        for point in dist.sample_many(rng, 100):
+            nearest = min(
+                sum((a - b) ** 2 for a, b in zip(point, centre)) ** 0.5
+                for centre in dist.centres
+            )
+            assert nearest < 0.15
+
+    def test_invalid_clusters(self):
+        with pytest.raises(StreamError):
+            Clustered(2, clusters=0)
+
+
+class TestFactory:
+    def test_make_known(self):
+        assert isinstance(make_distribution("ind", 2), Independent)
+        assert isinstance(make_distribution("ANT", 3), AntiCorrelated)
+        assert isinstance(make_distribution("clu", 2), Clustered)
+
+    def test_make_unknown(self):
+        with pytest.raises(StreamError):
+            make_distribution("zipf", 2)
+
+    def test_invalid_dims(self):
+        with pytest.raises(StreamError):
+            Independent(0)
+
+    def test_repr(self):
+        assert "dims=3" in repr(Independent(3))
+
+
+class TestReproducibility:
+    def test_same_seed_same_points(self):
+        a = Independent(3).sample_many(random.Random(42), 50)
+        b = Independent(3).sample_many(random.Random(42), 50)
+        assert a == b
+
+    def test_ant_same_seed_same_points(self):
+        a = AntiCorrelated(3).sample_many(random.Random(42), 50)
+        b = AntiCorrelated(3).sample_many(random.Random(42), 50)
+        assert a == b

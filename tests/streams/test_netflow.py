@@ -1,0 +1,77 @@
+"""Tests for the synthetic NetFlow stream and its attack episodes."""
+
+from collections import Counter
+
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.streams.netflow import NetFlowStream
+
+from tests.conftest import brute_top_k
+
+
+class TestGeneration:
+    def test_batch_size_and_normalisation(self):
+        stream = NetFlowStream(flows_per_cycle=50, seed=1)
+        batch = stream.next_batch()
+        assert len(batch) == 50
+        for item in batch:
+            assert len(item.record.attrs) == 2
+            assert all(0.0 <= v < 1.0 for v in item.record.attrs)
+            assert item.flow.throughput >= 0.0
+
+    def test_record_ids_monotone(self):
+        stream = NetFlowStream(flows_per_cycle=10, seed=1)
+        first = stream.next_batch()
+        second = stream.next_batch()
+        assert max(i.record.rid for i in first) < min(
+            i.record.rid for i in second
+        )
+
+    def test_reproducible(self):
+        a = NetFlowStream(flows_per_cycle=20, seed=3).next_batch()
+        b = NetFlowStream(flows_per_cycle=20, seed=3).next_batch()
+        assert [i.flow for i in a] == [i.flow for i in b]
+
+
+class TestEpisodes:
+    def test_ddos_dominates_top_throughput(self):
+        """The intro's detection: top flows by throughput share a dst."""
+        stream = NetFlowStream(flows_per_cycle=100, seed=7)
+        victim = stream.inject_ddos(start_cycle=2, duration=1)
+        stream.next_batch()  # cycle 1: baseline
+        batch = stream.next_batch()  # cycle 2: attack active
+        query = TopKQuery(LinearFunction([1.0, 0.0]), k=20)
+        by_rid = {item.record.rid: item.flow for item in batch}
+        top = brute_top_k([item.record for item in batch], query)
+        dst_counts = Counter(by_rid[e.rid].dst for e in top)
+        dominant_dst, hits = dst_counts.most_common(1)[0]
+        assert dominant_dst == victim
+        assert hits >= 10  # more than half the top-20 hit the victim
+
+    def test_worm_dominates_min_packets(self):
+        """Top flows by minimum packet count share the worm source."""
+        stream = NetFlowStream(flows_per_cycle=100, seed=8)
+        worm = stream.inject_worm(start_cycle=1, duration=1)
+        batch = stream.next_batch()
+        query = TopKQuery(LinearFunction([0.0, -1.0]), k=20)
+        by_rid = {item.record.rid: item.flow for item in batch}
+        top = brute_top_k([item.record for item in batch], query)
+        src_counts = Counter(by_rid[e.rid].src for e in top)
+        dominant_src, hits = src_counts.most_common(1)[0]
+        assert dominant_src == worm
+        assert hits >= 10
+        # Worm probes are single-packet SYNs.
+        assert all(
+            by_rid[e.rid].packets == 1
+            for e in top
+            if by_rid[e.rid].src == worm
+        )
+
+    def test_no_episode_no_dominant_target(self):
+        stream = NetFlowStream(flows_per_cycle=100, hosts=400, seed=9)
+        batch = stream.next_batch()
+        query = TopKQuery(LinearFunction([1.0, 0.0]), k=20)
+        by_rid = {item.record.rid: item.flow for item in batch}
+        top = brute_top_k([item.record for item in batch], query)
+        dst_counts = Counter(by_rid[e.rid].dst for e in top)
+        assert dst_counts.most_common(1)[0][1] <= 5

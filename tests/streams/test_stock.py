@@ -1,0 +1,43 @@
+"""Tests for the synthetic stock-tick stream."""
+
+from repro.streams.stock import StockStream
+
+
+class TestStockStream:
+    def test_batch_shape(self):
+        stream = StockStream(symbols=20, ticks_per_cycle=30, seed=1)
+        batch = stream.next_batch()
+        assert len(batch) == 30
+        for item in batch:
+            assert len(item.record.attrs) == 2
+            assert all(0.0 <= v < 1.0 for v in item.record.attrs)
+            assert item.tick.price > 0
+            assert item.tick.volume >= 1
+
+    def test_prices_follow_ticks(self):
+        stream = StockStream(symbols=5, ticks_per_cycle=100, seed=2)
+        batch = stream.next_batch()
+        last_price = {}
+        for item in batch:
+            last_price[item.tick.symbol] = item.tick.price
+        for symbol, price in last_price.items():
+            assert stream._prices[symbol] == price
+
+    def test_shock_shows_up_as_large_move(self):
+        stream = StockStream(
+            symbols=3, ticks_per_cycle=200, seed=3, volatility=0.0001
+        )
+        stream.shock("SYM000", 0.25)
+        batch = stream.next_batch()
+        moves = [
+            abs(item.tick.change)
+            for item in batch
+            if item.tick.symbol == "SYM000"
+        ]
+        # The first SYM000 tick after the shock registers a large move.
+        assert moves and max(moves) > 0.05
+
+    def test_reproducible(self):
+        a = StockStream(seed=4).next_batch()
+        b = StockStream(seed=4).next_batch()
+        assert [i.tick for i in a] == [i.tick for i in b]

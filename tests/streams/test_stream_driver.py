@@ -1,0 +1,52 @@
+"""Tests for the sliding-window stream driver."""
+
+import pytest
+
+from repro.core.errors import StreamError
+from repro.streams.generators import Independent
+from repro.streams.stream import StreamDriver
+
+
+class TestStreamDriver:
+    def test_invalid_rate(self):
+        with pytest.raises(StreamError):
+            StreamDriver(Independent(2), rate=0)
+
+    def test_warmup_batch(self):
+        driver = StreamDriver(Independent(2), rate=10, seed=1)
+        warm = driver.warmup(25)
+        assert len(warm) == 25
+        assert [r.rid for r in warm] == list(range(25))
+        assert all(r.time == 0.0 for r in warm)
+
+    def test_batches_tick_the_clock(self):
+        driver = StreamDriver(Independent(2), rate=4, seed=1)
+        batches = list(driver.batches(3))
+        assert [len(b) for b in batches] == [4, 4, 4]
+        assert [b[0].time for b in batches] == [1.0, 2.0, 3.0]
+        assert driver.clock == 3.0
+
+    def test_ids_monotone_across_batches(self):
+        driver = StreamDriver(Independent(2), rate=3, seed=1)
+        driver.warmup(5)
+        ids = [r.rid for batch in driver.batches(4) for r in batch]
+        assert ids == list(range(5, 17))
+
+    def test_custom_batch_size(self):
+        driver = StreamDriver(Independent(2), rate=3, seed=1)
+        assert len(driver.next_batch(count=7)) == 7
+
+    def test_materialize_equals_fresh_stream(self):
+        a = StreamDriver(Independent(2), rate=5, seed=9)
+        b = StreamDriver(Independent(2), rate=5, seed=9)
+        batches_a = a.materialize(4)
+        batches_b = [b.next_batch() for _ in range(4)]
+        assert [
+            [(r.rid, r.attrs) for r in batch] for batch in batches_a
+        ] == [[(r.rid, r.attrs) for r in batch] for batch in batches_b]
+
+    def test_time_step(self):
+        driver = StreamDriver(Independent(2), rate=1, seed=1, time_step=0.5)
+        driver.next_batch()
+        driver.next_batch()
+        assert driver.clock == 1.0

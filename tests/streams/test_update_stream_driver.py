@@ -1,0 +1,66 @@
+"""Tests for the explicit-deletion update-stream driver."""
+
+import pytest
+
+from repro.core.errors import StreamError
+from repro.streams.generators import Independent
+from repro.streams.update_stream import UpdateStreamDriver
+
+
+class TestValidation:
+    def test_invalid_rate(self):
+        with pytest.raises(StreamError):
+            UpdateStreamDriver(Independent(2), rate=0)
+
+    def test_invalid_lifetimes(self):
+        with pytest.raises(StreamError):
+            UpdateStreamDriver(
+                Independent(2), rate=1, min_lifetime=5, max_lifetime=2
+            )
+        with pytest.raises(StreamError):
+            UpdateStreamDriver(
+                Independent(2), rate=1, min_lifetime=0, max_lifetime=2
+            )
+
+
+class TestGeneration:
+    def test_every_insert_deleted_exactly_once(self):
+        driver = UpdateStreamDriver(
+            Independent(2), rate=4, min_lifetime=1, max_lifetime=6, seed=2
+        )
+        inserted = set()
+        deleted = []
+        for batch in driver.batches(30):
+            inserted.update(r.rid for r in batch.insertions)
+            deleted.extend(r.rid for r in batch.deletions)
+        remaining = {r.rid for r in driver.drain()}
+        assert len(deleted) == len(set(deleted))  # no double deletes
+        assert set(deleted) | remaining == inserted
+
+    def test_lifetimes_within_bounds(self):
+        driver = UpdateStreamDriver(
+            Independent(2), rate=3, min_lifetime=2, max_lifetime=5, seed=3
+        )
+        born = {}
+        for cycle, batch in enumerate(driver.batches(25), start=1):
+            for record in batch.insertions:
+                born[record.rid] = cycle
+            for record in batch.deletions:
+                age = cycle - born[record.rid]
+                assert 2 <= age <= 5
+
+    def test_deletions_never_precede_insertions(self):
+        driver = UpdateStreamDriver(
+            Independent(2), rate=3, min_lifetime=1, max_lifetime=4, seed=4
+        )
+        seen = set()
+        for batch in driver.batches(20):
+            seen.update(r.rid for r in batch.insertions)
+            for record in batch.deletions:
+                assert record.rid in seen
+
+    def test_batch_times_increase(self):
+        driver = UpdateStreamDriver(Independent(2), rate=1, seed=5)
+        times = [batch.time for batch in driver.batches(5)]
+        assert times == sorted(times)
+        assert len(set(times)) == 5

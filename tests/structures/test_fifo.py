@@ -1,0 +1,106 @@
+"""Unit and property tests for the intrusive FIFO list."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.structures.fifo import FifoList
+
+
+class TestBasics:
+    def test_empty(self):
+        fifo = FifoList()
+        assert len(fifo) == 0
+        assert not fifo
+        assert list(fifo) == []
+
+    def test_popleft_empty_raises(self):
+        with pytest.raises(IndexError):
+            FifoList().popleft()
+
+    def test_peek_empty_raises(self):
+        fifo = FifoList()
+        with pytest.raises(IndexError):
+            fifo.peekleft()
+        with pytest.raises(IndexError):
+            fifo.peekright()
+
+    def test_fifo_order(self):
+        fifo = FifoList()
+        for value in "abc":
+            fifo.append(value)
+        assert list(fifo) == ["a", "b", "c"]
+        assert fifo.popleft() == "a"
+        assert fifo.popleft() == "b"
+        assert fifo.popleft() == "c"
+
+    def test_peeks(self):
+        fifo = FifoList()
+        fifo.append(1)
+        fifo.append(2)
+        assert fifo.peekleft() == 1
+        assert fifo.peekright() == 2
+        assert len(fifo) == 2  # peeks do not consume
+
+    def test_remove_middle_by_handle(self):
+        fifo = FifoList()
+        fifo.append("a")
+        node_b = fifo.append("b")
+        fifo.append("c")
+        assert fifo.remove(node_b) == "b"
+        assert list(fifo) == ["a", "c"]
+
+    def test_remove_head_and_tail_by_handle(self):
+        fifo = FifoList()
+        node_a = fifo.append("a")
+        fifo.append("b")
+        node_c = fifo.append("c")
+        fifo.remove(node_a)
+        fifo.remove(node_c)
+        assert list(fifo) == ["b"]
+
+    def test_double_remove_raises(self):
+        fifo = FifoList()
+        node = fifo.append(1)
+        fifo.remove(node)
+        with pytest.raises(ValueError):
+            fifo.remove(node)
+
+    def test_remove_foreign_node_raises(self):
+        fifo_a = FifoList()
+        fifo_b = FifoList()
+        node = fifo_a.append(1)
+        with pytest.raises(ValueError):
+            fifo_b.remove(node)
+
+    def test_singleton_lifecycle(self):
+        fifo = FifoList()
+        node = fifo.append("only")
+        assert fifo.remove(node) == "only"
+        assert len(fifo) == 0
+        fifo.append("again")
+        assert fifo.popleft() == "again"
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 2), max_size=300))
+    def test_matches_deque_oracle(self, choices):
+        from collections import deque
+
+        fifo = FifoList()
+        handles = []
+        oracle = deque()
+        counter = 0
+        for choice in choices:
+            if choice == 0 or not oracle:
+                counter += 1
+                handles.append(fifo.append(counter))
+                oracle.append(counter)
+            elif choice == 1:
+                assert fifo.popleft() == oracle.popleft()
+                handles.pop(0)
+            else:
+                node = handles.pop()
+                value = fifo.remove(node)
+                assert value == oracle.pop()
+        assert list(fifo) == list(oracle)

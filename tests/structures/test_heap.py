@@ -1,0 +1,127 @@
+"""Unit and property tests for the binary max-heap."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.structures.heap import BinaryMaxHeap
+
+
+class TestBasics:
+    def test_empty_heap(self):
+        heap = BinaryMaxHeap()
+        assert len(heap) == 0
+        assert not heap
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BinaryMaxHeap().pop()
+
+    def test_peek_empty_raises(self):
+        heap = BinaryMaxHeap()
+        with pytest.raises(IndexError):
+            heap.peek_key()
+        with pytest.raises(IndexError):
+            heap.peek_item()
+
+    def test_single_element(self):
+        heap = BinaryMaxHeap()
+        heap.push(5.0, "a")
+        assert heap.peek_key() == 5.0
+        assert heap.peek_item() == "a"
+        assert heap.pop() == (5.0, "a")
+        assert not heap
+
+    def test_max_order(self):
+        heap = BinaryMaxHeap()
+        for key in [3, 1, 4, 1, 5, 9, 2, 6]:
+            heap.push(key, f"item{key}")
+        keys = [heap.pop()[0] for _ in range(len([3, 1, 4, 1, 5, 9, 2, 6]))]
+        assert keys == sorted([3, 1, 4, 1, 5, 9, 2, 6], reverse=True)
+
+    def test_ties_pop_fifo(self):
+        heap = BinaryMaxHeap()
+        heap.push(1.0, "first")
+        heap.push(1.0, "second")
+        heap.push(1.0, "third")
+        assert [heap.pop()[1] for _ in range(3)] == [
+            "first",
+            "second",
+            "third",
+        ]
+
+    def test_items_are_not_compared(self):
+        heap = BinaryMaxHeap()
+        heap.push(1.0, object())
+        heap.push(1.0, object())  # would raise if items were compared
+        heap.pop()
+        heap.pop()
+
+    def test_drain(self):
+        heap = BinaryMaxHeap()
+        for key in range(5):
+            heap.push(key, key * 10)
+        drained = heap.drain()
+        assert sorted(drained) == [0, 10, 20, 30, 40]
+        assert len(heap) == 0
+
+    def test_items_iterates_without_consuming(self):
+        heap = BinaryMaxHeap()
+        heap.push(2, "a")
+        heap.push(1, "b")
+        assert sorted(heap.items()) == ["a", "b"]
+        assert len(heap) == 2
+
+    def test_interleaved_push_pop(self):
+        heap = BinaryMaxHeap()
+        heap.push(1, "a")
+        heap.push(3, "c")
+        assert heap.pop() == (3, "c")
+        heap.push(2, "b")
+        assert heap.pop() == (2, "b")
+        assert heap.pop() == (1, "a")
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000)))
+    def test_pop_order_matches_sorted(self, keys):
+        heap = BinaryMaxHeap()
+        for key in keys:
+            heap.push(key, None)
+        popped = [heap.pop()[0] for _ in range(len(keys))]
+        assert popped == sorted(keys, reverse=True)
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.floats(allow_nan=False, allow_infinity=False)),
+            max_size=200,
+        )
+    )
+    def test_against_reference_under_mixed_ops(self, ops):
+        heap = BinaryMaxHeap()
+        reference = []
+        for is_push, key in ops:
+            if is_push or not reference:
+                heap.push(key, key)
+                reference.append(key)
+            else:
+                got_key, _ = heap.pop()
+                reference.sort()
+                assert got_key == reference.pop()
+        assert len(heap) == len(reference)
+
+    def test_random_soak(self):
+        rng = random.Random(7)
+        heap = BinaryMaxHeap()
+        mirror = []
+        for _ in range(2000):
+            if mirror and rng.random() < 0.4:
+                key, _ = heap.pop()
+                mirror.sort(reverse=True)
+                assert key == mirror.pop(0)
+            else:
+                key = rng.randint(0, 100)
+                heap.push(key, None)
+                mirror.append(key)

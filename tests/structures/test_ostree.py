@@ -1,0 +1,137 @@
+"""Unit and property tests for the order-statistic treap."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.structures.ostree import OrderStatisticTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = OrderStatisticTree()
+        assert len(tree) == 0
+        assert 5 not in tree
+        assert tree.count_greater(0) == 0
+        assert tree.count_less(0) == 0
+
+    def test_insert_and_contains(self):
+        tree = OrderStatisticTree()
+        tree.insert(3)
+        tree.insert(1)
+        tree.insert(2)
+        assert len(tree) == 3
+        assert 1 in tree and 2 in tree and 3 in tree
+        assert 4 not in tree
+
+    def test_duplicates_counted_with_multiplicity(self):
+        tree = OrderStatisticTree()
+        for value in (5, 5, 5, 2):
+            tree.insert(value)
+        assert len(tree) == 4
+        assert tree.count_greater(2) == 3
+        assert tree.count_less(5) == 1
+        assert tree.count_greater_equal(5) == 3
+
+    def test_remove(self):
+        tree = OrderStatisticTree()
+        for value in (4, 2, 6, 2):
+            tree.insert(value)
+        tree.remove(2)
+        assert len(tree) == 3
+        assert 2 in tree  # one copy remains
+        tree.remove(2)
+        assert 2 not in tree
+
+    def test_remove_missing_raises(self):
+        tree = OrderStatisticTree()
+        tree.insert(1)
+        with pytest.raises(KeyError):
+            tree.remove(99)
+
+    def test_kth(self):
+        tree = OrderStatisticTree()
+        for value in (5, 1, 9, 5):
+            tree.insert(value)
+        assert [tree.kth(i) for i in range(4)] == [1, 5, 5, 9]
+
+    def test_kth_out_of_range(self):
+        tree = OrderStatisticTree()
+        tree.insert(1)
+        with pytest.raises(IndexError):
+            tree.kth(1)
+        with pytest.raises(IndexError):
+            tree.kth(-1)
+
+    def test_iteration_sorted(self):
+        tree = OrderStatisticTree()
+        values = [9, 1, 5, 5, 3]
+        for value in values:
+            tree.insert(value)
+        assert list(tree) == sorted(values)
+
+    def test_dominance_counter_usage(self):
+        # SMA's pattern: process in descending score order, DC = number
+        # of already-inserted arrival ids greater than the current one.
+        arrival_by_score_desc = [7, 3, 9, 1]  # arbitrary arrival ids
+        tree = OrderStatisticTree()
+        dcs = []
+        for arrival in arrival_by_score_desc:
+            dcs.append(tree.count_greater(arrival))
+            tree.insert(arrival)
+        assert dcs == [0, 1, 0, 3]
+
+
+class TestProperties:
+    @given(st.lists(st.integers(-100, 100), max_size=300))
+    def test_counts_match_sorted_oracle(self, values):
+        tree = OrderStatisticTree()
+        for value in values:
+            tree.insert(value)
+        for probe in (-101, -50, 0, 50, 101):
+            assert tree.count_greater(probe) == sum(
+                1 for v in values if v > probe
+            )
+            assert tree.count_less(probe) == sum(
+                1 for v in values if v < probe
+            )
+        assert list(tree) == sorted(values)
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(-20, 20)), max_size=300
+        )
+    )
+    def test_mixed_insert_remove_matches_oracle(self, ops):
+        tree = OrderStatisticTree()
+        mirror = []
+        for is_insert, value in ops:
+            if is_insert or value not in mirror:
+                tree.insert(value)
+                mirror.append(value)
+            else:
+                tree.remove(value)
+                mirror.remove(value)
+            assert len(tree) == len(mirror)
+        assert list(tree) == sorted(mirror)
+        for index in range(len(mirror)):
+            assert tree.kth(index) == sorted(mirror)[index]
+
+    def test_large_random_soak(self):
+        rng = random.Random(99)
+        tree = OrderStatisticTree()
+        mirror = []
+        for _ in range(3000):
+            value = rng.randint(0, 500)
+            if mirror and rng.random() < 0.35:
+                victim = rng.choice(mirror)
+                tree.remove(victim)
+                mirror.remove(victim)
+            else:
+                tree.insert(value)
+                mirror.append(value)
+        mirror.sort()
+        assert list(tree) == mirror
+        assert len(tree) == len(mirror)

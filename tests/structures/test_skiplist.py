@@ -1,0 +1,141 @@
+"""Unit and property tests for the indexable skip list."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.skiplist import IndexableSkipList
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = IndexableSkipList()
+        assert len(sl) == 0
+        assert not sl
+        assert list(sl) == []
+
+    def test_construction_sorts(self):
+        sl = IndexableSkipList([3, 1, 2])
+        assert list(sl) == [1, 2, 3]
+
+    def test_add_returns_index(self):
+        sl = IndexableSkipList()
+        assert sl.add(5) == 0
+        assert sl.add(1) == 0
+        assert sl.add(3) == 1
+        assert sl.add(9) == 3
+        assert list(sl) == [1, 3, 5, 9]
+
+    def test_duplicates_insert_after_equals(self):
+        sl = IndexableSkipList(key=lambda pair: pair[0])
+        sl.add((1, "a"))
+        assert sl.add((1, "b")) == 1
+        assert [item[1] for item in sl] == ["a", "b"]
+
+    def test_getitem(self):
+        sl = IndexableSkipList([4, 2, 8, 6])
+        assert sl[0] == 2
+        assert sl[2] == 6
+        assert sl[-1] == 8
+        with pytest.raises(IndexError):
+            sl[4]
+        with pytest.raises(IndexError):
+            sl[-5]
+
+    def test_remove_by_value(self):
+        sl = IndexableSkipList([1, 2, 3])
+        assert sl.remove(2) == 1
+        assert list(sl) == [1, 3]
+        with pytest.raises(ValueError):
+            sl.remove(9)
+
+    def test_remove_within_equal_keys(self):
+        sl = IndexableSkipList(key=lambda pair: pair[0])
+        sl.add((1, "x"))
+        sl.add((1, "y"))
+        sl.add((1, "z"))
+        sl.remove((1, "y"))
+        assert [item[1] for item in sl] == ["x", "z"]
+
+    def test_discard(self):
+        sl = IndexableSkipList([1])
+        assert sl.discard(1) is True
+        assert sl.discard(1) is False
+
+    def test_count_key_helpers(self):
+        sl = IndexableSkipList([1, 2, 2, 3, 5])
+        assert sl.count_key_less(2) == 1
+        assert sl.count_key_greater(2) == 2
+        assert sl.count_key_less(0) == 0
+        assert sl.count_key_greater(9) == 0
+
+    def test_bulk_add(self):
+        sl = IndexableSkipList([5])
+        sl.bulk_add([2, 9, 1])
+        assert list(sl) == [1, 2, 5, 9]
+
+    def test_key_function(self):
+        sl = IndexableSkipList(key=lambda pair: pair[0])
+        for pair in [(3, "c"), (1, "a"), (2, "b")]:
+            sl.add(pair)
+        assert [item[1] for item in sl] == ["a", "b", "c"]
+        assert sl[1] == (2, "b")
+
+
+class TestProperties:
+    @given(st.lists(st.integers(-40, 40), max_size=200))
+    def test_iteration_always_sorted(self, values):
+        sl = IndexableSkipList()
+        for value in values:
+            sl.add(value)
+        assert list(sl) == sorted(values)
+
+    @given(st.lists(st.integers(-40, 40), min_size=1, max_size=150))
+    def test_positional_access_matches_sorted(self, values):
+        sl = IndexableSkipList()
+        for value in values:
+            sl.add(value)
+        expected = sorted(values)
+        for index in range(len(expected)):
+            assert sl[index] == expected[index]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.tuples(st.booleans(), st.integers(-15, 15)), max_size=200)
+    )
+    def test_mixed_ops_match_oracle(self, ops):
+        sl = IndexableSkipList()
+        mirror = []
+        for is_add, value in ops:
+            if is_add or value not in mirror:
+                sl.add(value)
+                mirror.append(value)
+            else:
+                sl.remove(value)
+                mirror.remove(value)
+            assert len(sl) == len(mirror)
+        assert list(sl) == sorted(mirror)
+
+    def test_large_soak_with_positional_checks(self):
+        rng = random.Random(31)
+        sl = IndexableSkipList()
+        mirror = []
+        for step in range(3000):
+            if mirror and rng.random() < 0.4:
+                victim = rng.choice(mirror)
+                sl.remove(victim)
+                mirror.remove(victim)
+            else:
+                value = rng.randint(0, 400)
+                sl.add(value)
+                mirror.append(value)
+            if step % 250 == 0 and mirror:
+                mirror.sort()
+                probe = rng.randrange(len(mirror))
+                assert sl[probe] == mirror[probe]
+                assert sl.count_key_less(200) == sum(
+                    1 for v in mirror if v < 200
+                )
+        assert list(sl) == sorted(mirror)

@@ -1,0 +1,109 @@
+"""Unit and property tests for SortedKeyList."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.structures.sorted_list import SortedKeyList, insort_unique
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = SortedKeyList()
+        assert len(sl) == 0
+        assert not sl
+        assert list(sl) == []
+
+    def test_construction_sorts(self):
+        sl = SortedKeyList([3, 1, 2])
+        assert list(sl) == [1, 2, 3]
+
+    def test_add_returns_index(self):
+        sl = SortedKeyList()
+        assert sl.add(5) == 0
+        assert sl.add(1) == 0
+        assert sl.add(3) == 1
+        assert list(sl) == [1, 3, 5]
+
+    def test_key_function(self):
+        sl = SortedKeyList(key=lambda pair: pair[0])
+        sl.add((2, "b"))
+        sl.add((1, "a"))
+        sl.add((3, "c"))
+        assert [item[1] for item in sl] == ["a", "b", "c"]
+
+    def test_remove_by_equality_within_equal_keys(self):
+        sl = SortedKeyList(key=lambda pair: pair[0])
+        sl.add((1, "x"))
+        sl.add((1, "y"))
+        sl.add((1, "z"))
+        sl.remove((1, "y"))
+        assert [item[1] for item in sl] == ["x", "z"]
+
+    def test_remove_missing_raises(self):
+        sl = SortedKeyList([1, 2])
+        with pytest.raises(ValueError):
+            sl.remove(9)
+
+    def test_discard(self):
+        sl = SortedKeyList([1, 2])
+        assert sl.discard(1) is True
+        assert sl.discard(1) is False
+        assert list(sl) == [2]
+
+    def test_contains(self):
+        sl = SortedKeyList([1, 2, 3])
+        assert 2 in sl
+        assert 9 not in sl
+
+    def test_pop(self):
+        sl = SortedKeyList([1, 2, 3])
+        assert sl.pop() == 3
+        assert sl.pop(0) == 1
+        assert list(sl) == [2]
+
+    def test_indexing_and_reversed(self):
+        sl = SortedKeyList([4, 2, 8])
+        assert sl[0] == 2
+        assert sl[-1] == 8
+        assert list(reversed(sl)) == [8, 4, 2]
+
+    def test_count_key_helpers(self):
+        sl = SortedKeyList([1, 2, 2, 3, 5])
+        assert sl.count_key_greater(2) == 2
+        assert sl.count_key_less(2) == 1
+        assert sl.index_of_key(2) == 1
+
+    def test_clear(self):
+        sl = SortedKeyList([1, 2])
+        sl.clear()
+        assert len(sl) == 0
+
+    def test_insort_unique_helper(self):
+        values = [(1, "a"), (3, "c")]
+        insort_unique(values, (2, "b"))
+        assert values == [(1, "a"), (2, "b"), (3, "c")]
+
+
+class TestProperties:
+    @given(st.lists(st.integers(-50, 50), max_size=200))
+    def test_always_sorted(self, values):
+        sl = SortedKeyList()
+        for value in values:
+            sl.add(value)
+        assert list(sl) == sorted(values)
+
+    @given(
+        st.lists(st.tuples(st.booleans(), st.integers(-10, 10)), max_size=200)
+    )
+    def test_mixed_ops_match_oracle(self, ops):
+        sl = SortedKeyList()
+        mirror = []
+        for is_add, value in ops:
+            if is_add or value not in mirror:
+                sl.add(value)
+                mirror.append(value)
+            else:
+                sl.remove(value)
+                mirror.remove(value)
+        assert list(sl) == sorted(mirror)

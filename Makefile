@@ -1,0 +1,24 @@
+# One-command gates for this reproduction. PYTHONPATH-based so no
+# install step is required (the container has no network).
+
+PY := PYTHONPATH=src python
+
+.PHONY: test selfcheck bench-smoke bench-json
+
+# Tier-1: the full unit + benchmark-trend suite.
+test:
+	$(PY) -m pytest -x -q
+
+# Exact-parity sweep of all algorithms against the brute-force oracle.
+selfcheck:
+	$(PY) -m repro.bench selfcheck
+
+# The perf-PR gate: tier-1 tests, the parity oracle, and a ~2-second
+# micro-bench that exercises every batched hot path end to end.
+bench-smoke: test selfcheck
+	$(PY) -m repro.bench run --n 4000 --rate 40 --queries 10 --cycles 5
+
+# Capture a machine-readable baseline on the default workload
+# (the BENCH_PR1.json format's per-run payload).
+bench-json:
+	$(PY) -m repro.bench run --json bench_capture.json

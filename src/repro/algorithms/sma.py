@@ -34,6 +34,7 @@ from repro.algorithms.topk_computation import (
     query_region,
     remove_query_everywhere,
 )
+from repro.core.batch import ArrivalScorer
 from repro.core.queries import TopKQuery
 from repro.core.results import ResultEntry
 from repro.core.tuples import MIN_RANK_KEY, RankKey, StreamRecord
@@ -115,8 +116,13 @@ class SkybandMonitoringAlgorithm(MonitorAlgorithm):
         states = self._states
         changed: List[_SmaQueryState] = []
 
-        for record in arrivals:
-            cell = self.grid.insert(record)
+        # Batched grid insertion + lazily batch-scored arrivals, as in
+        # TMA (see there): the kernel evaluates a query's whole arrival
+        # batch on its first influence hit.
+        scorer = ArrivalScorer(arrivals)
+        cells = self.grid.insert_many(arrivals)
+        for index, record in enumerate(arrivals):
+            cell = cells[index]
             for qid in cell.influence:
                 state = states.get(qid)
                 if state is None:
@@ -126,13 +132,12 @@ class SkybandMonitoringAlgorithm(MonitorAlgorithm):
                     record.attrs
                 ):
                     continue
-                score = state.query.score(record.attrs)
+                score = scorer.score_of(state.query.function, index)
                 if (score, record.rid) > state.gate:
                     self._touch(qid)
                     state.skyband.insert(score, record, self.counters)
 
-        for record in expirations:
-            cell = self.grid.delete(record)
+        for record, cell in zip(expirations, self.grid.delete_many(expirations)):
             for qid in cell.influence:
                 state = states.get(qid)
                 if state is None:

@@ -36,6 +36,7 @@ from repro.algorithms.topk_computation import (
     query_region,
     remove_query_everywhere,
 )
+from repro.core.batch import ArrivalScorer
 from repro.core.queries import TopKQuery
 from repro.core.results import ResultEntry
 from repro.core.tuples import MIN_RANK_KEY, RankKey, StreamRecord
@@ -152,8 +153,16 @@ class TopKMonitoringAlgorithm(MonitorAlgorithm):
         affected: List[_TmaQueryState] = []
         gate_rose: List[_TmaQueryState] = []
 
-        for record in arrivals:
-            cell = self.grid.insert(record)
+        # One batched grid pass maps all arrivals to their cells, and
+        # arrival scores come from the per-query batch kernel (computed
+        # lazily on a query's first influence hit, cached for the rest
+        # of the batch) instead of one interpreted score() per hit.
+        scorer = ArrivalScorer(arrivals)
+        cells = self.grid.insert_many(arrivals)
+        for index, record in enumerate(arrivals):
+            cell = cells[index]
+            if not cell.influence:
+                continue
             admitted = []
             for qid in cell.influence:
                 state = states.get(qid)
@@ -164,18 +173,19 @@ class TopKMonitoringAlgorithm(MonitorAlgorithm):
                     record.attrs
                 ):
                     continue
-                key: RankKey = (state.query.score(record.attrs), record.rid)
+                key: RankKey = (
+                    scorer.score_of(state.query.function, index),
+                    record.rid,
+                )
                 if key > state.gate_key():
                     self._touch(qid)
-                    admitted.append(state)
+                    admitted.append((state, key))
                     self.counters.top_list_updates += 1
             # Influence lists are hash sets; admitting inside the scan
             # could trim the set being iterated under eager cleanup.
-            for state in admitted:
+            for state, key in admitted:
                 full_before = len(state.top) == state.query.k
-                state.admit(
-                    (state.query.score(record.attrs), record.rid), record
-                )
+                state.admit(key, record)
                 if (
                     self.eager_cleanup
                     and full_before
@@ -193,8 +203,7 @@ class TopKMonitoringAlgorithm(MonitorAlgorithm):
                 self.counters,
             )
 
-        for record in expirations:
-            cell = self.grid.delete(record)
+        for record, cell in zip(expirations, self.grid.delete_many(expirations)):
             for qid in cell.influence:
                 state = states.get(qid)
                 if state is None:

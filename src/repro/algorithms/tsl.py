@@ -36,11 +36,18 @@ from bisect import insort
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.algorithms.base import MonitorAlgorithm
+from repro.core.batch import ArrivalScorer, as_matrix, to_list
 from repro.core.errors import QueryError
 from repro.core.queries import TopKQuery
 from repro.core.results import ResultEntry
 from repro.core.tuples import MIN_RANK_KEY, RankKey, StreamRecord
-from repro.structures.sorted_list import SortedKeyList
+from repro.core import batch
+from repro.structures.sorted_list import AttributeSortedList, SortedKeyList
+
+
+#: sorted-access depths drained per TA batch round (see
+#: :meth:`ThresholdSortedListAlgorithm._threshold_algorithm`).
+_TA_CHUNK = 32
 
 
 def default_kmax(k: int) -> int:
@@ -141,20 +148,31 @@ class ThresholdSortedListAlgorithm(MonitorAlgorithm):
         self._kmax_for = kmax_for if kmax_for is not None else default_kmax
         self.adaptive_kmax = adaptive_kmax
         if list_impl == "array":
-            container = SortedKeyList
+            if batch.np is not None:
+                # Columnar keys + vectorized merges (see
+                # AttributeSortedList for why dropping the rid
+                # tiebreak keeps TA exact).
+                self._sorted_lists = [
+                    AttributeSortedList(key=self._float_attr_key(dim))
+                    for dim in range(dims)
+                ]
+            else:
+                self._sorted_lists = [
+                    SortedKeyList(key=self._attr_key(dim))
+                    for dim in range(dims)
+                ]
         elif list_impl == "skiplist":
             from repro.structures.skiplist import IndexableSkipList
 
-            container = IndexableSkipList
+            self._sorted_lists = [
+                IndexableSkipList(key=self._attr_key(dim))
+                for dim in range(dims)
+            ]
         else:
             raise ValueError(
                 f"list_impl must be 'array' or 'skiplist', got {list_impl!r}"
             )
         self.list_impl = list_impl
-        #: one list per dimension, ascending by that attribute.
-        self._sorted_lists = [
-            container(key=self._attr_key(dim)) for dim in range(dims)
-        ]
         self._states: Dict[int, _TslQueryState] = {}
 
     @staticmethod
@@ -162,6 +180,15 @@ class ThresholdSortedListAlgorithm(MonitorAlgorithm):
         def key(record: StreamRecord):
             # rid breaks attribute ties so removal is deterministic.
             return (record.attrs[dim], record.rid)
+
+        return key
+
+    @staticmethod
+    def _float_attr_key(dim: int):
+        def key(record: StreamRecord) -> float:
+            # Bare float key for the columnar list; removal scans the
+            # equal-key range for the record itself instead.
+            return record.attrs[dim]
 
         return key
 
@@ -203,9 +230,19 @@ class ThresholdSortedListAlgorithm(MonitorAlgorithm):
         every list is exhausted). The stop test is strict, so records
         tying τ are still scanned — keeping results exact under the
         canonical (score, rid) order.
+
+        The walk is *chunked*: ``_TA_CHUNK`` depths of sorted accesses
+        are drained per round and the newly seen records are scored
+        with one batch-kernel call; τ is re-evaluated at chunk
+        boundaries only. TA stays exact at any stop depth at or past
+        the classic per-depth stop (candidates only improve with extra
+        accesses, and the τ bound still holds), so the result is
+        identical — the scan merely overshoots the textbook stopping
+        point by at most one chunk of sorted/random accesses.
         """
         lists = self._sorted_lists
-        directions = query.function.directions
+        function = query.function
+        directions = function.directions
         total = len(lists[0])
         candidates: List[Tuple[RankKey, StreamRecord]] = []  # ascending
         seen: Set[int] = set()
@@ -217,22 +254,37 @@ class ThresholdSortedListAlgorithm(MonitorAlgorithm):
         ]
         depth = 0
         while depth < total:
+            until = min(total, depth + _TA_CHUNK)
+            fresh: List[StreamRecord] = []
             for dim in range(self.dims):
-                position = total - 1 - depth if directions[dim] > 0 else depth
-                record = lists[dim][position]
-                self.counters.sorted_accesses += 1
-                last_values[dim] = record.attrs[dim]
-                if record.rid in seen:
-                    continue
-                seen.add(record.rid)
-                self.counters.random_accesses += 1
-                key: RankKey = (query.score(record.attrs), record.rid)
-                if len(candidates) < limit:
-                    insort(candidates, (key, record))
-                elif key > candidates[0][0]:
-                    candidates.pop(0)
-                    insort(candidates, (key, record))
-            depth += 1
+                attribute_list = lists[dim]
+                if directions[dim] > 0:
+                    positions = range(total - 1 - depth, total - 1 - until, -1)
+                else:
+                    positions = range(depth, until)
+                for position in positions:
+                    record = attribute_list[position]
+                    self.counters.sorted_accesses += 1
+                    last_values[dim] = record.attrs[dim]
+                    if record.rid in seen:
+                        continue
+                    seen.add(record.rid)
+                    self.counters.random_accesses += 1
+                    fresh.append(record)
+            if fresh:
+                scores = to_list(
+                    function.score_batch(
+                        as_matrix([record.attrs for record in fresh])
+                    )
+                )
+                for record, score in zip(fresh, scores):
+                    key: RankKey = (score, record.rid)
+                    if len(candidates) < limit:
+                        insort(candidates, (key, record))
+                    elif key > candidates[0][0]:
+                        candidates.pop(0)
+                        insort(candidates, (key, record))
+            depth = until
             if len(candidates) >= limit:
                 tau = query.score(last_values)
                 if candidates[0][0][0] > tau:
@@ -253,42 +305,73 @@ class ThresholdSortedListAlgorithm(MonitorAlgorithm):
         refill: List[_TslQueryState] = []
 
         # Bulk-load path: a batch comparable to the current list size
-        # (window warm-up) is cheaper to merge-and-sort than to insert
-        # one memmove at a time.
+        # (window warm-up) is cheaper to merge-and-sort than to merge
+        # slice-wise; steady-state batches take the one-rebuild merge
+        # of add_many instead of one O(n) memmove per record.
         if len(arrivals) > 64 and len(arrivals) >= len(self._sorted_lists[0]):
             for sorted_list in self._sorted_lists:
                 sorted_list.bulk_add(arrivals)
                 self.counters.sorted_list_updates += len(arrivals)
-        else:
-            for record in arrivals:
-                for sorted_list in self._sorted_lists:
-                    sorted_list.add(record)
-                    self.counters.sorted_list_updates += 1
-
-        for record in arrivals:
-            for state in self._states.values():
-                key: RankKey = (state.query.score(record.attrs), record.rid)
-                self.counters.influence_checks += 1
-                if key > state.worst_key() or len(state.view) < state.query.k:
-                    self._touch(state.query.qid)
-                    state.insert(key, record)
-                    state.updates_since_refill += 1
-                    self.counters.view_insertions += 1
-
-        for record in expirations:
+        elif arrivals:
             for sorted_list in self._sorted_lists:
-                sorted_list.remove(record)
-                self.counters.sorted_list_updates += 1
+                sorted_list.add_many(arrivals)
+                self.counters.sorted_list_updates += len(arrivals)
+
+        # Every arrival is checked against every query (TSL has no
+        # influence lists to narrow the scope), so the whole batch is
+        # scored per query in one kernel call; a vector prefilter then
+        # drops arrivals that cannot beat the view's worst key. The
+        # gate only rises while inserting arrivals, so prefiltering
+        # against the *initial* worst key is safe — survivors are
+        # re-checked exactly against the live key, ties included.
+        if arrivals and self._states:
+            scorer = ArrivalScorer(arrivals)
+            batch_size = len(arrivals)
             for state in self._states.values():
-                if record.rid in state.member_ids:
-                    self._touch(state.query.qid)  # before mutating
-                    state.remove(record)
+                self.counters.influence_checks += batch_size
+                function = state.query.function
+                if len(state.view) >= state.query.k:
+                    survivors, values = scorer.take_survivors(
+                        function, state.worst_key()[0]
+                    )
+                    if not survivors:
+                        continue
+                else:
+                    survivors = range(batch_size)
+                    values = scorer.scores(function)
+                for index, value in zip(survivors, values):
+                    record = arrivals[index]
+                    key: RankKey = (value, record.rid)
                     if (
-                        len(state.view) < state.query.k
-                        and not state.needs_refill
+                        key > state.worst_key()
+                        or len(state.view) < state.query.k
                     ):
-                        state.needs_refill = True
-                        refill.append(state)
+                        self._touch(state.query.qid)
+                        state.insert(key, record)
+                        state.updates_since_refill += 1
+                        self.counters.view_insertions += 1
+
+        if expirations:
+            for sorted_list in self._sorted_lists:
+                sorted_list.remove_many(expirations)
+                self.counters.sorted_list_updates += len(expirations)
+            # One set intersection per view replaces the per-record
+            # membership probe: views hold at most kmax entries, so the
+            # intersection walks the small side in C.
+            expiring = {record.rid: record for record in expirations}
+            for state in self._states.values():
+                hit_rids = state.member_ids & expiring.keys()
+                if not hit_rids:
+                    continue
+                self._touch(state.query.qid)  # before mutating
+                for rid in hit_rids:
+                    state.remove(expiring[rid])
+                if (
+                    len(state.view) < state.query.k
+                    and not state.needs_refill
+                ):
+                    state.needs_refill = True
+                    refill.append(state)
 
         for state in refill:
             state.needs_refill = False

@@ -4,6 +4,16 @@ The modules here are imported by the ``benchmarks/`` pytest suite but
 are part of the library proper so downstream users can rerun any paper
 experiment at any scale (including the paper's original parameters —
 see :func:`repro.bench.workloads.paper_defaults`).
+
+Performance notes: all hot paths run on the batch-scoring subsystem of
+:mod:`repro.core.batch`, which selects a NumPy backend at import time
+and falls back to exact pure-Python loops when NumPy is absent (or
+``REPRO_BATCH_BACKEND=python`` is set). Batched and scalar scores are
+bitwise identical, so benchmark results never depend on the backend —
+only the times do. ``python -m repro.bench run --json <path>`` emits
+machine-readable metrics for cross-commit comparisons (the committed
+``BENCH_PR1.json`` is such a capture); ``make bench-smoke`` is the
+one-command gate for perf PRs. Details: ``docs/PERFORMANCE.md``.
 """
 
 from repro.bench.reporting import format_table, print_series

@@ -19,12 +19,17 @@ Two subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import List, Optional, Sequence
 
 from repro.algorithms import ALGORITHMS, make_algorithm
-from repro.bench.reporting import format_table
+from repro.bench.reporting import (
+    format_table,
+    run_result_to_dict,
+    workload_to_dict,
+)
 from repro.bench.runner import compare_algorithms
 from repro.bench.workloads import WorkloadSpec
 from repro.core.queries import TopKQuery
@@ -78,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the cross-algorithm result-equality verification",
     )
+    run.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also write machine-readable per-algorithm metrics "
+            "(times, counters, space) to PATH; '-' for stdout"
+        ),
+    )
 
     check = commands.add_parser(
         "selfcheck", help="fast cycle-by-cycle correctness sweep"
@@ -93,6 +107,15 @@ def command_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown algorithms: {unknown}", file=sys.stderr)
         return 2
+    if args.json not in (None, "-"):
+        # Fail fast: a benchmark run can take minutes; discovering an
+        # unwritable output path afterwards would lose the whole run.
+        try:
+            with open(args.json, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"cannot write --json path: {exc}", file=sys.stderr)
+            return 2
     spec = WorkloadSpec(
         dims=args.dims,
         n=args.n,
@@ -145,6 +168,26 @@ def command_run(args: argparse.Namespace) -> int:
     )
     if not args.no_check:
         print("result check: all algorithms report identical top-k sets")
+    if args.json is not None:
+        from repro.core.batch import BACKEND
+
+        payload = {
+            "schema": "repro-bench-run/1",
+            "batch_backend": BACKEND,
+            "workload": workload_to_dict(spec),
+            "algorithms": {
+                name: run_result_to_dict(run)
+                for name, run in results.items()
+            },
+        }
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(f"json metrics written to {args.json}")
     return 0
 
 

@@ -11,6 +11,7 @@ wrong answer.
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
@@ -118,12 +119,25 @@ def run_workload(
 
     state_sizes: List[float] = []
     probe_every = max(1, spec.cycles // max(1, state_size_probes))
-    for cycle_index in range(spec.cycles):
-        monitor.process(driver.next_batch())
-        if cycle_index % probe_every == 0:
-            sizes = monitor.algorithm.result_state_sizes()
-            if sizes:
-                state_sizes.append(sum(sizes.values()) / len(sizes))
+    # Measured cycles run with the cyclic GC paused: a generation-2
+    # collection scans the entire process heap (in a full pytest
+    # session that is millions of objects) and its multi-millisecond
+    # pause would land on whichever cycle trips the threshold,
+    # distorting single-run comparisons at millisecond scale. Collect
+    # once up front so the pause happens outside the timed region.
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for cycle_index in range(spec.cycles):
+            monitor.process(driver.next_batch())
+            if cycle_index % probe_every == 0:
+                sizes = monitor.algorithm.result_state_sizes()
+                if sizes:
+                    state_sizes.append(sum(sizes.values()) / len(sizes))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
     final_results = {
         qid: [entry.rid for entry in monitor.result(qid)] for qid in qids

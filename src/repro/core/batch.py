@@ -1,0 +1,184 @@
+"""Backend selection and helpers for vectorized batch scoring.
+
+Every hot path of the reproduction ultimately evaluates a monotone
+preference function over many attribute vectors: the Figure-6 traversal
+scores whole grid cells, TSL scores every arrival against every query,
+and TMA/SMA score arrivals against the queries whose influence region
+they hit. This module picks, once at import time, the *batch backend*
+those paths use:
+
+- ``numpy`` — when NumPy is importable, attribute blocks become
+  ``float64`` matrices and the scoring kernels in
+  :mod:`repro.core.scoring` evaluate a whole block with a handful of
+  array operations;
+- ``python`` — otherwise, a block is a plain list of attribute tuples
+  and the kernels fall back to per-row ``score`` calls, costing exactly
+  what the pre-batching code paths did.
+
+Set the environment variable ``REPRO_BATCH_BACKEND=python`` to force
+the fallback even when NumPy is installed (used by tests and by the
+fallback benchmarks).
+
+**Exactness contract.** Vectorization must not perturb results: the
+paper's canonical rank order ``(score, rid)`` breaks ties by record id,
+so a score that differs from the scalar path in its last bit could
+reorder records near a tie and desynchronise an algorithm from the
+brute-force oracle. Every kernel therefore evaluates with *the same
+floating-point operations in the same order* as the scalar ``score``
+(see :meth:`repro.core.scoring.PreferenceFunction.score_batch`), and
+``tests/core/test_batch.py`` asserts bitwise equality per family and
+backend. Helpers here preserve that: matrix construction and
+``to_list`` round-trip Python floats through ``float64`` losslessly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+try:  # pragma: no cover - exercised indirectly via BACKEND checks
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - environment-dependent
+    _numpy = None
+
+if os.environ.get("REPRO_BATCH_BACKEND", "").strip().lower() == "python":
+    _numpy = None
+
+#: the numpy module when the vector backend is active, else None.
+np = _numpy
+
+#: True when batch kernels run on NumPy arrays.
+HAVE_NUMPY = np is not None
+
+#: name of the selected backend: "numpy" or "python".
+BACKEND = "numpy" if HAVE_NUMPY else "python"
+
+
+def as_matrix(rows: Sequence[Sequence[float]]):
+    """Pack attribute rows into the backend's batch representation.
+
+    NumPy backend: a C-contiguous ``(n, d)`` float64 array (Python
+    floats convert losslessly). Fallback: the rows themselves, as a
+    list. Either form is accepted by
+    :meth:`~repro.core.scoring.PreferenceFunction.score_batch`.
+    """
+    if np is not None and len(rows):
+        return np.asarray(rows, dtype=np.float64)
+    return list(rows)
+
+
+def is_matrix(block) -> bool:
+    """Whether ``block`` is a backend array (vs a plain row list)."""
+    return np is not None and isinstance(block, np.ndarray)
+
+
+def to_list(vector) -> List[float]:
+    """Score vector as a list of Python floats (lossless conversion)."""
+    if np is not None and isinstance(vector, np.ndarray):
+        return vector.tolist()
+    return list(vector)
+
+
+def indices_at_least(vector, threshold: float) -> List[int]:
+    """Indices ``i`` with ``vector[i] >= threshold``.
+
+    The survivor prefilter of the batched cycle paths: candidates whose
+    score cannot reach a query's current gate are dropped in one
+    vector comparison instead of one interpreted comparison each.
+    """
+    if np is not None and isinstance(vector, np.ndarray):
+        return np.nonzero(vector >= threshold)[0].tolist()
+    return [index for index, value in enumerate(vector) if value >= threshold]
+
+
+def take_at_least(vector, threshold: float):
+    """``(indices, values)`` of entries with ``value >= threshold``.
+
+    Like :func:`indices_at_least` but also gathers the surviving
+    values as Python floats, so callers touching only a few survivors
+    skip converting the full vector.
+    """
+    if np is not None and isinstance(vector, np.ndarray):
+        picked = np.nonzero(vector >= threshold)[0]
+        return picked.tolist(), vector[picked].tolist()
+    indices = []
+    values = []
+    for index, value in enumerate(vector):
+        if value >= threshold:
+            indices.append(index)
+            values.append(value)
+    return indices, values
+
+
+class ArrivalScorer:
+    """Lazy per-function batch scores over one cycle's arrival batch.
+
+    TSL needs every (arrival, query) score; TMA/SMA need scores only
+    for the queries whose influence lists the arrivals actually hit.
+    This helper serves both: the arrival matrix is packed at most once,
+    and per preference function the full score vector is computed on
+    first request and cached (keyed by function identity, which is
+    stable for the cycle because query objects outlive it).
+
+    Under the pure-Python backend, :meth:`score_of` degrades to a
+    scalar ``score`` call per request instead of materialising a full
+    batch — a query touched by a single arrival then pays exactly what
+    the pre-batching code paid, keeping the fallback no slower than
+    the scalar implementation it replaces.
+    """
+
+    __slots__ = ("_records", "_matrix", "_vectors", "_lists")
+
+    def __init__(self, records: Sequence) -> None:
+        self._records = records
+        self._matrix = None
+        self._vectors: dict = {}
+        self._lists: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def _ensure_matrix(self):
+        if self._matrix is None:
+            self._matrix = as_matrix([r.attrs for r in self._records])
+        return self._matrix
+
+    def vector(self, function):
+        """Backend-native score vector of the whole batch (cached)."""
+        key = id(function)
+        vector = self._vectors.get(key)
+        if vector is None:
+            vector = function.score_batch(self._ensure_matrix())
+            self._vectors[key] = vector
+        return vector
+
+    def scores(self, function) -> List[float]:
+        """Scores of the whole batch as Python floats (cached)."""
+        key = id(function)
+        values = self._lists.get(key)
+        if values is None:
+            values = to_list(self.vector(function))
+            self._lists[key] = values
+        return values
+
+    def score_of(self, function, index: int) -> float:
+        """Score of arrival ``index`` under ``function``.
+
+        NumPy backend: amortised over the cached batch vector.
+        Fallback: a direct scalar call (no batch materialisation).
+        """
+        if np is None:
+            return function.score(self._records[index].attrs)
+        return self.scores(function)[index]
+
+    def survivors(self, function, min_score: float) -> List[int]:
+        """Arrival indices whose score is ``>= min_score``."""
+        return indices_at_least(self.vector(function), min_score)
+
+    def take_survivors(self, function, min_score: float):
+        """``(indices, values)`` of arrivals scoring ``>= min_score``.
+
+        Gathers only the surviving scores (see :func:`take_at_least`),
+        so a high gate avoids materialising the full batch as floats.
+        """
+        return take_at_least(self.vector(function), min_score)

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import abc
 import itertools
-from typing import Callable, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
+from repro.core import batch
 from repro.core.errors import (
     DimensionalityError,
     NonMonotoneFunctionError,
@@ -67,6 +68,39 @@ class PreferenceFunction(abc.ABC):
     @abc.abstractmethod
     def score(self, attrs: Sequence[float]) -> float:
         """Score a point given its attribute vector."""
+
+    def score_batch(self, matrix) -> Sequence[float]:
+        """Score a block of attribute vectors in one call.
+
+        ``matrix`` is whatever :func:`repro.core.batch.as_matrix`
+        produced: a ``(n, d)`` float64 array under the NumPy backend,
+        or a list of attribute tuples under the fallback. Returns a
+        same-length score vector (array or list respectively).
+
+        **Exactness contract**: for every row, the batched result is
+        the value :meth:`score` returns for that row — computed with
+        the same floating-point operations in the same order, so ties
+        under the canonical ``(score, rid)`` rank order are preserved
+        bit-for-bit (vectorization must never desynchronise an
+        algorithm from the brute-force oracle). Subclasses overriding
+        the NumPy path must keep per-row evaluation order identical to
+        their scalar ``score``; this default simply delegates row by
+        row and is always exact.
+        """
+        return [self.score(row) for row in matrix]
+
+    def maxscore_delta(self, dim: int, delta: float) -> Optional[float]:
+        """Drop in box maxscore per ``delta``-sized step along ``dim``.
+
+        When a box of extent ``delta`` moves one step *down* the
+        preference order along dimension ``dim``, some families lose a
+        constant amount of maxscore (linear: ``|a_dim| * delta``),
+        which lets the grid traversal price neighbour cells without a
+        ``bounds_of`` + ``score`` round trip. Returns None when the
+        decrement is not constant (the generic case: quadratic and
+        product scores depend on where the box sits).
+        """
+        return None
 
     def best_corner(
         self, lower: Sequence[float], upper: Sequence[float]
@@ -132,6 +166,22 @@ class LinearFunction(PreferenceFunction):
             total += weight * value
         return total
 
+    def score_batch(self, matrix) -> Sequence[float]:
+        if not batch.is_matrix(matrix):
+            return [self.score(row) for row in matrix]
+        # Column-at-a-time accumulation: each elementwise multiply and
+        # add rounds exactly like the scalar loop's, keeping the batch
+        # bitwise equal to per-row score() (a single matmul would sum
+        # in a different order and could flip last-bit ties).
+        weights = self.weights
+        out = matrix[:, 0] * weights[0]
+        for dim in range(1, self.dims):
+            out += matrix[:, dim] * weights[dim]
+        return out
+
+    def maxscore_delta(self, dim: int, delta: float) -> Optional[float]:
+        return abs(self.weights[dim]) * delta
+
     def __repr__(self) -> str:
         terms = " + ".join(
             f"{weight:g}*x{i + 1}" for i, weight in enumerate(self.weights)
@@ -164,6 +214,15 @@ class ProductFunction(PreferenceFunction):
             product *= offset + value
         return product
 
+    def score_batch(self, matrix) -> Sequence[float]:
+        if not batch.is_matrix(matrix):
+            return [self.score(row) for row in matrix]
+        offsets = self.offsets
+        out = matrix[:, 0] + offsets[0]
+        for dim in range(1, self.dims):
+            out *= matrix[:, dim] + offsets[dim]
+        return out
+
     def __repr__(self) -> str:
         terms = " * ".join(
             f"({offset:g}+x{i + 1})" for i, offset in enumerate(self.offsets)
@@ -191,6 +250,18 @@ class QuadraticFunction(PreferenceFunction):
         for weight, value in zip(self.weights, attrs):
             total += weight * value * value
         return total
+
+    def score_batch(self, matrix) -> Sequence[float]:
+        if not batch.is_matrix(matrix):
+            return [self.score(row) for row in matrix]
+        weights = self.weights
+        out = matrix[:, 0] * weights[0]
+        out *= matrix[:, 0]
+        for dim in range(1, self.dims):
+            term = matrix[:, dim] * weights[dim]
+            term *= matrix[:, dim]
+            out += term
+        return out
 
     def __repr__(self) -> str:
         terms = " + ".join(

@@ -61,6 +61,30 @@ class OpCounters:
         return {spec.name: getattr(self, spec.name) for spec in fields(self)}
 
 
+class _NullOpCounters:
+    """Null object standing in for :class:`OpCounters` when none is given.
+
+    Reads return 0 and increments vanish, so hot loops can update
+    ``counters.x += n`` unconditionally instead of branching on
+    ``counters is not None`` at every step. Shared singleton:
+    :data:`NULL_COUNTERS`.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> int:
+        if name.startswith("__"):  # keep copy/pickle protocols sane
+            raise AttributeError(name)
+        return 0
+
+    def __setattr__(self, name: str, value) -> None:
+        pass
+
+
+#: shared do-nothing counter sink (see :class:`_NullOpCounters`).
+NULL_COUNTERS = _NullOpCounters()
+
+
 @dataclass(slots=True)
 class RunStats:
     """Aggregate over a monitoring run: cycle times + total counters."""

@@ -10,19 +10,39 @@ The point list here is an insertion-ordered dict keyed by record id:
 iteration order is FIFO (covering the sliding-window model) while
 deletion by id is O(1) (covering the update-stream model of Section 7,
 where the paper switches the point lists to hash tables).
+
+On top of the dict, the cell maintains a *columnar* view for the batch
+scoring kernels: :meth:`columns` returns the records as a list plus
+their attributes packed by :func:`repro.core.batch.as_matrix`, so the
+Figure-6 traversal scores a whole cell with one
+:meth:`~repro.core.scoring.PreferenceFunction.score_batch` call. The
+packed block is built lazily and cached until the next point mutation —
+a cell untouched between two top-k computations (the common case: per
+cycle only the cells covering that cycle's arrivals/expirations change)
+re-serves its block for free, to any number of queries.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.core import batch
 from repro.core.tuples import StreamRecord
 
 
 class Cell:
     """One grid cell. Created lazily by :class:`repro.grid.grid.Grid`."""
 
-    __slots__ = ("coords", "lower", "upper", "points", "influence")
+    __slots__ = (
+        "coords",
+        "lower",
+        "upper",
+        "points",
+        "influence",
+        "_col_records",
+        "_col_matrix",
+        "_col_scores",
+    )
 
     def __init__(
         self,
@@ -37,6 +57,14 @@ class Cell:
         self.points: Dict[int, StreamRecord] = {}
         #: qids of queries whose influence region intersects this cell.
         self.influence: Set[int] = set()
+        #: cached columnar view (records list + packed attribute block);
+        #: None whenever the point list changed since the last build.
+        self._col_records: Optional[List[StreamRecord]] = None
+        self._col_matrix = None
+        #: memoised score vectors per preference function (the dict
+        #: holds the function objects themselves, so a cached entry can
+        #: never be confused with a new function reusing a freed id).
+        self._col_scores: Dict = {}
 
     def __len__(self) -> int:
         return len(self.points)
@@ -49,11 +77,50 @@ class Cell:
 
     def add_point(self, record: StreamRecord) -> None:
         self.points[record.rid] = record
+        self._col_matrix = None
+        if self._col_scores:
+            self._col_scores.clear()
 
     def remove_point(self, record: StreamRecord) -> None:
         """Remove a record; KeyError if absent (callers guarantee it)."""
         del self.points[record.rid]
+        self._col_matrix = None
+        if self._col_scores:
+            self._col_scores.clear()
 
     def iter_points(self) -> Iterator[StreamRecord]:
         """Valid records in this cell, oldest-first."""
         return iter(self.points.values())
+
+    def columns(self):
+        """Columnar view ``(records, matrix)`` for batch scoring.
+
+        ``records[i]`` owns row ``i`` of ``matrix``; row order is the
+        FIFO point-list order. Rebuilt lazily after mutations, cached
+        otherwise. Callers must not mutate either object.
+        """
+        if self._col_matrix is None:
+            records = list(self.points.values())
+            self._col_records = records
+            self._col_matrix = batch.as_matrix(
+                [record.attrs for record in records]
+            )
+        return self._col_records, self._col_matrix
+
+    def scored_columns(self, function):
+        """``(records, scores)`` with the score vector memoised.
+
+        Queries re-scan the same preference-optimal corner cells on
+        every from-scratch computation; a cell left untouched since the
+        last scan re-serves its score vector without a kernel call.
+        The memo maps the function *object* to its vector and is
+        cleared on any point mutation.
+        """
+        scores = self._col_scores.get(function)
+        if scores is None:
+            records, matrix = self.columns()
+            scores = function.score_batch(matrix)
+            self._col_scores[function] = scores
+        else:
+            records = self._col_records
+        return records, scores

@@ -20,8 +20,9 @@ long-running monitor.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core import batch
 from repro.core.errors import DimensionalityError
 from repro.core.regions import Rectangle
 from repro.core.scoring import PreferenceFunction
@@ -34,7 +35,14 @@ Coords = Tuple[int, ...]
 class Grid:
     """Lazy regular grid over ``[0, 1]^dims`` with ``cells_per_axis^dims`` cells."""
 
-    __slots__ = ("dims", "cells_per_axis", "delta", "_cells")
+    __slots__ = (
+        "dims",
+        "cells_per_axis",
+        "delta",
+        "_cells",
+        "_flat_cells",
+        "_strides",
+    )
 
     def __init__(self, dims: int, cells_per_axis: int) -> None:
         if dims < 1:
@@ -47,6 +55,14 @@ class Grid:
         self.cells_per_axis = cells_per_axis
         self.delta = 1.0 / cells_per_axis
         self._cells: Dict[Coords, Cell] = {}
+        #: same cells keyed by row-major flat index — the batch insert/
+        #: delete paths hash one machine int (computed by a vectorized
+        #: dot with _strides) instead of building and hashing a tuple
+        #: per record.
+        self._flat_cells: Dict[int, Cell] = {}
+        self._strides = tuple(
+            cells_per_axis ** (dims - 1 - dim) for dim in range(dims)
+        )
 
     # ------------------------------------------------------------------
     # Geometry
@@ -63,6 +79,66 @@ class Grid:
             min(top, max(0, int(value * self.cells_per_axis)))
             for value in attrs
         )
+
+    def coords_of_many(self, rows: Sequence[Sequence[float]]) -> List[Coords]:
+        """Covering-cell coordinates of a whole batch of rows.
+
+        The per-record cost of :meth:`coords_of`'s validation is
+        hoisted: the NumPy path verifies the whole batch shape in one
+        check during packing, and the fallback pays one length
+        comparison per row (no per-record call or exception setup).
+        Both paths raise :class:`DimensionalityError` on any malformed
+        row, exactly like the scalar method. Under NumPy the
+        scale-truncate-clamp pipeline runs as three array operations;
+        truncation toward zero matches the scalar ``int(value * g)``
+        exactly.
+        """
+        if not rows:
+            return []
+        if batch.np is not None and len(rows) >= 8:
+            if len(rows[0]) != self.dims:
+                raise DimensionalityError(
+                    f"batch rows have {len(rows[0])} dims, "
+                    f"grid has {self.dims}"
+                )
+            return [tuple(row) for row in self._index_matrix(rows).tolist()]
+        g = self.cells_per_axis
+        top = g - 1
+        dims = self.dims
+        out: List[Coords] = []
+        for row in rows:
+            if len(row) != dims:
+                raise DimensionalityError(
+                    f"batch row has {len(row)} dims, grid has {dims}"
+                )
+            out.append(
+                tuple(min(top, max(0, int(value * g))) for value in row)
+            )
+        return out
+
+    def _index_matrix(self, rows: Sequence[Sequence[float]]):
+        """Clipped per-dimension cell indices of a batch, as ``(n, d)``
+        int64 (NumPy backend only). Truncation toward zero matches the
+        scalar ``int(value * g)``; the batch shape is validated once.
+        """
+        np = batch.np
+        g = self.cells_per_axis
+        try:
+            scaled = np.asarray(rows, dtype=np.float64) * g
+        except ValueError as exc:  # ragged batch
+            raise DimensionalityError(
+                f"inhomogeneous batch rows: {exc}"
+            ) from None
+        if scaled.shape[1] != self.dims:
+            raise DimensionalityError(
+                f"batch rows have {scaled.shape[1]} dims, "
+                f"grid has {self.dims}"
+            )
+        if np.isnan(scaled).any():
+            # Match the scalar path: int(nan) raises instead of the
+            # astype(int64) silently producing a clamped garbage cell.
+            raise ValueError("cannot map NaN attributes to grid cells")
+        return np.clip(scaled.astype(np.int64), 0, g - 1)
 
     def bounds_of(self, coords: Coords) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
         """``(lower, upper)`` corners of the cell at ``coords``."""
@@ -136,6 +212,10 @@ class Grid:
             lower, upper = self.bounds_of(coords)
             cell = Cell(coords, lower, upper)
             self._cells[coords] = cell
+            flat = 0
+            for index in coords:
+                flat = flat * self.cells_per_axis + index
+            self._flat_cells[flat] = cell
         return cell
 
     def peek_cell(self, coords: Coords) -> Optional[Cell]:
@@ -169,6 +249,43 @@ class Grid:
         cell = self.get_cell(self.coords_of(record.attrs))
         cell.remove_point(record)
         return cell
+
+    def insert_many(self, records: Sequence[StreamRecord]) -> List[Cell]:
+        """Add a batch of records; return each record's covering cell.
+
+        The batched entry point of the cycle hot path: one vectorized
+        pass replaces per-record validation, tuple building and tuple
+        hashing (cells resolve through the flat-int index), and callers
+        get the cells back so they can run their influence-list scans
+        without a second lookup.
+        """
+        cells = self._cells_of_many(records)
+        for record, cell in zip(records, cells):
+            cell.add_point(record)
+        return cells
+
+    def delete_many(self, records: Sequence[StreamRecord]) -> List[Cell]:
+        """Remove a batch of records; return each record's covering cell."""
+        cells = self._cells_of_many(records)
+        for record, cell in zip(records, cells):
+            cell.remove_point(record)
+        return cells
+
+    def _cells_of_many(self, records: Sequence[StreamRecord]) -> List[Cell]:
+        """Covering cells of a record batch, materialising as needed."""
+        rows = [record.attrs for record in records]
+        if batch.np is None or len(rows) < 8:
+            return [self.get_cell(coords) for coords in self.coords_of_many(rows)]
+        indices = self._index_matrix(rows)
+        flats = (indices @ batch.np.asarray(self._strides)).tolist()
+        known = self._flat_cells
+        cells: List[Cell] = []
+        for position, flat in enumerate(flats):
+            cell = known.get(flat)
+            if cell is None:  # rare after warm-up: materialise via coords
+                cell = self.get_cell(tuple(indices[position].tolist()))
+            cells.append(cell)
+        return cells
 
     def locate(self, record: StreamRecord) -> Cell:
         """Covering cell of ``record`` (materialising it if needed)."""

@@ -31,6 +31,14 @@ The optional ``region`` argument implements constrained top-k
 computation (Section 7, Figure 12): the traversal is restricted to
 cells intersecting the constraint rectangle, keys become the maxscore
 of the *clipped* cell, and points outside the region are skipped.
+
+Performance: the unconstrained scan consumes each cell's columnar
+block in one ``score_batch`` kernel call (see :mod:`repro.core.batch`),
+heap keys for linear functions come from precomputed per-dimension
+corner tables (:func:`_linear_maxscore_fn`), and counters go through a
+null object when the caller passes none — the inner loop carries no
+``if counters`` branches. All three are exact: batched scores and
+table lookups are bitwise identical to their scalar counterparts.
 """
 
 from __future__ import annotations
@@ -39,10 +47,11 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Set, Tuple
 
+from repro.core import batch
 from repro.core.regions import Rectangle
 from repro.core.results import ResultEntry
-from repro.core.scoring import PreferenceFunction
-from repro.core.stats import OpCounters
+from repro.core.scoring import LinearFunction, PreferenceFunction
+from repro.core.stats import NULL_COUNTERS, OpCounters
 from repro.grid.grid import Coords, Grid
 
 
@@ -112,6 +121,60 @@ def _region_start_coords(
     return tuple(coords)
 
 
+def _linear_maxscore_fn(
+    grid: Grid, function: LinearFunction
+) -> Callable[[Coords], float]:
+    """Precomputed cell-maxscore evaluator for linear functions.
+
+    A linear function loses a *constant* ``|a_i| * delta`` of maxscore
+    per one-cell step down the preference order along dimension ``i``
+    — the property :func:`_has_constant_maxscore_decrements` probes
+    via :meth:`~repro.core.scoring.PreferenceFunction.maxscore_delta`
+    — so cell maxscores need no per-push ``bounds_of`` + ``score``
+    round trip. Rather than subtracting the decrement incrementally —
+    which would drift from ``grid.maxscore`` by accumulated rounding —
+    each dimension gets a table of best-corner contributions built
+    with the exact operations ``bounds_of``/``score`` would perform,
+    so lookup sums are bitwise identical to the generic path and the
+    traversal's tie-aware termination sees the same keys either way.
+    """
+    delta = grid.delta
+    per_axis = grid.cells_per_axis
+    tables: List[List[float]] = []
+    for dim, direction in enumerate(function.directions):
+        weight = function.weights[dim]
+        offset = 1 if direction > 0 else 0
+        tables.append(
+            [weight * ((index + offset) * delta) for index in range(per_axis)]
+        )
+
+    def maxscore_of(coords: Coords) -> float:
+        total = 0.0
+        for dim, table in enumerate(tables):
+            total += table[coords[dim]]
+        return total
+
+    return maxscore_of
+
+
+def _has_constant_maxscore_decrements(
+    grid: Grid, function: PreferenceFunction
+) -> bool:
+    """Whether every dimension's per-step maxscore drop is constant.
+
+    True exactly when the precomputed-table evaluator applies. The
+    table construction additionally needs the linear coefficients, so
+    callers gate on ``type(function) is LinearFunction`` too —
+    subclasses with overridden ``score`` must take the generic path
+    to keep keys bitwise exact.
+    """
+    delta = grid.delta
+    return all(
+        function.maxscore_delta(dim, delta) is not None
+        for dim in range(function.dims)
+    )
+
+
 def compute_top_k(
     grid: Grid,
     function: PreferenceFunction,
@@ -121,6 +184,12 @@ def compute_top_k(
     point_filter: Optional[Callable] = None,
 ) -> TraversalOutcome:
     """Run the top-k computation module of Figure 6.
+
+    The unconstrained, unfiltered path (every from-scratch TMA/SMA
+    computation) is batched: each processed cell is scored with one
+    :meth:`~repro.core.scoring.PreferenceFunction.score_batch` call
+    over its columnar block, and candidates below the current kth key
+    are dropped by a vector prefilter before any per-record work.
 
     Args:
         grid: the index over the valid records.
@@ -134,17 +203,23 @@ def compute_top_k(
         A :class:`TraversalOutcome`; ``entries`` holds fewer than k
         results only when fewer than k eligible records are valid.
     """
-    if counters is not None:
-        counters.topk_computations += 1
+    if counters is None:
+        counters = NULL_COUNTERS
+    counters.topk_computations += 1
 
     # Candidate top-k as a min-heap of canonical keys, so the current
     # kth key is O(1) to read and O(log k) to improve.
     candidates: List[Tuple[float, int, object]] = []
 
-    def kth_score() -> float:
-        if len(candidates) < k:
-            return float("-inf")
-        return candidates[0][0]
+    if (
+        region is None
+        and type(function) is LinearFunction
+        and _has_constant_maxscore_decrements(grid, function)
+    ):
+        cell_maxscore = _linear_maxscore_fn(grid, function)
+    else:
+        cell_maxscore = None
+    plain_scan = region is None and point_filter is None
 
     heap: List[Tuple[float, int, Coords]] = []  # (-maxscore, seq, coords)
     seq = 0
@@ -155,7 +230,9 @@ def compute_top_k(
         nonlocal seq
         if coords in enheaped:
             return
-        if region is None:
+        if cell_maxscore is not None:
+            key = cell_maxscore(coords)
+        elif region is None:
             key = grid.maxscore(coords, function)
         else:
             clipped = grid.maxscore_in_region(coords, function, region)
@@ -165,8 +242,7 @@ def compute_top_k(
         enheaped.add(coords)
         seq += 1
         heapq.heappush(heap, (-key, seq, coords))
-        if counters is not None:
-            counters.cells_enheaped += 1
+        counters.cells_enheaped += 1
 
     push(start_coords(grid, function, region))
 
@@ -174,28 +250,52 @@ def compute_top_k(
         best_key = -heap[0][0]
         # Tie-aware termination: strictly worse cells cannot contribute
         # (see module docstring, deviation 1).
-        if len(candidates) >= k and best_key < kth_score():
+        if len(candidates) >= k and best_key < candidates[0][0]:
             break
         _, _, coords = heapq.heappop(heap)
         processed.append(coords)
-        if counters is not None:
-            counters.cells_processed += 1
+        counters.cells_processed += 1
 
         cell = grid.peek_cell(coords)
-        if cell is not None:
-            for record in cell.iter_points():
-                if region is not None and not region.contains(record.attrs):
-                    continue
-                if point_filter is not None and not point_filter(record):
-                    continue
-                score = function.score(record.attrs)
-                if counters is not None:
+        if cell is not None and cell.points:
+            if plain_scan:
+                # Batched fast path: one kernel call per cell (memoised
+                # while the cell stays unmutated), then a vector
+                # prefilter against the current kth score (ties
+                # included — equal scores can still win on rid).
+                records, scores = cell.scored_columns(function)
+                counters.points_scored += len(records)
+                if len(candidates) >= k:
+                    survivors, values = batch.take_at_least(
+                        scores, candidates[0][0]
+                    )
+                else:
+                    survivors = range(len(records))
+                    values = batch.to_list(scores)
+                for index, value in zip(survivors, values):
+                    record = records[index]
+                    entry = (value, record.rid, record)
+                    if len(candidates) < k:
+                        heapq.heappush(candidates, entry)
+                    elif entry[:2] > candidates[0][:2]:
+                        heapq.heapreplace(candidates, entry)
+            else:
+                # Constrained / filtered scan: per-record checks decide
+                # what gets scored, so counters keep their meaning.
+                for record in cell.iter_points():
+                    if region is not None and not region.contains(
+                        record.attrs
+                    ):
+                        continue
+                    if point_filter is not None and not point_filter(record):
+                        continue
+                    score = function.score(record.attrs)
                     counters.points_scored += 1
-                entry = (score, record.rid, record)
-                if len(candidates) < k:
-                    heapq.heappush(candidates, entry)
-                elif entry[:2] > candidates[0][:2]:
-                    heapq.heapreplace(candidates, entry)
+                    entry = (score, record.rid, record)
+                    if len(candidates) < k:
+                        heapq.heappush(candidates, entry)
+                    elif entry[:2] > candidates[0][:2]:
+                        heapq.heapreplace(candidates, entry)
 
         for neighbour in grid.steps_toward_worse(coords, function):
             push(neighbour)
@@ -225,17 +325,24 @@ def collect_cells_above_threshold(
     the preference-optimal corner, expand one step down the preference
     order per dimension, prune when maxscore drops to the threshold.
     """
+    if counters is None:
+        counters = NULL_COUNTERS
     start = grid.best_corner_coords(function)
     result: List[Coords] = []
     seen: Set[Coords] = {start}
     frontier: List[Coords] = [start]
+    if type(function) is LinearFunction and _has_constant_maxscore_decrements(
+        grid, function
+    ):
+        cell_maxscore = _linear_maxscore_fn(grid, function)
+    else:
+        cell_maxscore = lambda coords: grid.maxscore(coords, function)  # noqa: E731
     while frontier:
         coords = frontier.pop()
-        if grid.maxscore(coords, function) <= threshold:
+        if cell_maxscore(coords) <= threshold:
             continue
         result.append(coords)
-        if counters is not None:
-            counters.cells_processed += 1
+        counters.cells_processed += 1
         for neighbour in grid.steps_toward_worse(coords, function):
             if neighbour not in seen:
                 seen.add(neighbour)

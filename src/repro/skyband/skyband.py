@@ -23,13 +23,12 @@ is a bisect plus one ``del``.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right, insort
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.results import ResultEntry
 from repro.core.stats import OpCounters
 from repro.core.tuples import RankKey, StreamRecord
-from repro.structures.ostree import OrderStatisticTree
 
 
 class SkybandEntry:
@@ -49,13 +48,18 @@ class SkybandEntry:
 class ScoreTimeSkyband:
     """Dominance-counter k-skyband over (score, expiry-order) pairs."""
 
-    __slots__ = ("k", "_entries", "_keys", "_by_rid")
+    __slots__ = ("k", "_entries", "_keys", "_by_rid", "_top_cache")
 
     def __init__(self, k: int) -> None:
         self.k = k
         self._entries: List[SkybandEntry] = []  # ascending by key
         self._keys: List[RankKey] = []
         self._by_rid: Dict[int, RankKey] = {}
+        #: memoised top() materialisation; None after any mutation.
+        #: The change-report machinery reads the result both before
+        #: and after each cycle's mutations, so an unchanged skyband
+        #: re-serves its entry list without rebuilding k objects.
+        self._top_cache: Optional[List[ResultEntry]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -69,10 +73,13 @@ class ScoreTimeSkyband:
 
     def top(self) -> List[ResultEntry]:
         """The current top-k: best-first list of the k highest keys."""
-        best = self._entries[-self.k :] if self.k else []
-        return [
-            ResultEntry(entry.key[0], entry.record) for entry in reversed(best)
-        ]
+        if self._top_cache is None:
+            best = self._entries[-self.k :] if self.k else []
+            self._top_cache = [
+                ResultEntry(entry.key[0], entry.record)
+                for entry in reversed(best)
+            ]
+        return list(self._top_cache)
 
     def kth_key(self) -> RankKey:
         """Key of the kth-best entry (gate), or -inf when under-full."""
@@ -93,6 +100,7 @@ class ScoreTimeSkyband:
         key — Figure 11, lines 8–11.
         """
         key: RankKey = (score, record.rid)
+        self._top_cache = None
         position = bisect_left(self._keys, key)
         evicted: List[StreamRecord] = []
         if position:
@@ -130,6 +138,7 @@ class ScoreTimeSkyband:
         key = self._by_rid.pop(rid, None)
         if key is None:
             return False
+        self._top_cache = None
         position = bisect_left(self._keys, key)
         # Keys are unique (rid component); position is exact.
         del self._entries[position]
@@ -143,18 +152,24 @@ class ScoreTimeSkyband:
     ) -> None:
         """Reset to a freshly computed top-k set and derive its DCs.
 
-        Section 5: scan in descending score order keeping a balanced
-        tree BT of arrival times; each entry's DC is the number of
+        Section 5: scan in descending score order keeping an ordered
+        set BT of arrival times; each entry's DC is the number of
         already-scanned entries that arrived later — O(k log k) total.
+        The ordered set is a bisect-maintained list rather than the
+        balanced tree the paper suggests: k is small (≤ a few hundred)
+        and a C-level bisect + memmove beats an interpreted tree by an
+        order of magnitude at that size (same trade the TMA top lists
+        make); ``repro.analysis.cost_model`` keeps the O(log k) terms.
         """
         self._entries.clear()
         self._keys.clear()
         self._by_rid.clear()
-        tree = OrderStatisticTree()
+        self._top_cache = None
+        seen_rids: List[int] = []
         rebuilt: List[SkybandEntry] = []
         for result in best_first:  # descending key order
-            dc = tree.count_greater(result.record.rid)
-            tree.insert(result.record.rid)
+            dc = len(seen_rids) - bisect_right(seen_rids, result.record.rid)
+            insort(seen_rids, result.record.rid)
             if counters is not None:
                 counters.dominance_updates += 1
             rebuilt.append(

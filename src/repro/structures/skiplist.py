@@ -225,3 +225,16 @@ class IndexableSkipList:
         (a skip list has no cheaper bulk path without rebuild)."""
         for item in items:
             self.add(item)
+
+    def add_many(self, items: Sequence[Any]) -> None:
+        """Interface parity with SortedKeyList's batched merge.
+
+        Pointer insertion is already O(log n) per item with no memmove,
+        so the batched form is the same per-item loop as bulk_add.
+        """
+        self.bulk_add(items)
+
+    def remove_many(self, items: Sequence[Any]) -> None:
+        """Interface parity with SortedKeyList's batched removal."""
+        for item in items:
+            self.remove(item)

@@ -28,6 +28,8 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right, insort_right
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core import batch
+
 
 class SortedKeyList:
     """Sequence kept in ascending key order.
@@ -88,6 +90,96 @@ class SortedKeyList:
         self._items.sort(key=self._key)
         self._keys = [self._key(item) for item in self._items]
 
+    def add_many(self, items: Sequence[Any]) -> None:
+        """Merge a batch of items in one O(n + m·log n) rebuild.
+
+        Per-item :meth:`add` pays one O(n) memmove *per insertion*; for
+        a steady-state stream batch (m ≪ n) that is the dominant cost
+        of the whole TSL cycle. Here the batch is sorted, each item's
+        position found by bisect, and the list rebuilt once from the
+        slices between consecutive insertion points — every element
+        moves exactly once, in C-level slice copies.
+
+        Equal keys: an inserted item lands after existing equals
+        (``bisect_right``), matching :meth:`add`; batch members with
+        equal keys keep their sorted-batch order, also matching what
+        sequential :meth:`add` calls would produce.
+        """
+        if len(items) <= 4:
+            for item in items:
+                self.add(item)
+            return
+        # Stable sort on the key alone: items themselves may not be
+        # comparable, and equal-key batch members must keep their
+        # order (matching sequential add()).
+        incoming = sorted(items, key=self._key)
+        keys = self._keys
+        old_items = self._items
+        new_keys: List[Any] = []
+        new_items: List[Any] = []
+        start = 0
+        for item in incoming:
+            key = self._key(item)
+            position = bisect_right(keys, key, start)
+            new_keys.extend(keys[start:position])
+            new_items.extend(old_items[start:position])
+            new_keys.append(key)
+            new_items.append(item)
+            start = position
+        new_keys.extend(keys[start:])
+        new_items.extend(old_items[start:])
+        self._keys = new_keys
+        self._items = new_items
+
+    def remove_many(self, items: Sequence[Any]) -> None:
+        """Remove a batch of items in one O(n + m·log n) rebuild.
+
+        The batched dual of :meth:`add_many`: all positions are located
+        first (the list is not mutated while searching), then the
+        survivors are reassembled once from the slices between dropped
+        positions.
+
+        Items must be *distinct* elements of the list (duplicates of
+        the same element would resolve to one position); keys that
+        embed a unique tiebreak — as every call site's do — satisfy
+        this by construction.
+
+        Raises:
+            ValueError: if any item is missing; the list is left
+                unchanged in that case.
+        """
+        if len(items) <= 4:
+            # Keep the unchanged-on-error guarantee: locate every
+            # position before the first deletion.
+            found = [self._find(item) for item in items]
+            for item, index in zip(items, found):
+                if index is None:
+                    raise ValueError(f"{item!r} not in SortedKeyList")
+            for index in sorted(found, reverse=True):
+                del self._keys[index]
+                del self._items[index]
+            return
+        positions: List[int] = []
+        for item in items:
+            index = self._find(item)
+            if index is None:
+                raise ValueError(f"{item!r} not in SortedKeyList")
+            positions.append(index)
+        positions.sort()
+        keys = self._keys
+        old_items = self._items
+        new_keys: List[Any] = []
+        new_items: List[Any] = []
+        previous = 0
+        for position in positions:
+            new_keys.extend(keys[previous:position])
+            new_items.extend(old_items[previous:position])
+            previous = position + 1
+        new_keys.extend(keys[previous:])
+        new_items.extend(old_items[previous:])
+        self._keys = new_keys
+        self._items = new_items
+
     def remove(self, item: Any) -> int:
         """Remove ``item`` (matched by key, then identity/equality).
 
@@ -140,6 +232,191 @@ class SortedKeyList:
         lo = bisect_left(self._keys, item_key)
         hi = bisect_right(self._keys, item_key)
         for index in range(lo, hi):
+            candidate = self._items[index]
+            if candidate is item or candidate == item:
+                return index
+        return None
+
+
+class AttributeSortedList:
+    """Columnar sorted list keyed by one float attribute (NumPy-backed).
+
+    The vectorized counterpart of :class:`SortedKeyList` for TSL's
+    per-dimension attribute lists: keys live in a ``float64`` array, so
+    position lookups are ``np.searchsorted`` (vectorized across a whole
+    batch) and batched merges/removals move the key column in single C
+    passes instead of one interpreted tuple-compare bisect per record.
+
+    Keys are the bare attribute values — no rid tiebreak. Elements
+    with equal keys are ordered by insertion instead of by rid, which
+    TA provably tolerates: its threshold τ depends only on attribute
+    values, so any scan order within an equal-value run yields the
+    same exact result. Removal stays deterministic because the
+    equal-key range is scanned for the requested element itself.
+
+    Requires the NumPy batch backend;
+    :class:`~repro.algorithms.tsl.ThresholdSortedListAlgorithm` falls
+    back to :class:`SortedKeyList` under the pure-Python backend.
+    """
+
+    __slots__ = ("_key", "_keys", "_items")
+
+    def __init__(
+        self,
+        iterable: Optional[Sequence[Any]] = None,
+        key: Optional[Callable[[Any], float]] = None,
+    ) -> None:
+        if batch.np is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError(
+                "AttributeSortedList requires the NumPy batch backend"
+            )
+        self._key = key if key is not None else lambda item: item
+        items = sorted(iterable, key=self._key) if iterable else []
+        self._items: List[Any] = items
+        self._keys = batch.np.asarray(
+            [self._key(item) for item in items], dtype=batch.np.float64
+        )
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __reversed__(self) -> Iterator[Any]:
+        return reversed(self._items)
+
+    def __getitem__(self, index: Any) -> Any:
+        return self._items[index]
+
+    def __contains__(self, item: Any) -> bool:
+        return self._find(item) is not None
+
+    def add(self, item: Any) -> int:
+        """Insert ``item`` keeping order; return its index."""
+        np = batch.np
+        item_key = self._key(item)
+        index = int(np.searchsorted(self._keys, item_key, side="right"))
+        self._keys = np.insert(self._keys, index, item_key)
+        self._items.insert(index, item)
+        return index
+
+    def bulk_add(self, items: Sequence[Any]) -> None:
+        """Extend and re-sort — the warm-up load path (stable order)."""
+        np = batch.np
+        self._items.extend(items)
+        keys = np.asarray(
+            [self._key(item) for item in self._items], dtype=np.float64
+        )
+        order = np.argsort(keys, kind="stable")
+        self._keys = keys[order]
+        items_before = self._items
+        self._items = [items_before[index] for index in order.tolist()]
+
+    def add_many(self, items: Sequence[Any]) -> None:
+        """Merge a batch: one vectorized position lookup, one rebuild."""
+        if not items:
+            return
+        np = batch.np
+        incoming = sorted(items, key=self._key)
+        new_keys = np.asarray(
+            [self._key(item) for item in incoming], dtype=np.float64
+        )
+        positions = np.searchsorted(self._keys, new_keys, side="right")
+        self._keys = np.insert(self._keys, positions, new_keys)
+        old_items = self._items
+        merged: List[Any] = []
+        previous = 0
+        for position, item in zip(positions.tolist(), incoming):
+            if position != previous:
+                merged.extend(old_items[previous:position])
+                previous = position
+            merged.append(item)
+        merged.extend(old_items[previous:])
+        self._items = merged
+
+    def remove(self, item: Any) -> int:
+        """Remove ``item``; ValueError if absent. Returns its index."""
+        index = self._find(item)
+        if index is None:
+            raise ValueError(f"{item!r} not in AttributeSortedList")
+        self._keys = batch.np.delete(self._keys, index)
+        del self._items[index]
+        return index
+
+    def discard(self, item: Any) -> bool:
+        """Remove ``item`` if present; return whether a removal happened."""
+        index = self._find(item)
+        if index is None:
+            return False
+        self._keys = batch.np.delete(self._keys, index)
+        del self._items[index]
+        return True
+
+    def remove_many(self, items: Sequence[Any]) -> None:
+        """Remove a batch of distinct elements in one rebuild.
+
+        All equal-key ranges are located with two vectorized
+        ``searchsorted`` calls; the identity scan claims each position
+        at most once so duplicate keys resolve to distinct elements.
+        Like :meth:`SortedKeyList.remove_many`, a missing item raises
+        ``ValueError`` with the list left unchanged.
+        """
+        if len(items) <= 2:
+            found = [self._find(item) for item in items]
+            for item, index in zip(items, found):
+                if index is None:
+                    raise ValueError(f"{item!r} not in AttributeSortedList")
+            np_local = batch.np
+            for index in sorted(found, reverse=True):
+                self._keys = np_local.delete(self._keys, index)
+                del self._items[index]
+            return
+        np = batch.np
+        victim_keys = np.asarray(
+            [self._key(item) for item in items], dtype=np.float64
+        )
+        lows = np.searchsorted(self._keys, victim_keys, side="left").tolist()
+        highs = np.searchsorted(self._keys, victim_keys, side="right").tolist()
+        taken: set = set()
+        positions: List[int] = []
+        for item, low, high in zip(items, lows, highs):
+            found = None
+            for index in range(low, high):
+                if index in taken:
+                    continue
+                candidate = self._items[index]
+                if candidate is item or candidate == item:
+                    found = index
+                    break
+            if found is None:
+                raise ValueError(f"{item!r} not in AttributeSortedList")
+            taken.add(found)
+            positions.append(found)
+        positions.sort()
+        self._keys = np.delete(self._keys, positions)
+        old_items = self._items
+        survivors: List[Any] = []
+        previous = 0
+        for position in positions:
+            survivors.extend(old_items[previous:position])
+            previous = position + 1
+        survivors.extend(old_items[previous:])
+        self._items = survivors
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._keys = batch.np.empty(0, dtype=batch.np.float64)
+
+    def _find(self, item: Any) -> Optional[int]:
+        np = batch.np
+        item_key = self._key(item)
+        low = int(np.searchsorted(self._keys, item_key, side="left"))
+        high = int(np.searchsorted(self._keys, item_key, side="right"))
+        for index in range(low, high):
             candidate = self._items[index]
             if candidate is item or candidate == item:
                 return index

@@ -1,0 +1,200 @@
+"""Batched grid paths: coords_of_many, insert/delete_many, columnar cells,
+and the precomputed linear maxscore tables of the traversal."""
+
+import random
+
+import pytest
+
+from repro.core import batch
+from repro.core.errors import DimensionalityError
+from repro.core.scoring import LinearFunction, ProductFunction
+from repro.core.stats import NULL_COUNTERS, OpCounters
+from repro.core.tuples import RecordFactory
+from repro.grid.grid import Grid
+from repro.grid.traversal import _linear_maxscore_fn, compute_top_k
+
+
+class TestCoordsOfMany:
+    def test_matches_scalar_coords_of(self):
+        rng = random.Random(3)
+        grid = Grid(3, 7)
+        rows = [
+            tuple(rng.uniform(-0.2, 1.2) for _ in range(3))
+            for _ in range(100)
+        ]
+        assert grid.coords_of_many(rows) == [
+            grid.coords_of(row) for row in rows
+        ]
+
+    def test_boundary_values_match_scalar(self):
+        grid = Grid(2, 4)
+        rows = [
+            (0.0, 1.0),
+            (0.25, 0.25),  # exactly on a cell boundary
+            (0.9999999, 1.0000001),
+            (-0.5, 2.0),  # clamped into the boundary cells
+        ]
+        assert grid.coords_of_many(rows) == [
+            grid.coords_of(row) for row in rows
+        ]
+
+    def test_empty_batch(self):
+        assert Grid(2, 4).coords_of_many([]) == []
+
+    def test_small_batch_uses_scalar_path(self):
+        grid = Grid(2, 4)
+        rows = [(0.1, 0.9)]  # below the vectorization threshold
+        assert grid.coords_of_many(rows) == [grid.coords_of(rows[0])]
+
+    def test_validates_once_per_batch(self):
+        grid = Grid(2, 4)
+        with pytest.raises(DimensionalityError):
+            grid.coords_of_many([(0.1, 0.2, 0.3)] * 10)
+
+    def test_malformed_row_raises_on_every_path(self):
+        # Scalar path (small batch) and vector path must both reject a
+        # malformed row, wherever it sits in the batch — a silent
+        # wrong-dims coords tuple would materialise a phantom cell no
+        # traversal ever visits.
+        grid = Grid(2, 4)
+        with pytest.raises(DimensionalityError):
+            grid.coords_of_many([(0.1, 0.2), (0.3,)])  # small batch
+        with pytest.raises(DimensionalityError):
+            grid.coords_of_many([(0.1, 0.2)] * 9 + [(0.3,)])  # ragged, large
+
+
+class TestBatchedPointMaintenance:
+    def test_insert_many_matches_insert(self):
+        rng = random.Random(5)
+        factory = RecordFactory()
+        records = [
+            factory.make((rng.random(), rng.random())) for _ in range(40)
+        ]
+        one = Grid(2, 5)
+        many = Grid(2, 5)
+        scalar_cells = [one.insert(record) for record in records]
+        batch_cells = many.insert_many(records)
+        assert [cell.coords for cell in batch_cells] == [
+            cell.coords for cell in scalar_cells
+        ]
+        assert one.point_count() == many.point_count() == 40
+
+    def test_delete_many_roundtrip(self):
+        factory = RecordFactory()
+        records = [factory.make((i / 10.0, i / 10.0)) for i in range(10)]
+        grid = Grid(2, 5)
+        grid.insert_many(records)
+        cells = grid.delete_many(records)
+        assert grid.point_count() == 0
+        assert len(cells) == 10
+
+
+class TestColumnarCell:
+    def test_columns_track_point_list(self):
+        factory = RecordFactory()
+        grid = Grid(2, 2)
+        first = factory.make((0.1, 0.1))
+        second = factory.make((0.2, 0.2))
+        cell = grid.insert(first)
+        assert grid.insert(second) is cell
+        records, matrix = cell.columns()
+        assert records == [first, second]
+        assert batch.to_list(
+            LinearFunction([1.0, 1.0]).score_batch(matrix)
+        ) == [
+            LinearFunction([1.0, 1.0]).score(record.attrs)
+            for record in records
+        ]
+
+    def test_cache_reused_until_mutation(self):
+        factory = RecordFactory()
+        grid = Grid(2, 2)
+        record = factory.make((0.1, 0.1))
+        cell = grid.insert(record)
+        first_records, first_matrix = cell.columns()
+        again_records, again_matrix = cell.columns()
+        assert again_records is first_records
+        assert again_matrix is first_matrix
+        cell.remove_point(record)
+        records, _ = cell.columns()
+        assert records == []
+
+    def test_scored_columns_memo_and_invalidation(self):
+        factory = RecordFactory()
+        grid = Grid(2, 2)
+        function = LinearFunction([1.0, 2.0])
+        cell = grid.insert(factory.make((0.1, 0.2)))
+        records, scores = cell.scored_columns(function)
+        assert batch.to_list(scores) == [function.score(records[0].attrs)]
+        # Unmutated cell re-serves the same vector object.
+        again_records, again_scores = cell.scored_columns(function)
+        assert again_scores is scores
+        # A different function gets its own vector.
+        other = LinearFunction([2.0, 1.0])
+        _, other_scores = cell.scored_columns(other)
+        assert batch.to_list(other_scores) == [other.score(records[0].attrs)]
+        # Mutation drops the memo.
+        newcomer = factory.make((0.3, 0.4))
+        cell.add_point(newcomer)
+        records, scores = cell.scored_columns(function)
+        assert batch.to_list(scores) == [
+            function.score(record.attrs) for record in records
+        ]
+
+    def test_fifo_iteration_preserved(self):
+        factory = RecordFactory()
+        grid = Grid(2, 2)
+        records = [factory.make((0.1, 0.1)) for _ in range(5)]
+        for record in records:
+            grid.insert(record)
+        cell = grid.peek_cell(grid.coords_of((0.1, 0.1)))
+        assert list(cell.iter_points()) == records
+        columnar, _ = cell.columns()
+        assert columnar == records
+
+
+class TestLinearMaxscoreTables:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bitwise_equal_to_generic_maxscore(self, seed):
+        rng = random.Random(seed)
+        dims = rng.choice([1, 2, 3, 4])
+        grid = Grid(dims, rng.choice([2, 5, 12, 144]))
+        function = LinearFunction(
+            [rng.uniform(-1.0, 1.0) for _ in range(dims)]
+        )
+        evaluator = _linear_maxscore_fn(grid, function)
+        for _ in range(50):
+            coords = tuple(
+                rng.randrange(grid.cells_per_axis) for _ in range(dims)
+            )
+            assert evaluator(coords) == grid.maxscore(coords, function)
+
+    def test_maxscore_delta_api(self):
+        function = LinearFunction([0.5, -2.0])
+        assert function.maxscore_delta(0, 0.1) == pytest.approx(0.05)
+        assert function.maxscore_delta(1, 0.1) == pytest.approx(0.2)
+        assert ProductFunction([0.1, 0.2]).maxscore_delta(0, 0.1) is None
+
+
+class TestNullCounters:
+    def test_increments_vanish_and_reads_are_zero(self):
+        NULL_COUNTERS.points_scored += 5
+        assert NULL_COUNTERS.points_scored == 0
+
+    def test_traversal_accepts_missing_counters(self):
+        factory = RecordFactory()
+        grid = Grid(2, 4)
+        grid.insert(factory.make((0.9, 0.9)))
+        outcome = compute_top_k(grid, LinearFunction([1.0, 1.0]), 1)
+        assert [entry.rid for entry in outcome.entries] == [0]
+
+    def test_real_counters_still_update(self):
+        factory = RecordFactory()
+        grid = Grid(2, 4)
+        grid.insert(factory.make((0.9, 0.9)))
+        counters = OpCounters()
+        compute_top_k(
+            grid, LinearFunction([1.0, 1.0]), 1, counters=counters
+        )
+        assert counters.points_scored == 1
+        assert counters.topk_computations == 1

@@ -1,0 +1,153 @@
+"""Batched sorted-list operations: add_many/remove_many on SortedKeyList
+and the columnar AttributeSortedList used by TSL's attribute lists."""
+
+import random
+
+import pytest
+
+from repro.core import batch
+from repro.structures.sorted_list import AttributeSortedList, SortedKeyList
+
+
+def reference_merge(existing, incoming, key):
+    result = list(existing)
+    for item in sorted(incoming, key=key):
+        result.append(item)
+    result.sort(key=key)
+    return result
+
+
+class TestSortedKeyListBatched:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_add_many_matches_sequential_add(self, seed):
+        rng = random.Random(seed)
+        key = lambda pair: pair[0]  # noqa: E731
+        base = [(rng.randrange(20), index) for index in range(30)]
+        incoming = [
+            (rng.randrange(20), 100 + index) for index in range(15)
+        ]
+        batched = SortedKeyList(base, key=key)
+        sequential = SortedKeyList(base, key=key)
+        batched.add_many(incoming)
+        for item in sorted(incoming, key=key):
+            sequential.add(item)
+        assert list(batched) == list(sequential)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_remove_many_matches_sequential_remove(self, seed):
+        rng = random.Random(seed + 50)
+        key = lambda pair: pair  # noqa: E731
+        items = [(rng.randrange(20), index) for index in range(40)]
+        victims = rng.sample(items, 12)
+        batched = SortedKeyList(items, key=key)
+        sequential = SortedKeyList(items, key=key)
+        batched.remove_many(victims)
+        for item in victims:
+            sequential.remove(item)
+        assert list(batched) == list(sequential)
+
+    def test_remove_many_missing_item_raises(self):
+        sorted_list = SortedKeyList(list(range(10)))
+        with pytest.raises(ValueError):
+            sorted_list.remove_many([1, 2, 99, 3, 4, 5])
+
+    def test_add_many_equal_keys_with_non_comparable_items(self):
+        # Equal keys must never fall through to comparing the items
+        # themselves, and batch members with equal keys keep their
+        # insertion order (stable sort), matching sequential add().
+        class Opaque:
+            def __init__(self, key):
+                self.key = key
+
+        items = [Opaque(1) for _ in range(6)]
+        sorted_list = SortedKeyList(key=lambda item: item.key)
+        sorted_list.add_many(items)
+        assert list(sorted_list) == items
+
+    def test_small_batches_take_scalar_path(self):
+        sorted_list = SortedKeyList([5, 1, 3])
+        sorted_list.add_many([2, 4])
+        assert list(sorted_list) == [1, 2, 3, 4, 5]
+        sorted_list.remove_many([1, 5])
+        assert list(sorted_list) == [2, 3, 4]
+
+
+@pytest.mark.skipif(
+    batch.np is None, reason="AttributeSortedList requires the NumPy backend"
+)
+class TestAttributeSortedList:
+    class Item:
+        __slots__ = ("value", "tag")
+
+        def __init__(self, value, tag):
+            self.value = value
+            self.tag = tag
+
+        def __repr__(self):
+            return f"Item({self.value}, {self.tag})"
+
+    def make(self, pairs):
+        return [self.Item(value, tag) for tag, value in enumerate(pairs)]
+
+    def test_add_and_order(self):
+        items = self.make([0.5, 0.1, 0.9, 0.1])
+        sorted_list = AttributeSortedList(key=lambda item: item.value)
+        for item in items:
+            sorted_list.add(item)
+        assert [item.value for item in sorted_list] == [0.1, 0.1, 0.5, 0.9]
+        assert len(sorted_list) == 4
+        assert sorted_list[0].value == 0.1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_add_many_matches_sequential(self, seed):
+        rng = random.Random(seed)
+        base = self.make([rng.random() for _ in range(25)])
+        incoming = self.make([rng.choice([0.25, rng.random()]) for _ in range(12)])
+        batched = AttributeSortedList(base, key=lambda item: item.value)
+        sequential = AttributeSortedList(base, key=lambda item: item.value)
+        batched.add_many(incoming)
+        for item in sorted(incoming, key=lambda item: item.value):
+            sequential.add(item)
+        assert [item.value for item in batched] == [
+            item.value for item in sequential
+        ]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_remove_many_with_duplicate_keys(self, seed):
+        rng = random.Random(seed + 10)
+        # Many duplicate keys: the identity scan must claim each
+        # position once and remove exactly the requested elements.
+        items = self.make([rng.choice([0.1, 0.2, 0.3]) for _ in range(30)])
+        victims = rng.sample(items, 10)
+        sorted_list = AttributeSortedList(items, key=lambda item: item.value)
+        sorted_list.remove_many(victims)
+        survivors = set(items) - set(victims)
+        assert set(sorted_list) == survivors
+        assert [item.value for item in sorted_list] == sorted(
+            item.value for item in survivors
+        )
+
+    def test_remove_missing_raises(self):
+        items = self.make([0.1, 0.2])
+        sorted_list = AttributeSortedList(items, key=lambda item: item.value)
+        with pytest.raises(ValueError):
+            sorted_list.remove(self.Item(0.1, "ghost"))
+
+    def test_bulk_add_sorts_stably(self):
+        items = self.make([0.9, 0.1])
+        sorted_list = AttributeSortedList(key=lambda item: item.value)
+        sorted_list.bulk_add(items)
+        more = self.make([0.1, 0.5])
+        sorted_list.bulk_add(more)
+        assert [item.value for item in sorted_list] == [0.1, 0.1, 0.5, 0.9]
+        # Stable: the earlier 0.1 stays before the later one.
+        assert sorted_list[0] is items[1]
+        assert sorted_list[1] is more[0]
+
+    def test_contains_and_discard(self):
+        items = self.make([0.3, 0.7])
+        sorted_list = AttributeSortedList(items, key=lambda item: item.value)
+        assert items[0] in sorted_list
+        assert sorted_list.discard(items[0]) is True
+        assert items[0] not in sorted_list
+        assert sorted_list.discard(items[0]) is False

@@ -21,7 +21,17 @@ ALGORITHMS = {
     "sma": SkybandMonitoringAlgorithm,
     "tsl": ThresholdSortedListAlgorithm,
     "brute": BruteForceAlgorithm,
+    # Similarity-grouped recomputation variants: identical results,
+    # shared grid sweeps per group (sugar for grouped=True, so bench
+    # runs can compare grouped vs per-query side by side).
+    "tma-grouped": TopKMonitoringAlgorithm,
+    "sma-grouped": SkybandMonitoringAlgorithm,
 }
+
+#: names whose algorithms index a grid (take ``cells_per_axis``).
+GRID_ALGORITHMS = frozenset(
+    name for name in ALGORITHMS if name.split("-")[0] in ("tma", "sma")
+)
 
 
 def make_algorithm(
@@ -33,14 +43,17 @@ def make_algorithm(
     """Construct a monitoring algorithm by name.
 
     Args:
-        name: one of ``tma``, ``sma``, ``tsl``, ``brute``.
+        name: one of ``tma``, ``sma``, ``tsl``, ``brute``, or a
+            grouped-recomputation variant ``tma-grouped`` /
+            ``sma-grouped``.
         dims: data dimensionality.
         cells_per_axis: grid granularity for the grid-based methods
             (ignored by ``tsl``/``brute``); defaults to the paper's
             sweet spot of roughly 12^4 total cells via
             :func:`repro.bench.workloads.default_cells_per_axis` when
             omitted.
-        **kwargs: algorithm-specific options (e.g. ``kmax_for`` for TSL).
+        **kwargs: algorithm-specific options (e.g. ``kmax_for`` for
+            TSL, ``grouped`` for TMA/SMA).
     """
     key = name.lower()
     if key not in ALGORITHMS:
@@ -48,7 +61,9 @@ def make_algorithm(
             f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
         )
     cls = ALGORITHMS[key]
-    if key in ("tma", "sma"):
+    if key.endswith("-grouped"):
+        kwargs.setdefault("grouped", True)
+    if key in GRID_ALGORITHMS:
         if cells_per_axis is None:
             from repro.bench.workloads import default_cells_per_axis
 
@@ -59,6 +74,7 @@ def make_algorithm(
 
 __all__ = [
     "ALGORITHMS",
+    "GRID_ALGORITHMS",
     "BruteForceAlgorithm",
     "MonitorAlgorithm",
     "SkybandMonitoringAlgorithm",

@@ -31,11 +31,12 @@ from typing import Dict, Iterable, List
 from repro.algorithms.base import MonitorAlgorithm
 from repro.algorithms.topk_computation import (
     compute_and_install,
+    compute_and_install_group,
     query_region,
     remove_query_everywhere,
 )
 from repro.core.batch import ArrivalScorer
-from repro.core.queries import TopKQuery
+from repro.core.queries import QueryGroupRegistry, TopKQuery
 from repro.core.results import ResultEntry
 from repro.core.tuples import MIN_RANK_KEY, RankKey, StreamRecord
 from repro.grid.grid import Grid
@@ -73,9 +74,16 @@ class SkybandMonitoringAlgorithm(MonitorAlgorithm):
 
     name = "sma"
 
-    def __init__(self, dims: int, cells_per_axis: int) -> None:
+    def __init__(
+        self, dims: int, cells_per_axis: int, grouped: bool = False
+    ) -> None:
+        """``grouped=True`` batches each cycle's skyband refills by
+        preference-vector similarity, sharing one grid sweep per group
+        (see :class:`~repro.algorithms.tma.TopKMonitoringAlgorithm`);
+        results are bitwise identical to the per-query path."""
         super().__init__(dims)
         self.grid = Grid(dims, cells_per_axis)
+        self.groups = QueryGroupRegistry() if grouped else None
         self._states: Dict[int, _SmaQueryState] = {}
 
     # ------------------------------------------------------------------
@@ -87,12 +95,16 @@ class SkybandMonitoringAlgorithm(MonitorAlgorithm):
         outcome = compute_and_install(self.grid, query, self.counters)
         state.rebuild_from(outcome.entries, self.counters)
         self._states[query.qid] = state
+        if self.groups is not None:
+            self.groups.add(query)
         return state.result_entries()
 
     def unregister(self, qid: int) -> None:
         state = self._states.pop(qid, None)
         if state is None:
             raise self._unknown_query(qid)
+        if self.groups is not None:
+            self.groups.discard(qid)
         remove_query_everywhere(self.grid, state.query, self.counters)
 
     def current_result(self, qid: int) -> List[ResultEntry]:
@@ -153,15 +165,43 @@ class SkybandMonitoringAlgorithm(MonitorAlgorithm):
                         state.needs_recompute = True
                         changed.append(state)
 
+        refills: List[_SmaQueryState] = []
         for state in changed:
             state.needs_recompute = False
             if len(state.skyband) >= state.query.k:
                 continue  # defensive: cannot refill mid-batch, but cheap
-            self.counters.recomputations += 1
-            outcome = compute_and_install(
-                self.grid, state.query, self.counters
+            refills.append(state)
+
+        if self.groups is not None and len(refills) > 1:
+            self._refill_grouped(refills)
+        else:
+            for state in refills:
+                self.counters.recomputations += 1
+                outcome = compute_and_install(
+                    self.grid, state.query, self.counters
+                )
+                state.rebuild_from(outcome.entries, self.counters)
+
+    def _refill_grouped(self, refills: List[_SmaQueryState]) -> None:
+        """Skyband refills batched by similarity group (see TMA)."""
+        states = {state.query.qid: state for state in refills}
+        for group in self.groups.partition(
+            [state.query for state in refills]
+        ):
+            self.counters.recomputations += len(group)
+            if len(group) == 1:
+                outcome = compute_and_install(
+                    self.grid, group[0], self.counters
+                )
+                states[group[0].qid].rebuild_from(
+                    outcome.entries, self.counters
+                )
+                continue
+            outcomes = compute_and_install_group(
+                self.grid, group, self.counters
             )
-            state.rebuild_from(outcome.entries, self.counters)
+            for query, outcome in zip(group, outcomes):
+                states[query.qid].rebuild_from(outcome.entries, self.counters)
 
     # ------------------------------------------------------------------
     # Introspection

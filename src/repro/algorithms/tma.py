@@ -32,12 +32,13 @@ from typing import Dict, Iterable, List, Set, Tuple
 from repro.algorithms.base import MonitorAlgorithm
 from repro.algorithms.topk_computation import (
     compute_and_install,
+    compute_and_install_group,
     eager_trim_influence,
     query_region,
     remove_query_everywhere,
 )
 from repro.core.batch import ArrivalScorer
-from repro.core.queries import TopKQuery
+from repro.core.queries import QueryGroupRegistry, TopKQuery
 from repro.core.results import ResultEntry
 from repro.core.tuples import MIN_RANK_KEY, RankKey, StreamRecord
 from repro.grid.grid import Grid
@@ -102,14 +103,24 @@ class TopKMonitoringAlgorithm(MonitorAlgorithm):
         dims: int,
         cells_per_axis: int,
         eager_cleanup: bool = False,
+        grouped: bool = False,
     ) -> None:
         """``eager_cleanup=True`` trims influence lists on every gate
         rise instead of lazily (ablation of the paper's Section 4.3
         design choice; results are identical, maintenance is not —
-        see ``benchmarks/test_ablation_design_choices.py``)."""
+        see ``benchmarks/test_ablation_design_choices.py``).
+
+        ``grouped=True`` batches each cycle's from-scratch
+        recomputations by preference-vector similarity
+        (:class:`~repro.core.queries.QueryGroupRegistry`): queries in
+        one group share a single grid sweep that packs and scores each
+        cell block once for the whole group. Results are bitwise
+        identical to the per-query path; only maintenance cost
+        changes."""
         super().__init__(dims)
         self.grid = Grid(dims, cells_per_axis)
         self.eager_cleanup = eager_cleanup
+        self.groups = QueryGroupRegistry() if grouped else None
         self._states: Dict[int, _TmaQueryState] = {}
 
     # ------------------------------------------------------------------
@@ -123,12 +134,16 @@ class TopKMonitoringAlgorithm(MonitorAlgorithm):
         outcome = compute_and_install(self.grid, query, self.counters)
         state.set_result(outcome.entries)
         self._states[query.qid] = state
+        if self.groups is not None:
+            self.groups.add(query)
         return state.result_entries()
 
     def unregister(self, qid: int) -> None:
         state = self._states.pop(qid, None)
         if state is None:
             raise self._unknown_query(qid)
+        if self.groups is not None:
+            self.groups.discard(qid)
         remove_query_everywhere(self.grid, state.query, self.counters)
 
     def current_result(self, qid: int) -> List[ResultEntry]:
@@ -213,15 +228,47 @@ class TopKMonitoringAlgorithm(MonitorAlgorithm):
                     state.affected = True
                     affected.append(state)
 
+        if self.groups is not None and len(affected) > 1:
+            self._recompute_grouped(affected)
+        else:
+            for state in affected:
+                state.affected = False
+                qid = state.query.qid
+                self._touch(qid)
+                self.counters.recomputations += 1
+                outcome = compute_and_install(
+                    self.grid, state.query, self.counters
+                )
+                state.set_result(outcome.entries)
+
+    def _recompute_grouped(self, affected: List[_TmaQueryState]) -> None:
+        """From-scratch recomputation batched by similarity group.
+
+        Groups of two or more share one grid sweep
+        (:func:`~repro.algorithms.topk_computation.compute_and_install_group`);
+        ungroupable queries and singleton buckets take the solo path
+        unchanged. Either way each query's result and influence-list
+        state end up identical to a qid-by-qid recomputation loop."""
+        states = {state.query.qid: state for state in affected}
         for state in affected:
             state.affected = False
-            qid = state.query.qid
-            self._touch(qid)
-            self.counters.recomputations += 1
-            outcome = compute_and_install(
-                self.grid, state.query, self.counters
+        for group in self.groups.partition(
+            [state.query for state in affected]
+        ):
+            for query in group:
+                self._touch(query.qid)
+                self.counters.recomputations += 1
+            if len(group) == 1:
+                outcome = compute_and_install(
+                    self.grid, group[0], self.counters
+                )
+                states[group[0].qid].set_result(outcome.entries)
+                continue
+            outcomes = compute_and_install_group(
+                self.grid, group, self.counters
             )
-            state.set_result(outcome.entries)
+            for query, outcome in zip(group, outcomes):
+                states[query.qid].set_result(outcome.entries)
 
     def _unknown_dimensionality(self, query: TopKQuery):
         from repro.core.errors import DimensionalityError

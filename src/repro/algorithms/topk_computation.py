@@ -33,14 +33,19 @@ implicit, spelled out because the tests assert it:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 from repro.core.queries import ConstrainedTopKQuery, TopKQuery
 from repro.core.regions import Rectangle
 from repro.core.scoring import PreferenceFunction
 from repro.core.stats import OpCounters
 from repro.grid.grid import Coords, Grid
-from repro.grid.traversal import TraversalOutcome, compute_top_k, start_coords
+from repro.grid.traversal import (
+    TraversalOutcome,
+    compute_top_k,
+    compute_top_k_group,
+    start_coords,
+)
 
 
 def query_region(query: TopKQuery) -> Optional[Rectangle]:
@@ -83,6 +88,48 @@ def compute_and_install(
         counters=counters,
     )
     return outcome
+
+
+def compute_and_install_group(
+    grid: Grid,
+    queries: Sequence[TopKQuery],
+    counters: Optional[OpCounters] = None,
+) -> List[TraversalOutcome]:
+    """Grouped :func:`compute_and_install`: one sweep, many queries.
+
+    Runs :func:`repro.grid.traversal.compute_top_k_group` over the
+    whole group, then performs per query exactly the influence-list
+    bookkeeping the solo path performs — the grouped outcome's
+    ``processed`` is the same cell set a solo traversal would install,
+    and its ``remaining`` seeds the same cleanup flood (plus swept
+    cells outside the query's region, which the flood's "delete only
+    where found" rule skips over harmlessly).
+
+    Callers must pass plain unconstrained linear queries (what
+    :meth:`repro.core.queries.QueryGroupRegistry.partition` groups).
+    Returns one outcome per query, in input order.
+    """
+    outcomes = compute_top_k_group(
+        grid,
+        [query.function for query in queries],
+        [query.k for query in queries],
+        counters=counters,
+    )
+    for query, outcome in zip(queries, outcomes):
+        for coords in outcome.processed:
+            cell = grid.get_cell(coords)
+            if query.qid not in cell.influence:
+                cell.influence.add(query.qid)
+                if counters is not None:
+                    counters.influence_list_updates += 1
+        cleanup_influence(
+            grid,
+            query.qid,
+            query.function,
+            outcome.remaining,
+            counters=counters,
+        )
+    return outcomes
 
 
 def cleanup_influence(

@@ -10,8 +10,9 @@ Two subcommands:
             --k 20 --dims 4 --distribution ant --algorithms tsl,sma
 
 ``selfcheck``
-    A fast correctness sweep: replays randomized streams through all
-    four algorithms and verifies cycle-by-cycle result equality against
+    A fast correctness sweep: replays randomized streams through every
+    maintained algorithm (including the grouped-recomputation
+    variants) and verifies cycle-by-cycle result equality against
     the brute-force oracle. Exit code 0 means every check passed — run
     it after any modification before trusting benchmark numbers.
 """
@@ -73,6 +74,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=1)
     run.add_argument(
+        "--similarity",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "draw all Q preference vectors near one random base vector "
+            "(S in [0,1]; 1.0 = identical queries). Exercises the "
+            "grouped-recomputation variants (tma-grouped/sma-grouped)"
+        ),
+    )
+    run.add_argument(
         "--cells-per-axis",
         type=int,
         default=None,
@@ -127,6 +139,7 @@ def command_run(args: argparse.Namespace) -> int:
         function_family=args.function,
         seed=args.seed,
         cells_per_axis=args.cells_per_axis,
+        query_similarity=args.similarity,
     )
     print(
         f"workload: N={spec.n} r={spec.rate} Q={spec.num_queries} "
@@ -191,6 +204,9 @@ def command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+SELFCHECK_MAINTAINED = ("tsl", "tma", "sma", "tma-grouped", "sma-grouped")
+
+
 def command_selfcheck(args: argparse.Namespace) -> int:
     failures = 0
     checks = 0
@@ -199,7 +215,7 @@ def command_selfcheck(args: argparse.Namespace) -> int:
         factory = RecordFactory()
         algorithms = {
             name: make_algorithm(name, 2, cells_per_axis=4)
-            for name in ("brute", "tsl", "tma", "sma")
+            for name in ("brute",) + SELFCHECK_MAINTAINED
         }
         queries = []
         for qid in range(3):
@@ -234,7 +250,7 @@ def command_selfcheck(args: argparse.Namespace) -> int:
                     for query in queries
                 }
             reference = outcomes["brute"]
-            for name in ("tsl", "tma", "sma"):
+            for name in SELFCHECK_MAINTAINED:
                 checks += 1
                 if outcomes[name] != reference:
                     failures += 1

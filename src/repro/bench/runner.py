@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from repro.algorithms import GRID_ALGORITHMS
 from repro.analysis.memory import SpaceBreakdown, estimate_space
 from repro.core.engine import StreamMonitor
 from repro.core.stats import OpCounters
@@ -105,7 +106,9 @@ def run_workload(
         CountBasedWindow(spec.n),
         algorithm=algorithm,
         cells_per_axis=(
-            spec.grid_cells_per_axis() if algorithm in ("tma", "sma") else None
+            spec.grid_cells_per_axis()
+            if algorithm in GRID_ALGORITHMS
+            else None
         ),
     )
 

@@ -61,6 +61,11 @@ class WorkloadSpec:
     function_family: str = "linear"  # linear | product | quadratic
     seed: int = 1
     cells_per_axis: Optional[int] = None  # None = auto sweet spot
+    #: None = independent random coefficients (the paper's setup).
+    #: 0..1 = draw every query near one random base preference vector;
+    #: 1.0 means identical queries, lower values widen the jitter —
+    #: the knob the grouped-traversal workloads sweep Q against.
+    query_similarity: Optional[float] = None
 
     def grid_cells_per_axis(self) -> int:
         if self.cells_per_axis is not None:
@@ -80,9 +85,28 @@ class WorkloadSpec:
         between 0 and 1").
         """
         rng = random.Random(self.seed * 7919 + 13)
+        if self.query_similarity is not None and not (
+            0.0 <= self.query_similarity <= 1.0
+        ):
+            raise ValueError(
+                f"query_similarity must be in [0, 1], "
+                f"got {self.query_similarity}"
+            )
+        base: Optional[List[float]] = None
+        if self.query_similarity is not None:
+            base = [rng.uniform(0.3, 0.9) for _ in range(self.dims)]
+            spread = (1.0 - self.query_similarity) * 0.5
         functions: List[PreferenceFunction] = []
         for _ in range(self.num_queries):
-            coefficients = [rng.uniform(0.05, 1.0) for _ in range(self.dims)]
+            if base is None:
+                coefficients = [
+                    rng.uniform(0.05, 1.0) for _ in range(self.dims)
+                ]
+            else:
+                coefficients = [
+                    min(1.0, max(0.05, value + rng.uniform(-spread, spread)))
+                    for value in base
+                ]
             if self.function_family == "linear":
                 functions.append(LinearFunction(coefficients))
             elif self.function_family == "product":

@@ -36,10 +36,15 @@ class StreamMonitor:
         window: a :class:`~repro.core.window.SlidingWindow` instance
             (count-based or time-based).
         algorithm: algorithm name (``"tma"``, ``"sma"``, ``"tsl"``,
-            ``"brute"``) or a pre-built
+            ``"brute"``, or the similarity-grouped variants
+            ``"tma-grouped"`` / ``"sma-grouped"``) or a pre-built
             :class:`~repro.algorithms.base.MonitorAlgorithm`.
         cells_per_axis: grid granularity for grid-based algorithms.
-        **algorithm_options: forwarded to the algorithm factory.
+        **algorithm_options: forwarded to the algorithm factory —
+            e.g. ``grouped=True`` makes TMA/SMA batch each cycle's
+            from-scratch recomputations by preference-vector
+            similarity (bitwise-identical results, shared grid
+            sweeps).
 
     Example:
         >>> from repro import LinearFunction, TopKQuery, CountBasedWindow

@@ -13,17 +13,24 @@ Three query species from the paper:
   constraint region (Section 7, Figure 12);
 - :class:`ThresholdQuery` — monitor all points with score above a
   user threshold (Section 7).
+
+:class:`QueryGroupRegistry` clusters registered linear top-k queries
+by preference-vector similarity so the grouped traversal
+(:func:`repro.grid.traversal.compute_top_k_group`) can serve a whole
+cluster in one grid sweep; see its docstring for the grouping
+heuristic and the exactness guarantees the consumers rely on.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.errors import QueryError
 from repro.core.regions import Rectangle
-from repro.core.scoring import PreferenceFunction
+from repro.core.scoring import LinearFunction, PreferenceFunction
 
 
 @dataclass(eq=False)
@@ -104,6 +111,131 @@ class ThresholdQuery:
     def __repr__(self) -> str:
         name = self.label or f"q{self.qid}"
         return f"ThresholdQuery({name}, t={self.threshold:g}, f={self.function!r})"
+
+
+#: bucket identity of a groupable query: monotonicity directions plus
+#: the angularly quantized unit preference vector.
+GroupKey = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
+class QueryGroupRegistry:
+    """Clusters linear top-k queries by preference-vector similarity.
+
+    Queries whose preference vectors point in nearly the same direction
+    visit nearly the same grid cells in nearly the same order, so the
+    grouped traversal can serve them all in one sweep (the
+    publish/subscribe trick of grouping similar subscriptions). The
+    registry assigns each *groupable* query a bucket key:
+
+    - the per-dimension monotonicity ``directions`` (queries in one
+      group must share the traversal's start corner and step relation),
+    - the weight vector normalized to unit length and quantized to
+      ``resolution`` steps per component (angular buckets — scaling a
+      preference function does not change its top-k, and the bucket
+      width shrinks as ``resolution`` grows).
+
+    Only plain :class:`TopKQuery` instances over a
+    :class:`~repro.core.scoring.LinearFunction` are groupable:
+    constrained queries clip cells per region and non-linear families
+    lack the exact per-cell maxscore tables the shared sweep prices
+    cells with. Everything else always forms a singleton group, so a
+    caller can route *all* its queries through :meth:`partition`.
+
+    Grouping is a pure performance heuristic — the grouped traversal
+    returns bitwise-identical results for any group whose members share
+    ``directions``, so a "wrong" bucket can cost time, never
+    correctness. Membership is maintained incrementally: :meth:`add` /
+    :meth:`discard` on every query churn keep the key map current, and
+    :meth:`partition` reads it directly.
+    """
+
+    __slots__ = ("resolution", "max_group_size", "_keys")
+
+    def __init__(self, resolution: int = 4, max_group_size: int = 64) -> None:
+        if resolution < 1:
+            raise QueryError(f"resolution must be >= 1, got {resolution}")
+        if max_group_size < 1:
+            raise QueryError(
+                f"max_group_size must be >= 1, got {max_group_size}"
+            )
+        self.resolution = resolution
+        self.max_group_size = max_group_size
+        self._keys: Dict[int, GroupKey] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, qid: int) -> bool:
+        return qid in self._keys
+
+    @staticmethod
+    def groupable(query) -> bool:
+        """Whether ``query`` may share a traversal with similar peers."""
+        return (
+            type(query) is TopKQuery
+            and type(query.function) is LinearFunction
+        )
+
+    def key_of(self, query) -> Optional[GroupKey]:
+        """Bucket key of ``query``; None when it is not groupable."""
+        if not self.groupable(query):
+            return None
+        weights = query.function.weights
+        norm = math.sqrt(sum(weight * weight for weight in weights))
+        if norm == 0.0:
+            return None  # degenerate all-zero preference: keep solo
+        quantized = tuple(
+            round(weight / norm * self.resolution) for weight in weights
+        )
+        return (query.function.directions, quantized)
+
+    def add(self, query) -> None:
+        """Record a registered query (no-op when not groupable)."""
+        key = self.key_of(query)
+        if key is not None:
+            self._keys[query.qid] = key
+
+    def discard(self, qid: int) -> None:
+        """Forget a terminated query (no-op when never recorded)."""
+        self._keys.pop(qid, None)
+
+    def groups(self) -> List[List[int]]:
+        """Current full clustering as qid lists. Introspection/testing
+        helper — cycle code uses :meth:`partition` on just the queries
+        it must recompute."""
+        buckets: Dict[GroupKey, List[int]] = {}
+        for qid, key in self._keys.items():
+            buckets.setdefault(key, []).append(qid)
+        return list(buckets.values())
+
+    def partition(self, queries: Sequence) -> List[List]:
+        """Split ``queries`` into traversal groups.
+
+        Queries sharing a bucket key group together (capped at
+        ``max_group_size`` per group); unknown or ungroupable queries
+        come back as singletons. Order is deterministic: groups appear
+        in first-member order, members keep the caller's order — so a
+        caller iterating a stable query set gets stable groups.
+        """
+        clustered: Dict[GroupKey, List] = {}
+        ordered: List[List] = []
+        for query in queries:
+            key = self._keys.get(query.qid)
+            if key is None:
+                ordered.append([query])
+                continue
+            members = clustered.get(key)
+            if members is None:
+                members = clustered[key] = [query]
+                ordered.append(members)
+            else:
+                members.append(query)
+        limit = self.max_group_size
+        out: List[List] = []
+        for members in ordered:
+            for start in range(0, len(members), limit):
+                out.append(members[start:start + limit])
+        return out
 
 
 class QueryTable:

@@ -27,6 +27,8 @@ class OpCounters:
     points_scored: int = 0
     topk_computations: int = 0
     recomputations: int = 0
+    grouped_traversals: int = 0
+    grouped_queries_served: int = 0
     influence_checks: int = 0
     influence_list_updates: int = 0
     influence_trim_visits: int = 0

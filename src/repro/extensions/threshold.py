@@ -18,7 +18,7 @@ termination.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.errors import QueryError
 from repro.core.queries import QueryTable, ThresholdQuery
@@ -107,9 +107,14 @@ class ThresholdMonitor:
     # ------------------------------------------------------------------
 
     def process(
-        self, arrivals: Sequence[StreamRecord], now: float = None
+        self, arrivals: Sequence[StreamRecord], now: Optional[float] = None
     ) -> CycleReport:
-        """One cycle: report per-query additions and removals."""
+        """One cycle: report per-query additions and removals.
+
+        Grid ingestion is batched (``insert_many`` / ``delete_many``,
+        one vectorized cell-mapping pass per batch); the per-record
+        loops below only walk influence lists.
+        """
         if now is None:
             now = max([self._clock] + [r.time for r in arrivals])
         self._clock = now
@@ -125,8 +130,7 @@ class ThresholdMonitor:
                 changes[qid] = ResultChange(qid=qid)
             return changes[qid]
 
-        for record in arrivals:
-            cell = self.grid.insert(record)
+        for record, cell in zip(arrivals, self.grid.insert_many(arrivals)):
             for qid in cell.influence:
                 state = self._states.get(qid)
                 if state is None:
@@ -138,8 +142,9 @@ class ThresholdMonitor:
                     state.members[record.rid] = entry
                     change_for(qid).added.append(entry)
 
-        for record in expirations:
-            cell = self.grid.delete(record)
+        for record, cell in zip(
+            expirations, self.grid.delete_many(expirations)
+        ):
             for qid in cell.influence:
                 state = self._states.get(qid)
                 if state is None:

@@ -17,7 +17,7 @@ random deletion is O(1) as Section 7 requires).
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 from repro.algorithms import MonitorAlgorithm, make_algorithm
 from repro.algorithms.sma import SkybandMonitoringAlgorithm
@@ -34,7 +34,7 @@ class UpdateStreamMonitor:
         self,
         dims: int,
         algorithm: Union[str, MonitorAlgorithm] = "tma",
-        cells_per_axis: int = None,
+        cells_per_axis: Optional[int] = None,
         **algorithm_options,
     ) -> None:
         self.dims = dims
@@ -83,18 +83,36 @@ class UpdateStreamMonitor:
         self,
         insertions: Sequence[StreamRecord],
         deletions: Sequence[StreamRecord],
-        now: float = None,
+        now: Optional[float] = None,
     ) -> CycleReport:
-        """Apply one batch of explicit insertions and deletions."""
+        """Apply one batch of explicit insertions and deletions.
+
+        The whole batch is validated *before* anything mutates: a bad
+        record still raises its per-record :class:`StreamError`, but
+        the live set is no longer left half-applied, and the batch then
+        flows to the algorithm as one cycle — whose grid ingestion runs
+        through the batched ``Grid.insert_many`` / ``delete_many``
+        paths, not record-at-a-time inserts. A record inserted and
+        deleted in the same batch is legal (net effect: absent), as
+        under the previous insert-all-then-delete-all order.
+        """
+        inserted: Set[int] = set()
         for record in insertions:
-            if record.rid in self._live:
+            if record.rid in self._live or record.rid in inserted:
                 raise StreamError(f"record {record.rid} inserted twice")
-            self._live[record.rid] = record
+            inserted.add(record.rid)
+        deleted: Set[int] = set()
         for record in deletions:
-            if self._live.pop(record.rid, None) is None:
+            known = record.rid in self._live or record.rid in inserted
+            if not known or record.rid in deleted:
                 raise StreamError(
                     f"deletion of unknown/already-deleted record {record.rid}"
                 )
+            deleted.add(record.rid)
+        for record in insertions:
+            self._live[record.rid] = record
+        for record in deletions:
+            self._live.pop(record.rid, None)
         if now is None:
             now = max(
                 [self._clock]

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.core import batch
 from repro.core.regions import Rectangle
@@ -121,6 +121,29 @@ def _region_start_coords(
     return tuple(coords)
 
 
+def _linear_corner_tables(
+    grid: Grid, function: LinearFunction
+) -> List[List[float]]:
+    """Per-dimension best-corner score contributions of a linear query.
+
+    ``tables[dim][index]`` is the contribution of dimension ``dim`` to
+    the maxscore of any cell whose coordinate along that axis is
+    ``index``; a cell's maxscore is the sum over dimensions. Built with
+    the exact operations ``bounds_of`` + ``score`` would perform, so
+    lookup sums are bitwise identical to ``grid.maxscore``.
+    """
+    delta = grid.delta
+    per_axis = grid.cells_per_axis
+    tables: List[List[float]] = []
+    for dim, direction in enumerate(function.directions):
+        weight = function.weights[dim]
+        offset = 1 if direction > 0 else 0
+        tables.append(
+            [weight * ((index + offset) * delta) for index in range(per_axis)]
+        )
+    return tables
+
+
 def _linear_maxscore_fn(
     grid: Grid, function: LinearFunction
 ) -> Callable[[Coords], float]:
@@ -133,20 +156,11 @@ def _linear_maxscore_fn(
     — so cell maxscores need no per-push ``bounds_of`` + ``score``
     round trip. Rather than subtracting the decrement incrementally —
     which would drift from ``grid.maxscore`` by accumulated rounding —
-    each dimension gets a table of best-corner contributions built
-    with the exact operations ``bounds_of``/``score`` would perform,
-    so lookup sums are bitwise identical to the generic path and the
-    traversal's tie-aware termination sees the same keys either way.
+    each dimension gets a table of best-corner contributions
+    (:func:`_linear_corner_tables`), so the traversal's tie-aware
+    termination sees the same keys as the generic path either way.
     """
-    delta = grid.delta
-    per_axis = grid.cells_per_axis
-    tables: List[List[float]] = []
-    for dim, direction in enumerate(function.directions):
-        weight = function.weights[dim]
-        offset = 1 if direction > 0 else 0
-        tables.append(
-            [weight * ((index + offset) * delta) for index in range(per_axis)]
-        )
+    tables = _linear_corner_tables(grid, function)
 
     def maxscore_of(coords: Coords) -> float:
         total = 0.0
@@ -310,6 +324,373 @@ def compute_top_k(
     return TraversalOutcome(
         entries=entries, processed=processed, remaining=remaining
     )
+
+
+class _GroupScorer:
+    """Stacked per-cell pricing and scoring for one traversal group.
+
+    Holds the group's weight matrix and per-dimension corner tables in
+    the batch backend's native layout, so one grid sweep can price a
+    cell for every member (:meth:`maxscores_of`) and score a cell's
+    columnar block for every member (:meth:`score_block`) in a handful
+    of array operations.
+
+    Exactness: every element of every result is produced by the same
+    floating-point operations in the same order as the per-query code
+    it replaces — :meth:`maxscores_of` accumulates the same
+    :func:`_linear_corner_tables` entries dimension by dimension, and
+    :meth:`score_block` runs the column-at-a-time accumulation of
+    :meth:`~repro.core.scoring.LinearFunction.score_batch` broadcast
+    over the group — so per-query decisions taken on these values are
+    bitwise identical to a solo traversal's.
+    """
+
+    __slots__ = (
+        "functions",
+        "dims",
+        "_tables",
+        "_weight_columns",
+        "_key_tables",
+    )
+
+    def __init__(self, grid: Grid, functions: Sequence[LinearFunction]) -> None:
+        self.functions = list(functions)
+        self.dims = grid.dims
+        per_query_tables = [
+            _linear_corner_tables(grid, function) for function in functions
+        ]
+        # Heap keys come from summed per-dimension *max* contributions:
+        # sum_d max_q table_q[d] >= max_q sum_d table_q[d] >= every
+        # member's maxscore, and each term is non-increasing along the
+        # shared step relation, so the key is a valid monotone upper
+        # bound priced with d scalar lookups per cell — the same cost
+        # the solo traversal pays — instead of a Q-vector reduction.
+        # (Looser than the true group max only across dimensions, i.e.
+        # by at most the members' per-dimension weight spread.)
+        self._key_tables: List[List[float]] = [
+            [
+                max(tables[dim][index] for tables in per_query_tables)
+                for index in range(grid.cells_per_axis)
+            ]
+            for dim in range(self.dims)
+        ]
+        if batch.np is not None:
+            # tables[dim] is a (Q, g) matrix: row q = query q's
+            # contribution table along `dim`.
+            self._tables = [
+                batch.np.array(
+                    [tables[dim] for tables in per_query_tables],
+                    dtype=batch.np.float64,
+                )
+                for dim in range(self.dims)
+            ]
+            self._weight_columns = [
+                batch.np.array(
+                    [function.weights[dim] for function in functions],
+                    dtype=batch.np.float64,
+                )
+                for dim in range(self.dims)
+            ]
+        else:
+            self._tables = per_query_tables  # [query][dim][index]
+            self._weight_columns = None
+
+    def group_key_of(self, coords: Coords) -> float:
+        """Monotone upper bound of every member's maxscore at ``coords``."""
+        total = 0.0
+        for dim, table in enumerate(self._key_tables):
+            total += table[coords[dim]]
+        return total
+
+    def maxscores_of(self, coords: Coords):
+        """Per-query maxscore vector of the cell at ``coords``.
+
+        NumPy: a float64 vector of length Q. Fallback: a list. Entry q
+        equals ``_linear_maxscore_fn(grid, functions[q])(coords)``
+        under comparisons (the vector path starts the sum from the
+        first table entry instead of 0.0, which can differ only in the
+        sign of a zero).
+        """
+        if self._weight_columns is not None:
+            total = self._tables[0][:, coords[0]]
+            for dim in range(1, self.dims):
+                total = total + self._tables[dim][:, coords[dim]]
+            return total
+        out = []
+        for tables in self._tables:
+            total = 0.0
+            for dim, table in enumerate(tables):
+                total += table[coords[dim]]
+            out.append(total)
+        return out
+
+    def maxscores_of_many(self, coords_list: Sequence[Coords]):
+        """Per-query maxscores of many cells at once (NumPy only).
+
+        Returns a ``(Q, P)`` matrix — column p is
+        :meth:`maxscores_of` of ``coords_list[p]``, computed with the
+        same dimension-by-dimension accumulation as d column gathers
+        over the whole batch (the grouped post-pass classifies every
+        swept cell for every member this way)."""
+        np = batch.np
+        index = np.asarray(coords_list)
+        total = self._tables[0][:, index[:, 0]]
+        for dim in range(1, self.dims):
+            total = total + self._tables[dim][:, index[:, dim]]
+        return total
+
+    def score_block(self, matrix):
+        """Scores of a columnar cell block for every group member.
+
+        NumPy backend only (the traversal's fallback branch scores
+        lazily per member instead): an ``(n, Q)`` matrix whose column
+        q is bitwise equal to ``functions[q].score_batch(matrix)`` —
+        the same column-at-a-time accumulation, broadcast over the
+        group's weight columns.
+        """
+        out = matrix[:, 0:1] * self._weight_columns[0]
+        for dim in range(1, self.dims):
+            out += matrix[:, dim:dim + 1] * self._weight_columns[dim]
+        return out
+
+
+def compute_top_k_group(
+    grid: Grid,
+    functions: Sequence[LinearFunction],
+    ks: Sequence[int],
+    counters: Optional[OpCounters] = None,
+) -> List[TraversalOutcome]:
+    """Serve a whole group of linear queries in one Figure-6 sweep.
+
+    All group members must be plain linear functions sharing the same
+    per-dimension ``directions`` (same start corner, same step
+    relation); the caller — normally
+    :class:`repro.core.queries.QueryGroupRegistry` — groups by
+    preference-vector similarity so members' influence staircases
+    overlap heavily, but any shared-direction group is *correct*.
+
+    One heap drives the sweep, keyed by the **group key** — a monotone
+    upper bound of every member's cell maxscore priced with d scalar
+    table lookups (:meth:`_GroupScorer.group_key_of`). Because the key
+    upper-bounds every member and is monotone along the shared step
+    relation, the heap-frontier invariant holds for the group: when
+    the best remaining key drops strictly below member q's kth score,
+    no unprocessed cell can contribute to q and q deactivates; the
+    sweep ends when every member has. Each processed cell's columnar
+    block is packed once and scored once for the whole group
+    (:meth:`_GroupScorer.score_block`); the per-query survivor
+    prefilter is one comparison of that score matrix against the
+    vector of per-query kth scores (``gates``) — a deactivated
+    member's gate can no longer be reached (every remaining score is
+    strictly below its frozen kth), so the mask also retires its
+    column for free.
+
+    **Exactness contract** (asserted by the grouped parity suite): the
+    returned entries are bitwise identical — same ``(score, rid)``
+    order — to ``compute_top_k`` run per query, because admission uses
+    kernel scores bitwise equal to the solo path's and every cell a
+    solo traversal would process is processed here before its query
+    deactivates. ``processed`` is also the same *set* of cells per
+    query (cells with ``maxscore_q >= kth score``, recovered by a
+    post-pass), though visiting order follows the group key;
+    ``remaining`` seeds the same influence-cleanup flood but contains
+    the group sweep's extra cells too — a superset of boundary seeds,
+    which the flood's "delete only where found" rule makes harmless.
+
+    Returns one :class:`TraversalOutcome` per query, in input order.
+    """
+    if not functions:
+        return []
+    if len(functions) != len(ks):
+        raise ValueError(
+            f"{len(functions)} functions but {len(ks)} k values"
+        )
+    for function in functions:
+        if type(function) is not LinearFunction:
+            raise ValueError(
+                "grouped traversal requires plain LinearFunction members; "
+                f"got {function!r}"
+            )
+        if function.directions != functions[0].directions:
+            raise ValueError(
+                "grouped traversal requires uniform monotonicity "
+                f"directions; got {function.directions} vs "
+                f"{functions[0].directions}"
+            )
+    if len(functions) == 1:
+        # Zero-overhead degenerate case: the solo path is the contract.
+        return [compute_top_k(grid, functions[0], ks[0], counters=counters)]
+
+    if counters is None:
+        counters = NULL_COUNTERS
+    counters.topk_computations += len(functions)
+    counters.grouped_traversals += 1
+    counters.grouped_queries_served += len(functions)
+
+    size = len(functions)
+    scorer = _GroupScorer(grid, functions)
+    lead = functions[0]  # directions donor for steps_toward_worse
+    np = batch.np
+
+    # Per-query candidate top-k as min-heaps of canonical keys, plus
+    # the vector of current kth scores (-inf while underfull) the
+    # admission mask compares whole cell blocks against.
+    candidates: List[List[Tuple[float, int, object]]] = [
+        [] for _ in range(size)
+    ]
+    #: current kth score per query (-inf while underfull). The python
+    #: list serves the per-pop deactivation check without boxing; the
+    #: NumPy mirror serves the whole-block admission mask.
+    gates: List[float] = [float("-inf")] * size
+    gates_np = np.full(size, float("-inf")) if np is not None else None
+
+    heap: List[Tuple[float, int, Coords]] = []
+    seq = 0
+    enheaped: Set[Coords] = set()
+    #: every de-heaped cell; under the fallback backend each entry
+    #: carries its per-query maxscore vector (needed in-loop for the
+    #: skip decisions), under NumPy the vectors come from one batched
+    #: post-pass gather instead.
+    processed: List[Coords] = []
+    processed_maxscores: List[List[float]] = []
+
+    def push(coords: Coords) -> None:
+        nonlocal seq
+        if coords in enheaped:
+            return
+        enheaped.add(coords)
+        seq += 1
+        heapq.heappush(heap, (-scorer.group_key_of(coords), seq, coords))
+        counters.cells_enheaped += 1
+
+    push(start_coords(grid, lead, None))
+
+    active = list(range(size))
+    while heap and active:
+        best_key = -heap[0][0]
+        # Tie-aware per-query termination: q deactivates when even the
+        # group's upper bound is strictly below its kth score.
+        active = [q for q in active if best_key >= gates[q]]
+        if not active:
+            break
+        _, _, coords = heapq.heappop(heap)
+        processed.append(coords)
+        if np is None:
+            maxscores = scorer.maxscores_of(coords)
+            processed_maxscores.append(maxscores)
+        counters.cells_processed += 1
+
+        cell = grid.peek_cell(coords)
+        if cell is not None and cell.points:
+            records, matrix = cell.columns()
+            if np is not None:
+                # The stacked kernel examines every (record, member)
+                # pair, and the admission mask compares them all —
+                # count that, mirroring the solo path's "points
+                # examined" semantics.
+                block = scorer.score_block(matrix)
+                counters.points_scored += len(records) * size
+                # One mask for every (record, query) pair: a hit must
+                # reach the query's gate (ties included — equal scores
+                # can still win on rid). Deactivated queries cannot
+                # hit: every remaining score sits strictly below their
+                # frozen gate.
+                rows, cols = np.nonzero(block >= gates_np)
+                if len(rows):
+                    values = block[rows, cols].tolist()
+                    for row, q, value in zip(
+                        rows.tolist(), cols.tolist(), values
+                    ):
+                        cand = candidates[q]
+                        record = records[row]
+                        entry = (value, record.rid, record)
+                        if len(cand) < ks[q]:
+                            heapq.heappush(cand, entry)
+                            if len(cand) == ks[q]:
+                                gates[q] = gates_np[q] = cand[0][0]
+                        elif entry[:2] > cand[0][:2]:
+                            heapq.heapreplace(cand, entry)
+                            gates[q] = gates_np[q] = cand[0][0]
+            else:
+                # Fallback: score lazily per member, *after* the skip
+                # check — a member whose staircase misses the cell
+                # pays nothing, so the fallback never scores more
+                # (record, member) pairs than per-query traversals
+                # would.
+                for q in active:
+                    cand = candidates[q]
+                    k = ks[q]
+                    full = len(cand) >= k
+                    if full and maxscores[q] < cand[0][0]:
+                        continue  # cell cannot contribute to q
+                    function = scorer.functions[q]
+                    scores = [function.score(row) for row in matrix]
+                    counters.points_scored += len(records)
+                    if full:
+                        survivors, values = batch.take_at_least(
+                            scores, cand[0][0]
+                        )
+                    else:
+                        survivors = range(len(records))
+                        values = scores
+                    for index, value in zip(survivors, values):
+                        record = records[index]
+                        entry = (value, record.rid, record)
+                        if len(cand) < k:
+                            heapq.heappush(cand, entry)
+                        elif entry[:2] > cand[0][:2]:
+                            heapq.heapreplace(cand, entry)
+                    if len(cand) >= k:
+                        gates[q] = cand[0][0]
+
+        for neighbour in grid.steps_toward_worse(coords, lead):
+            push(neighbour)
+
+    heap_coords = [item[2] for item in heap]
+    if np is not None and processed:
+        swept_maxscores = scorer.maxscores_of_many(processed)  # (Q, P)
+    outcomes: List[TraversalOutcome] = []
+    for q in range(size):
+        cand = candidates[q]
+        if len(cand) >= ks[q]:
+            kth_score = cand[0][0]
+        else:
+            kth_score = float("-inf")
+        # Post-pass recovery of the solo traversal's processed set:
+        # exactly the swept cells whose maxscore for q reaches its kth
+        # score (the solo sweep processes a descending-key prefix that
+        # ends at that threshold). Swept-but-below cells join the
+        # cleanup seeds instead, alongside the heap leftovers.
+        processed_q: List[Coords] = []
+        stale_seeds: List[Coords] = []
+        if np is not None:
+            if processed:
+                keep = (swept_maxscores[q] >= kth_score).tolist()
+                for index, coords in enumerate(processed):
+                    if keep[index]:
+                        processed_q.append(coords)
+                    else:
+                        stale_seeds.append(coords)
+        else:
+            for coords, maxscores in zip(processed, processed_maxscores):
+                if maxscores[q] >= kth_score:
+                    processed_q.append(coords)
+                else:
+                    stale_seeds.append(coords)
+        entries = [
+            ResultEntry(score, record)
+            for score, _, record in sorted(
+                cand, key=lambda item: item[:2], reverse=True
+            )
+        ]
+        outcomes.append(
+            TraversalOutcome(
+                entries=entries,
+                processed=processed_q,
+                remaining=heap_coords + stale_seeds,
+            )
+        )
+    return outcomes
 
 
 def collect_cells_above_threshold(

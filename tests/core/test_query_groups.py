@@ -1,0 +1,124 @@
+"""QueryGroupRegistry: bucketing, invalidation, partitioning."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.queries import (
+    ConstrainedTopKQuery,
+    QueryGroupRegistry,
+    TopKQuery,
+)
+from repro.core.regions import Rectangle
+from repro.core.scoring import LinearFunction, ProductFunction
+
+
+def make_query(weights, qid, k=3):
+    query = TopKQuery(LinearFunction(weights), k=k)
+    query.qid = qid
+    return query
+
+
+class TestBucketing:
+    def test_similar_vectors_share_a_bucket(self):
+        registry = QueryGroupRegistry()
+        a = make_query([0.60, 0.40], qid=0)
+        b = make_query([0.61, 0.41], qid=1)
+        assert registry.key_of(a) == registry.key_of(b)
+
+    def test_scaling_does_not_change_the_bucket(self):
+        """Angular buckets: c·f has the same top-k as f."""
+        registry = QueryGroupRegistry()
+        assert registry.key_of(make_query([0.3, 0.2], 0)) == registry.key_of(
+            make_query([0.9, 0.6], 1)
+        )
+
+    def test_orthogonal_vectors_split(self):
+        registry = QueryGroupRegistry()
+        assert registry.key_of(make_query([1.0, 0.05], 0)) != registry.key_of(
+            make_query([0.05, 1.0], 1)
+        )
+
+    def test_directions_split_buckets(self):
+        registry = QueryGroupRegistry()
+        assert registry.key_of(make_query([0.5, 0.5], 0)) != registry.key_of(
+            make_query([0.5, -0.5], 1)
+        )
+
+    def test_non_groupable_species(self):
+        registry = QueryGroupRegistry()
+        product = TopKQuery(ProductFunction([0.1, 0.1]), k=2)
+        constrained = ConstrainedTopKQuery(
+            LinearFunction([0.5, 0.5]),
+            k=2,
+            constraint=Rectangle((0.0, 0.0), (0.5, 0.5)),
+        )
+        zero = make_query([0.0, 0.0], qid=9)
+        assert registry.key_of(product) is None
+        assert registry.key_of(constrained) is None
+        assert registry.key_of(zero) is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(QueryError):
+            QueryGroupRegistry(resolution=0)
+        with pytest.raises(QueryError):
+            QueryGroupRegistry(max_group_size=0)
+
+
+class TestChurn:
+    def test_add_and_discard_track_membership(self):
+        registry = QueryGroupRegistry()
+        queries = [make_query([0.6, 0.4], qid) for qid in range(3)]
+        for query in queries:
+            registry.add(query)
+        assert len(registry) == 3
+        assert registry.groups() == [[0, 1, 2]]
+        registry.discard(1)
+        assert 1 not in registry
+        assert registry.groups() == [[0, 2]]
+        registry.discard(1)  # idempotent
+        assert len(registry) == 2
+
+    def test_add_ungroupable_is_a_noop(self):
+        registry = QueryGroupRegistry()
+        registry.add(TopKQuery(ProductFunction([0.1, 0.1]), k=2))
+        assert len(registry) == 0
+
+
+class TestPartition:
+    def test_partition_groups_known_and_isolates_unknown(self):
+        registry = QueryGroupRegistry()
+        similar = [make_query([0.7, 0.3], qid) for qid in range(4)]
+        lone = make_query([0.05, 1.0], qid=10)
+        stranger = make_query([0.7, 0.3], qid=99)  # never add()ed
+        for query in similar + [lone]:
+            registry.add(query)
+        groups = registry.partition(similar + [lone, stranger])
+        sizes = sorted(len(group) for group in groups)
+        assert sizes == [1, 1, 4]
+        assert [stranger] in groups
+        assert [lone] in groups
+
+    def test_partition_respects_max_group_size(self):
+        registry = QueryGroupRegistry(max_group_size=3)
+        queries = [make_query([0.5, 0.5], qid) for qid in range(8)]
+        for query in queries:
+            registry.add(query)
+        groups = registry.partition(queries)
+        assert [len(group) for group in groups] == [3, 3, 2]
+        # members keep caller order within and across chunks
+        assert [query.qid for group in groups for query in group] == list(
+            range(8)
+        )
+
+    def test_partition_is_deterministic(self):
+        registry = QueryGroupRegistry()
+        queries = [
+            make_query([0.6 + 0.001 * qid, 0.4], qid) for qid in range(6)
+        ]
+        for query in queries:
+            registry.add(query)
+        first = registry.partition(queries)
+        second = registry.partition(queries)
+        assert [[q.qid for q in g] for g in first] == [
+            [q.qid for q in g] for g in second
+        ]

@@ -1,0 +1,174 @@
+"""Grouped traversal ≡ per-query traversal, at the traversal level.
+
+``compute_top_k_group`` promises bitwise-identical entries — same
+``(score, rid)`` order — and the same *set* of processed cells per
+query as running ``compute_top_k`` once per group member. These tests
+pin that contract directly against the solo traversal across weight
+families, group sizes, ties, underfull grids and mixed-k groups, under
+whichever batch backend is active (the python-backend subprocess sweep
+lives in ``tests/integration/test_grouped_parity.py``).
+"""
+
+import random
+
+import pytest
+
+from repro.core.scoring import LinearFunction, ProductFunction
+from repro.core.stats import OpCounters
+from repro.core.tuples import RecordFactory
+from repro.grid.grid import Grid
+from repro.grid.traversal import compute_top_k, compute_top_k_group
+
+
+def fill_grid(grid, rows):
+    factory = RecordFactory()
+    records = [factory.make(row) for row in rows]
+    grid.insert_many(records)
+    return records
+
+
+def random_rows(rng, count, dims):
+    return [tuple(rng.random() for _ in range(dims)) for _ in range(count)]
+
+
+def assert_group_matches_solo(grid, functions, ks):
+    outcomes = compute_top_k_group(grid, functions, ks)
+    assert len(outcomes) == len(functions)
+    for function, k, grouped in zip(functions, ks, outcomes):
+        solo = compute_top_k(grid, function, k)
+        assert [
+            (entry.score, entry.record.rid) for entry in grouped.entries
+        ] == [(entry.score, entry.record.rid) for entry in solo.entries]
+        # Same *set* of cells must carry the query's influence entry;
+        # visiting order follows the group key and may differ.
+        assert set(grouped.processed) == set(solo.processed)
+    return outcomes
+
+
+class TestGroupedEqualsSolo:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 13, 21, 32])
+    def test_group_sizes_on_similar_queries(self, size):
+        rng = random.Random(size)
+        grid = Grid(2, 6)
+        fill_grid(grid, random_rows(rng, 150, 2))
+        base = (0.7, 0.4)
+        functions = [
+            LinearFunction(
+                [
+                    max(0.05, value + rng.uniform(-0.08, 0.08))
+                    for value in base
+                ]
+            )
+            for _ in range(size)
+        ]
+        ks = [rng.choice([1, 3, 5, 9]) for _ in range(size)]
+        assert_group_matches_solo(grid, functions, ks)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dissimilar_weights_still_exact(self, seed):
+        """Grouping is a heuristic: any shared-direction group must be
+        exact, even when the members' staircases barely overlap."""
+        rng = random.Random(seed + 50)
+        grid = Grid(3, 4)
+        fill_grid(grid, random_rows(rng, 120, 3))
+        functions = [
+            LinearFunction([rng.uniform(0.05, 1.0) for _ in range(3)])
+            for _ in range(6)
+        ]
+        assert_group_matches_solo(grid, functions, [4] * 6)
+
+    def test_negative_weights_shared_directions(self):
+        rng = random.Random(7)
+        grid = Grid(2, 5)
+        fill_grid(grid, random_rows(rng, 100, 2))
+        functions = [
+            LinearFunction([0.8, -0.5]),
+            LinearFunction([0.7, -0.6]),
+            LinearFunction([0.9, -0.1]),
+        ]
+        assert_group_matches_solo(grid, functions, [3, 5, 2])
+
+    def test_tie_saturated_lattice(self):
+        """Lattice attributes collide scores constantly; any deviation
+        from the solo kernel's bit pattern would reorder rid ties."""
+        rng = random.Random(11)
+        grid = Grid(2, 4)
+        rows = [
+            (rng.randrange(5) / 4.0, rng.randrange(5) / 4.0)
+            for _ in range(90)
+        ]
+        fill_grid(grid, rows)
+        functions = [
+            LinearFunction([0.5, 0.5]),
+            LinearFunction([0.5, 0.25]),
+            LinearFunction([0.25, 0.5]),
+        ]
+        assert_group_matches_solo(grid, functions, [6, 6, 6])
+
+    def test_underfull_grid_processes_everything(self):
+        grid = Grid(2, 4)
+        fill_grid(grid, [(0.2, 0.3), (0.8, 0.9)])
+        functions = [LinearFunction([1.0, 0.5]), LinearFunction([0.9, 0.6])]
+        outcomes = assert_group_matches_solo(grid, functions, [5, 7])
+        for outcome in outcomes:
+            assert len(outcome.entries) == 2  # fewer than k valid records
+
+    def test_empty_grid(self):
+        grid = Grid(2, 3)
+        functions = [LinearFunction([1.0, 1.0]), LinearFunction([0.9, 1.0])]
+        outcomes = compute_top_k_group(grid, functions, [2, 2])
+        assert all(outcome.entries == [] for outcome in outcomes)
+
+    def test_counters_account_for_group(self):
+        rng = random.Random(3)
+        grid = Grid(2, 5)
+        fill_grid(grid, random_rows(rng, 80, 2))
+        functions = [LinearFunction([0.6, 0.4]), LinearFunction([0.55, 0.45])]
+        counters = OpCounters()
+        compute_top_k_group(grid, functions, [3, 3], counters=counters)
+        assert counters.grouped_traversals == 1
+        assert counters.grouped_queries_served == 2
+        assert counters.topk_computations == 2
+        assert counters.cells_processed > 0
+
+    def test_singleton_group_takes_solo_path(self):
+        rng = random.Random(4)
+        grid = Grid(2, 5)
+        fill_grid(grid, random_rows(rng, 60, 2))
+        counters = OpCounters()
+        [outcome] = compute_top_k_group(
+            grid, [LinearFunction([0.6, 0.4])], [3], counters=counters
+        )
+        solo = compute_top_k(grid, LinearFunction([0.6, 0.4]), 3)
+        assert [(e.score, e.record.rid) for e in outcome.entries] == [
+            (e.score, e.record.rid) for e in solo.entries
+        ]
+        assert counters.grouped_traversals == 0  # solo path, no overhead
+
+
+class TestGroupValidation:
+    def test_rejects_mixed_directions(self):
+        grid = Grid(2, 4)
+        with pytest.raises(ValueError, match="directions"):
+            compute_top_k_group(
+                grid,
+                [LinearFunction([0.5, 0.5]), LinearFunction([0.5, -0.5])],
+                [2, 2],
+            )
+
+    def test_rejects_non_linear_members(self):
+        grid = Grid(2, 4)
+        with pytest.raises(ValueError, match="LinearFunction"):
+            compute_top_k_group(
+                grid,
+                [LinearFunction([0.5, 0.5]), ProductFunction([0.1, 0.1])],
+                [2, 2],
+            )
+
+    def test_rejects_mismatched_lengths(self):
+        grid = Grid(2, 4)
+        with pytest.raises(ValueError, match="functions but"):
+            compute_top_k_group(grid, [LinearFunction([0.5, 0.5])], [2, 3])
+
+    def test_empty_group_is_empty(self):
+        assert compute_top_k_group(Grid(2, 4), [], []) == []

@@ -43,6 +43,18 @@ class MonitorAlgorithm(abc.ABC):
     def register(self, query: TopKQuery) -> List[ResultEntry]:
         """Install a query (qid already assigned); return its initial result."""
 
+    def register_many(
+        self, queries: List[TopKQuery]
+    ) -> Dict[int, List[ResultEntry]]:
+        """Install a burst of queries; return initial results by qid.
+
+        The default simply registers one by one. Grouped algorithms
+        override this to serve similar members of the burst through a
+        shared grid sweep (same results, less work) — the registration
+        analogue of their grouped cycle recomputations.
+        """
+        return {query.qid: self.register(query) for query in queries}
+
     @abc.abstractmethod
     def unregister(self, qid: int) -> None:
         """Remove a query and every trace of it (influence lists etc.)."""

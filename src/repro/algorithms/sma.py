@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List
 from repro.algorithms.base import MonitorAlgorithm
 from repro.algorithms.topk_computation import (
     compute_and_install,
+    compute_and_install_burst,
     compute_and_install_group,
     query_region,
     remove_query_everywhere,
@@ -98,6 +99,24 @@ class SkybandMonitoringAlgorithm(MonitorAlgorithm):
         if self.groups is not None:
             self.groups.add(query)
         return state.result_entries()
+
+    def register_many(
+        self, queries: List[TopKQuery]
+    ) -> Dict[int, List[ResultEntry]]:
+        """Install a registration burst, sharing grid sweeps per group
+        (see :meth:`~repro.algorithms.tma.TopKMonitoringAlgorithm.register_many`);
+        each member's skyband is seeded from its exact solo outcome."""
+        if self.groups is None or len(queries) < 2:
+            return super().register_many(queries)
+        results: Dict[int, List[ResultEntry]] = {}
+        for query, outcome in compute_and_install_burst(
+            self.grid, self.groups, queries, self.counters
+        ):
+            state = _SmaQueryState(query)
+            state.rebuild_from(outcome.entries, self.counters)
+            self._states[query.qid] = state
+            results[query.qid] = state.result_entries()
+        return results
 
     def unregister(self, qid: int) -> None:
         state = self._states.pop(qid, None)

@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Set, Tuple
 from repro.algorithms.base import MonitorAlgorithm
 from repro.algorithms.topk_computation import (
     compute_and_install,
+    compute_and_install_burst,
     compute_and_install_group,
     eager_trim_influence,
     query_region,
@@ -137,6 +138,32 @@ class TopKMonitoringAlgorithm(MonitorAlgorithm):
         if self.groups is not None:
             self.groups.add(query)
         return state.result_entries()
+
+    def register_many(
+        self, queries: List[TopKQuery]
+    ) -> Dict[int, List[ResultEntry]]:
+        """Install a registration burst, sharing grid sweeps per group.
+
+        With ``grouped=True``, similar members of the burst get their
+        *initial* top-k through shared sweeps
+        (:func:`~repro.algorithms.topk_computation.compute_and_install_burst`)
+        instead of one solo traversal each — results and influence
+        lists are identical either way.
+        """
+        if self.groups is None or len(queries) < 2:
+            return super().register_many(queries)
+        for query in queries:
+            if query.dims != self.dims:
+                raise self._unknown_dimensionality(query)
+        results: Dict[int, List[ResultEntry]] = {}
+        for query, outcome in compute_and_install_burst(
+            self.grid, self.groups, queries, self.counters
+        ):
+            state = _TmaQueryState(query)
+            state.set_result(outcome.entries)
+            self._states[query.qid] = state
+            results[query.qid] = state.result_entries()
+        return results
 
     def unregister(self, qid: int) -> None:
         state = self._states.pop(qid, None)

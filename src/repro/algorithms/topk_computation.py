@@ -132,6 +132,36 @@ def compute_and_install_group(
     return outcomes
 
 
+def compute_and_install_burst(
+    grid: Grid,
+    registry,
+    queries: Sequence[TopKQuery],
+    counters: Optional[OpCounters] = None,
+):
+    """Initial computations for a registration burst, grouped.
+
+    Adds every query to ``registry`` (a
+    :class:`~repro.core.queries.QueryGroupRegistry`), partitions the
+    burst into similarity groups, and serves each group of two or more
+    through one shared sweep — ungroupable queries and singleton
+    buckets take the solo path. ``counters.grouped_registrations``
+    counts the queries served through a shared sweep. Yields
+    ``(query, outcome)`` pairs; outcomes are identical to solo
+    :func:`compute_and_install` calls in any order (the traversal
+    never reads influence state, so burst order cannot matter).
+    """
+    for query in queries:
+        registry.add(query)
+    for group in registry.partition(list(queries)):
+        if len(group) == 1:
+            outcomes = [compute_and_install(grid, group[0], counters)]
+        else:
+            outcomes = compute_and_install_group(grid, group, counters)
+            if counters is not None:
+                counters.grouped_registrations += len(group)
+        yield from zip(group, outcomes)
+
+
 def cleanup_influence(
     grid: Grid,
     qid: int,

@@ -77,6 +77,18 @@ def _record_bytes(count: int, dims: int) -> int:
 
 def estimate_space(algorithm: MonitorAlgorithm) -> SpaceBreakdown:
     """Price the live structures of ``algorithm`` in paper bytes."""
+    shard_spaces = getattr(algorithm, "shard_spaces", None)
+    if shard_spaces is not None:
+        # Sharded execution: stream state is replicated per shard, so
+        # the honest footprint is the sum of the per-shard breakdowns.
+        total = SpaceBreakdown()
+        for breakdown in shard_spaces():
+            total.records += breakdown.records
+            total.point_lists += breakdown.point_lists
+            total.influence_lists += breakdown.influence_lists
+            total.query_state += breakdown.query_state
+            total.sorted_lists += breakdown.sorted_lists
+        return total
     if isinstance(algorithm, (TopKMonitoringAlgorithm, SkybandMonitoringAlgorithm)):
         return _grid_space(algorithm)
     if isinstance(algorithm, ThresholdSortedListAlgorithm):

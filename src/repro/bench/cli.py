@@ -91,6 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="grid granularity (default: occupancy-tuned)",
     )
     run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "partition queries across N worker processes (default 1 = "
+            "in-process); results are bitwise-identical to --shards 1"
+        ),
+    )
+    run.add_argument(
         "--no-check",
         action="store_true",
         help="skip the cross-algorithm result-equality verification",
@@ -119,6 +129,9 @@ def command_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown algorithms: {unknown}", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
     if args.json not in (None, "-"):
         # Fail fast: a benchmark run can take minutes; discovering an
         # unwritable output path afterwards would lose the whole run.
@@ -140,12 +153,14 @@ def command_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         cells_per_axis=args.cells_per_axis,
         query_similarity=args.similarity,
+        shards=args.shards,
     )
+    sharding = f" shards={spec.shards}" if spec.shards > 1 else ""
     print(
         f"workload: N={spec.n} r={spec.rate} Q={spec.num_queries} "
         f"k={spec.k} d={spec.dims} {spec.distribution.upper()} "
         f"{spec.function_family} x{spec.cycles} cycles "
-        f"(grid {spec.grid_cells_per_axis()}/axis)"
+        f"(grid {spec.grid_cells_per_axis()}/axis){sharding}"
     )
     results = compare_algorithms(
         spec, names, check_results=not args.no_check

@@ -66,6 +66,10 @@ class WorkloadSpec:
     #: 1.0 means identical queries, lower values widen the jitter —
     #: the knob the grouped-traversal workloads sweep Q against.
     query_similarity: Optional[float] = None
+    #: 1 = in-process execution (the default). N > 1 = partition the
+    #: queries across N worker processes (bitwise-identical results;
+    #: see :mod:`repro.parallel`).
+    shards: int = 1
 
     def grid_cells_per_axis(self) -> int:
         if self.cells_per_axis is not None:

@@ -7,10 +7,19 @@ a batch of arrivals enters the window, the records that fall out of the
 window expire, the algorithm maintains every registered query, and the
 per-query result changes are reported back.
 
-Timing discipline: the engine times *only* the algorithm's maintenance
-work (the paper's measured quantity), not stream generation or window
-bookkeeping, and accumulates per-cycle wall-clock in
-:attr:`StreamMonitor.cycle_seconds`.
+Timing discipline: the engine times the algorithm's maintenance work
+(the paper's measured quantity) per cycle in
+:attr:`StreamMonitor.cycle_seconds`, and — separately — the initial
+top-k computation each query registration performs in
+:attr:`StreamMonitor.setup_seconds`, so registration cost can never
+masquerade as (or hide from) maintenance cost in a comparison.
+
+Dead-on-arrival records: under a time-based window, an arrival already
+older than ``now - duration`` would be inserted and evicted within the
+same cycle, feeding the algorithm the same record as both an arrival
+and an expiration. The engine drops such records before the window
+ever sees them and reports the count in
+:attr:`~repro.core.results.CycleReport.dead_on_arrival`.
 """
 
 from __future__ import annotations
@@ -40,6 +49,13 @@ class StreamMonitor:
             ``"tma-grouped"`` / ``"sma-grouped"``) or a pre-built
             :class:`~repro.algorithms.base.MonitorAlgorithm`.
         cells_per_axis: grid granularity for grid-based algorithms.
+        shards: ``None``/``1`` runs the algorithm in-process (the
+            default, byte-for-byte the single-process engine).
+            ``N > 1`` partitions queries across N worker processes
+            (:class:`~repro.parallel.sharded.ShardedMonitorAlgorithm`)
+            — results are bitwise identical, maintenance parallelises.
+            Requires an algorithm *name* (workers build their own
+            instances).
         **algorithm_options: forwarded to the algorithm factory —
             e.g. ``grouped=True`` makes TMA/SMA batch each cycle's
             from-scratch recomputations by preference-vector
@@ -63,6 +79,7 @@ class StreamMonitor:
         window: SlidingWindow,
         algorithm: Union[str, "MonitorAlgorithm"] = "sma",
         cells_per_axis: Optional[int] = None,
+        shards: Optional[int] = None,
         **algorithm_options,
     ) -> None:
         # Imported here to keep repro.core importable on its own
@@ -71,14 +88,38 @@ class StreamMonitor:
 
         self.dims = dims
         self.window = window
+        self.shards = 1 if shards is None else int(shards)
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         if isinstance(algorithm, MonitorAlgorithm):
+            if self.shards > 1:
+                raise ValueError(
+                    "shards > 1 requires an algorithm name (worker "
+                    "processes build their own instances), not a "
+                    "pre-built algorithm object"
+                )
             self.algorithm = algorithm
+        elif self.shards > 1:
+            from repro.parallel import ShardedMonitorAlgorithm
+
+            self.algorithm = ShardedMonitorAlgorithm(
+                algorithm,
+                dims,
+                shards=self.shards,
+                cells_per_axis=cells_per_axis,
+                **algorithm_options,
+            )
         else:
             self.algorithm = make_algorithm(
                 algorithm, dims, cells_per_axis, **algorithm_options
             )
         self.query_table = QueryTable()
         self.cycle_seconds: List[float] = []
+        #: per-registration wall-clock of the initial top-k computation
+        #: (one entry per add_query / add_queries call) — kept apart
+        #: from cycle_seconds so benchmarks can report setup and
+        #: maintenance without either skewing the other.
+        self.setup_seconds: List[float] = []
         self._factory = RecordFactory()
         self._clock = 0.0
 
@@ -89,8 +130,26 @@ class StreamMonitor:
     def add_query(self, query: TopKQuery) -> int:
         """Register a query; its initial result is computed immediately."""
         qid = self.query_table.register(query)
+        started = time.perf_counter()
         self.algorithm.register(query)
+        self.setup_seconds.append(time.perf_counter() - started)
         return qid
+
+    def add_queries(self, queries: Sequence[TopKQuery]) -> List[int]:
+        """Register a burst of queries in one batch; return their qids.
+
+        The whole burst is handed to the algorithm at once
+        (:meth:`~repro.algorithms.base.MonitorAlgorithm.register_many`),
+        so grouped algorithms can serve similar queries' initial top-k
+        computations through shared grid sweeps, and a sharded engine
+        issues one round trip per shard instead of one per query.
+        Results are identical to registering one by one.
+        """
+        qids = [self.query_table.register(query) for query in queries]
+        started = time.perf_counter()
+        self.algorithm.register_many(list(queries))
+        self.setup_seconds.append(time.perf_counter() - started)
+        return qids
 
     def remove_query(self, qid: int) -> None:
         """Terminate a query and scrub its book-keeping."""
@@ -121,7 +180,10 @@ class StreamMonitor:
 
         ``now`` defaults to the latest arrival time (or the previous
         clock when the batch is empty); it drives time-based eviction
-        and must never move backwards.
+        and must never move backwards. Arrivals already expired at
+        ``now`` (possible under a time-based window when a batch spans
+        more than the window duration) are dropped without touching
+        the algorithm and counted in the report's ``dead_on_arrival``.
         """
         if now is None:
             now = max(
@@ -133,23 +195,33 @@ class StreamMonitor:
             )
         self._clock = now
 
+        live: List[StreamRecord] = []
+        dead = 0
         for record in arrivals:
-            self.window.insert(record)
+            if self.window.admits(record, now):
+                self.window.insert(record)
+                live.append(record)
+            else:
+                # Dropped, but it still arrived: keep the stream-order
+                # validation (and clock) a normal insert would apply.
+                self.window.observe(record)
+                dead += 1
         expirations = self.window.evict(now)
 
         started = time.perf_counter()
         changes: Dict[int, ResultChange] = self.algorithm.process_cycle(
-            list(arrivals), expirations
+            live, expirations
         )
         elapsed = time.perf_counter() - started
         self.cycle_seconds.append(elapsed)
 
         return CycleReport(
             timestamp=now,
-            arrivals=len(arrivals),
+            arrivals=len(live),
             expirations=len(expirations),
             changes=changes,
             cpu_seconds=elapsed,
+            dead_on_arrival=dead,
         )
 
     def advance(self, now: float) -> CycleReport:
@@ -157,17 +229,47 @@ class StreamMonitor:
         return self.process([], now=now)
 
     # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release algorithm resources (worker processes of a sharded
+        run). In-process algorithms hold none; calling this is then a
+        no-op, so generic drivers can always close their monitors."""
+        shutdown = getattr(self.algorithm, "close", None)
+        if shutdown is not None:
+            shutdown()
+
+    def __enter__(self) -> "StreamMonitor":
+        """Context-manager entry: returns the monitor itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: closes the monitor (see :meth:`close`)."""
+        self.close()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     @property
     def valid_count(self) -> int:
+        """Number of records currently valid in the window."""
         return len(self.window)
 
     @property
     def total_cpu_seconds(self) -> float:
+        """Total maintenance seconds across cycles (setup excluded)."""
         return sum(self.cycle_seconds)
 
     @property
+    def total_setup_seconds(self) -> float:
+        """Total seconds spent computing initial results at
+        registration — the cost ``total_cpu_seconds`` deliberately
+        excludes."""
+        return sum(self.setup_seconds)
+
+    @property
     def counters(self):
+        """The algorithm's operation counters (additive, resettable)."""
         return self.algorithm.counters

@@ -71,13 +71,21 @@ def diff_results(
 
 @dataclass(slots=True)
 class CycleReport:
-    """Everything one call to the engine's ``process`` produced."""
+    """Everything one call to the engine's ``process`` produced.
+
+    ``arrivals`` counts the records that actually entered the window;
+    records submitted already expired (possible under a time-based
+    window when a batch spans more than the window duration) are
+    dropped by the engine before the algorithm sees them and reported
+    in ``dead_on_arrival`` instead.
+    """
 
     timestamp: float
     arrivals: int
     expirations: int
     changes: Dict[int, ResultChange] = field(default_factory=dict)
     cpu_seconds: float = 0.0
+    dead_on_arrival: int = 0
 
     def changed_queries(self) -> List[int]:
         return [qid for qid, change in self.changes.items() if change.changed]

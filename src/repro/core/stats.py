@@ -29,6 +29,7 @@ class OpCounters:
     recomputations: int = 0
     grouped_traversals: int = 0
     grouped_queries_served: int = 0
+    grouped_registrations: int = 0
     influence_checks: int = 0
     influence_list_updates: int = 0
     influence_trim_visits: int = 0

@@ -37,15 +37,38 @@ class SlidingWindow(abc.ABC):
         """Valid records, oldest first."""
         return iter(self._records)
 
-    def insert(self, record: StreamRecord) -> None:
-        """Admit an arrival. Arrivals must be in non-decreasing time."""
+    def observe(self, record: StreamRecord) -> None:
+        """Validate stream order and advance the order clock without
+        admitting the record.
+
+        Used for dead-on-arrival drops: a record the engine refuses
+        still *arrived*, so a misordered producer must keep failing
+        loudly and later arrivals must still be ordered against it.
+        """
         if self._last_time is not None and record.time < self._last_time:
             raise WindowError(
                 f"out-of-order arrival: record {record.rid} at time "
                 f"{record.time} after time {self._last_time}"
             )
         self._last_time = record.time
+
+    def insert(self, record: StreamRecord) -> None:
+        """Admit an arrival. Arrivals must be in non-decreasing time."""
+        self.observe(record)
         self._records.append(record)
+
+    def admits(self, record: StreamRecord, now: float) -> bool:
+        """Whether ``record`` would still be valid at time ``now``.
+
+        ``False`` marks a *dead-on-arrival* record: inserting it and
+        immediately evicting at ``now`` would feed it to the algorithm
+        as both an arrival and an expiration in the same cycle. The
+        engine drops such records up front (see
+        :meth:`repro.core.engine.StreamMonitor.process`). Count-based
+        windows always admit — validity there depends on subsequent
+        arrivals, not on the clock.
+        """
+        return True
 
     @abc.abstractmethod
     def evict(self, now: float) -> List[StreamRecord]:
@@ -98,6 +121,11 @@ class TimeBasedWindow(SlidingWindow):
             else:
                 break
         return expired
+
+    def admits(self, record: StreamRecord, now: float) -> bool:
+        """A record already older than ``now - duration`` is dead on
+        arrival: it would expire in the very cycle that inserts it."""
+        return record.time + self.duration > now
 
     def __repr__(self) -> str:
         return f"TimeBasedWindow(T={self.duration})"

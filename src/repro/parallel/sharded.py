@@ -1,0 +1,398 @@
+"""Coordinator of the query-sharded parallel maintenance engine.
+
+:class:`ShardedMonitorAlgorithm` implements the
+:class:`~repro.algorithms.base.MonitorAlgorithm` interface by fanning
+work out to N worker processes (:mod:`repro.parallel.worker`). The
+decomposition follows the paper's additive per-query cost model
+(Section 6):
+
+- **stream state is replicated** — every worker ingests every cycle's
+  arrivals/expirations into its own grid, exactly as a single-process
+  run would (grid ingestion is the cheap, batched part of a cycle);
+- **query state is partitioned** — each registered query lives on
+  exactly one shard (:class:`~repro.parallel.sharding.ShardPlanner`),
+  so the expensive part — influence checks, top-list/skyband upkeep,
+  from-scratch recomputations — splits ~evenly and runs in parallel;
+- **results merge by qid** — per-cycle
+  :class:`~repro.core.results.ResultChange` dicts are disjoint across
+  shards, and query-driven counters are additive, so the merge is a
+  union plus a sum. Replica-ingestion counters (``arrivals``,
+  ``expirations``, TSL's ``sorted_list_updates``) are identical on
+  every shard and adopted from shard 0 alone — merged counters match
+  a single-process run's.
+
+**Exactness.** A query's maintenance depends only on the stream (same
+records, rebuilt bit-for-bit from the columnar snapshot — see
+:mod:`repro.parallel.snapshot`) and on its own state — never on other
+queries. Sharding therefore yields *bitwise-identical* results and
+influence lists to a single-process run; the parity suite
+(``tests/integration/test_sharded_parity.py``) pins this across
+shard counts, algorithms, grouping, churn, and both batch backends.
+Grouped variants keep their sweeps intact because the planner routes
+whole similarity buckets to one shard.
+
+Worker processes are daemons; :meth:`close` shuts them down
+gracefully, and abandoning the object terminates them. Set
+``REPRO_SHARD_START_METHOD`` (``fork``/``spawn``/``forkserver``) and
+``REPRO_SHARD_TIMEOUT`` (seconds per round trip) to override the
+defaults.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.algorithms.base import MonitorAlgorithm
+from repro.core.errors import DimensionalityError, StreamError
+from repro.core.queries import TopKQuery
+from repro.core.results import ResultChange, ResultEntry
+from repro.core.tuples import StreamRecord
+from repro.parallel.sharding import ShardPlanner
+from repro.parallel.snapshot import encode_cycle
+from repro.parallel.worker import worker_main
+
+#: counters driven purely by stream ingestion, which every worker
+#: performs on its full replica: summing them across shards would
+#: inflate them N-fold, so the merge adopts shard 0's values (equal on
+#: every shard — replicas ingest identical batches) and skips the
+#: other shards' duplicates. Everything else is query-driven and
+#: partitions, so it sums.
+_REPLICATED_COUNTERS = frozenset(
+    {"arrivals", "expirations", "sorted_list_updates"}
+)
+
+
+def _default_start_method() -> str:
+    preferred = os.environ.get("REPRO_SHARD_START_METHOD", "").strip()
+    if preferred:
+        return preferred
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _rpc_timeout() -> float:
+    return float(os.environ.get("REPRO_SHARD_TIMEOUT", "120"))
+
+
+class ShardedMonitorAlgorithm(MonitorAlgorithm):
+    """Query-sharded parallel execution of a named algorithm.
+
+    Args:
+        algorithm: factory name of the per-shard algorithm (``"tma"``,
+            ``"sma"``, grouped variants, ``"tsl"``, ``"brute"`` — any
+            :func:`~repro.algorithms.make_algorithm` name).
+        dims: data dimensionality.
+        shards: number of worker processes (>= 1).
+        cells_per_axis: grid granularity forwarded to grid-based
+            algorithms (workers resolve the same default when None).
+        **options: forwarded to the per-shard algorithm factory
+            (e.g. ``grouped=True``).
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        algorithm: str,
+        dims: int,
+        shards: int,
+        cells_per_axis: Optional[int] = None,
+        **options,
+    ) -> None:
+        from repro.algorithms import ALGORITHMS
+
+        super().__init__(dims)
+        if not isinstance(algorithm, str):
+            raise TypeError(
+                "sharded execution needs an algorithm factory name; "
+                f"got {type(algorithm).__name__}"
+            )
+        key = algorithm.lower()
+        if key not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; "
+                f"choose from {sorted(ALGORITHMS)}"
+            )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.base_algorithm = key
+        self.shards = shards
+        self.name = f"{key}x{shards}"
+        self.planner = ShardPlanner(shards)
+        self._queries: Dict[int, TopKQuery] = {}
+        self._results: Dict[int, List[ResultEntry]] = {}
+        self._last_counters: List[Dict[str, int]] = [
+            {} for _ in range(shards)
+        ]
+        self._timeout = _rpc_timeout()
+        self._conns: List = []
+        self._procs: List = []
+        context = multiprocessing.get_context(_default_start_method())
+        try:
+            for shard in range(shards):
+                parent, child = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=worker_main,
+                    args=(child, key, dims, cells_per_axis, options),
+                    name=f"repro-shard-{shard}",
+                    daemon=True,
+                )
+                process.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(process)
+        except BaseException:
+            self._terminate()
+            raise
+
+    # ------------------------------------------------------------------
+    # Worker RPC plumbing
+    # ------------------------------------------------------------------
+
+    def _recv(self, shard: int):
+        connection = self._conns[shard]
+        if not connection.poll(self._timeout):
+            self._terminate()
+            raise StreamError(
+                f"shard {shard} ({self.name}) did not reply within "
+                f"{self._timeout:.0f}s; worker pool terminated"
+            )
+        try:
+            status, payload = connection.recv()
+        except EOFError:
+            self._terminate()
+            raise StreamError(
+                f"shard {shard} ({self.name}) died mid-request"
+            ) from None
+        if status != "ok":
+            self._terminate()
+            raise StreamError(
+                f"shard {shard} ({self.name}) failed:\n{payload}"
+            )
+        return payload
+
+    def _ensure_open(self) -> None:
+        if not self._conns:
+            raise StreamError(
+                f"worker pool of {self.name} is closed; create a new "
+                "monitor (close() tears the shards down for good)"
+            )
+
+    def _call(self, shard: int, command: str, payload=None):
+        self._ensure_open()
+        self._conns[shard].send((command, payload))
+        return self._recv(shard)
+
+    def _broadcast(self, command: str, payload=None) -> List:
+        self._ensure_open()
+        for connection in self._conns:
+            connection.send((command, payload))
+        return [self._recv(shard) for shard in range(self.shards)]
+
+    def _merge_counters(self, shard: int, snapshot: Dict[str, int]) -> None:
+        """Fold one worker's counter snapshot into the merged totals.
+
+        Workers report cumulative counts; the coordinator applies the
+        delta since that worker's previous report, so coordinator-side
+        ``counters.reset()`` (benchmark warm-up) keeps working.
+        Replica-ingestion counters (:data:`_REPLICATED_COUNTERS`) are
+        taken from shard 0 alone so the merged totals equal a
+        single-process run's instead of N times it.
+        """
+        last = self._last_counters[shard]
+        counters = self.counters
+        for field_name, value in snapshot.items():
+            if shard != 0 and field_name in _REPLICATED_COUNTERS:
+                continue
+            delta = value - last.get(field_name, 0)
+            if delta:
+                setattr(
+                    counters,
+                    field_name,
+                    getattr(counters, field_name) + delta,
+                )
+        self._last_counters[shard] = snapshot
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+
+    def register(self, query: TopKQuery) -> List[ResultEntry]:
+        """Install one query on its planned shard (see
+        :meth:`register_many` for burst registration)."""
+        return self.register_many([query])[query.qid]
+
+    def register_many(
+        self, queries: List[TopKQuery]
+    ) -> Dict[int, List[ResultEntry]]:
+        """Install a burst of queries, one batched round trip per shard.
+
+        Shard-local grouped algorithms then serve each shard's share of
+        the burst through shared sweeps — and because the planner keeps
+        similarity buckets whole, those groups are exactly the groups a
+        single-process grouped registration would form.
+        """
+        self._ensure_open()
+        for query in queries:
+            if query.dims != self.dims:
+                raise DimensionalityError(
+                    f"query function has {query.dims} dims, "
+                    f"algorithm has {self.dims}"
+                )
+        per_shard: Dict[int, List[TopKQuery]] = {}
+        for query in queries:
+            per_shard.setdefault(self.planner.assign(query), []).append(
+                query
+            )
+        for shard, batch_ in per_shard.items():
+            self._conns[shard].send(("register_many", batch_))
+        results: Dict[int, List[ResultEntry]] = {}
+        for shard, batch_ in per_shard.items():
+            entries_by_qid, counters = self._recv(shard)
+            self._merge_counters(shard, counters)
+            results.update(entries_by_qid)
+        for query in queries:
+            self._queries[query.qid] = query
+            self._results[query.qid] = list(results[query.qid])
+        return results
+
+    def unregister(self, qid: int) -> None:
+        """Terminate a query on its owning shard and release the slot."""
+        query = self._queries.get(qid)
+        if query is None:
+            raise self._unknown_query(qid)
+        key = self.planner.registry.key_of(query)
+        shard = self.planner.release(qid, key)
+        _, counters = self._call(shard, "unregister", qid)
+        self._merge_counters(shard, counters)
+        del self._queries[qid]
+        del self._results[qid]
+
+    def current_result(self, qid: int) -> List[ResultEntry]:
+        """Current top-k of a query (coordinator-side cache, refreshed
+        from each cycle's merged change reports)."""
+        entries = self._results.get(qid)
+        if entries is None:
+            raise self._unknown_query(qid)
+        return list(entries)
+
+    def queries(self) -> Iterable[TopKQuery]:
+        """The registered query specs (coordinator copies)."""
+        return list(self._queries.values())
+
+    # ------------------------------------------------------------------
+    # Cycle processing
+    # ------------------------------------------------------------------
+
+    def process_cycle(
+        self,
+        arrivals: List[StreamRecord],
+        expirations: List[StreamRecord],
+    ) -> Dict[int, ResultChange]:
+        """Broadcast one cycle to every shard and merge the reports.
+
+        Workers diff their own queries' results (the usual lazy
+        snapshot machinery runs shard-locally), so the merged report is
+        the disjoint union of per-shard change dicts — identical to the
+        single-process report. ``arrivals``/``expirations`` (and the
+        other replica-ingestion counters) come from shard 0's delta.
+        """
+        payload, handle = encode_cycle(arrivals, expirations)
+        try:
+            replies = self._broadcast("cycle", payload)
+        finally:
+            handle.close()
+        changes: Dict[int, ResultChange] = {}
+        for shard, (shard_changes, counters) in enumerate(replies):
+            self._merge_counters(shard, counters)
+            for qid, change in shard_changes.items():
+                changes[qid] = change
+                self._results[qid] = list(change.top)
+        return changes
+
+    def _apply_cycle(
+        self,
+        arrivals: List[StreamRecord],
+        expirations: List[StreamRecord],
+    ) -> None:  # pragma: no cover - process_cycle is overridden
+        raise NotImplementedError("sharded cycles run in workers")
+
+    # ------------------------------------------------------------------
+    # Introspection (merged across shards)
+    # ------------------------------------------------------------------
+
+    def result_state_sizes(self) -> Dict[int, int]:
+        """Per-query result-state entries, merged across shards."""
+        sizes: Dict[int, int] = {}
+        for shard, ((shard_sizes, _), counters) in enumerate(
+            self._broadcast("stats")
+        ):
+            self._merge_counters(shard, counters)
+            sizes.update(shard_sizes)
+        return sizes
+
+    def influence_list_entries(self) -> int:
+        """Total influence-list entries across all shard grids.
+
+        Each query's entries live only on its owning shard, so the sum
+        equals a single-process run's total.
+        """
+        total = 0
+        for shard, ((_, entries), counters) in enumerate(
+            self._broadcast("stats")
+        ):
+            self._merge_counters(shard, counters)
+            total += entries
+        return total
+
+    def shard_spaces(self) -> List:
+        """Per-shard :class:`~repro.analysis.memory.SpaceBreakdown`s.
+
+        Stream state is replicated, so record/point-list bytes appear
+        once *per shard* — the true footprint of a sharded deployment.
+        """
+        return self._broadcast("space")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down gracefully (terminate stragglers)."""
+        for connection in self._conns:
+            try:
+                connection.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._procs:
+            process.join(timeout=5)
+        self._terminate()
+
+    def _terminate(self) -> None:
+        for process in self._procs:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        for connection in self._conns:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._conns = []
+        self._procs = []
+
+    def __enter__(self) -> "ShardedMonitorAlgorithm":
+        """Context-manager entry: returns the algorithm itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: closes the worker pool."""
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self._terminate()
+        except Exception:
+            pass

@@ -1,0 +1,141 @@
+"""Query→shard assignment for the sharded maintenance engine.
+
+The paper's cost model (Section 6) is per-query and additive, so
+TMA/SMA maintenance partitions cleanly by query: each shard replicates
+the grid (stream state) and owns a disjoint subset of the queries.
+What is *not* arbitrary is which queries should live together — the
+grouped traversal (PR 2) shares one grid sweep across similar queries,
+and a group split across shards loses that sharing. The planner
+therefore uses the same angular buckets as
+:class:`~repro.core.queries.QueryGroupRegistry`:
+
+- a **groupable** query (plain linear top-k) is routed by its bucket
+  key: the first query of a bucket picks the least-loaded shard, and
+  later members follow it ("bucket stickiness"), so a shard's grouped
+  sweeps stay local;
+- a bucket is pinned in **chunks of ``chunk`` queries** (default 64 —
+  the grouped traversal's ``max_group_size``, which already caps any
+  single shared sweep at that size, so chunking costs *zero* grouping
+  benefit): every ``chunk`` members, the next member re-pins to the
+  then-least-loaded shard. Without this, a high-similarity workload —
+  the one grouping targets — would collapse onto one shard;
+- constrained / non-linear queries have no bucket and are dealt
+  round-robin, which keeps load even without any content to key on.
+
+A bucket's shard pin is dropped once its last member terminates, so a
+long-running monitor with query churn keeps rebalancing toward even
+load instead of fossilising early placement decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.errors import QueryError
+from repro.core.queries import GroupKey, QueryGroupRegistry
+
+
+class ShardPlanner:
+    """Assigns queries to ``shards`` workers, bucket-sticky + balanced.
+
+    Pure bookkeeping — no processes here. The sharded algorithm asks
+    :meth:`assign` at registration and :meth:`release` at termination;
+    everything else is introspection for tests and reporting.
+    """
+
+    __slots__ = ("shards", "chunk", "registry", "_shard_of", "_loads",
+                 "_bucket_shard", "_bucket_open", "_bucket_sizes",
+                 "_round_robin")
+
+    def __init__(
+        self, shards: int, resolution: int = 4, chunk: int = 64
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        self.shards = shards
+        self.chunk = chunk
+        #: used only for key_of — membership stays with the planner.
+        self.registry = QueryGroupRegistry(resolution=resolution)
+        self._shard_of: Dict[int, int] = {}
+        self._loads: List[int] = [0] * shards
+        self._bucket_shard: Dict[GroupKey, int] = {}
+        #: members assigned into the bucket's currently open chunk.
+        self._bucket_open: Dict[GroupKey, int] = {}
+        self._bucket_sizes: Dict[GroupKey, int] = {}
+        self._round_robin = 0
+
+    def __len__(self) -> int:
+        return len(self._shard_of)
+
+    def assign(self, query) -> int:
+        """Pick (and record) the shard that will own ``query``."""
+        if query.qid in self._shard_of:
+            raise QueryError(
+                f"query {query.qid} already assigned to shard "
+                f"{self._shard_of[query.qid]}"
+            )
+        key = self.registry.key_of(query)
+        if key is None:
+            # Ungroupable: round-robin keeps load even with no
+            # similarity signal to exploit.
+            shard = self._round_robin % self.shards
+            self._round_robin += 1
+        elif (
+            key in self._bucket_shard
+            and self._bucket_open[key] < self.chunk
+        ):
+            shard = self._bucket_shard[key]
+            self._bucket_open[key] += 1
+            self._bucket_sizes[key] += 1
+        else:
+            # First member, or the open chunk is full: (re-)pin the
+            # bucket's next chunk to the currently emptiest shard.
+            shard = self._least_loaded()
+            self._bucket_shard[key] = shard
+            self._bucket_open[key] = 1
+            self._bucket_sizes[key] = self._bucket_sizes.get(key, 0) + 1
+        self._shard_of[query.qid] = shard
+        self._loads[shard] += 1
+        return shard
+
+    def release(self, qid: int, key: Optional[GroupKey] = None) -> int:
+        """Forget a terminated query; return the shard it lived on.
+
+        ``key`` is the query's bucket key when it had one (the caller
+        kept the query object; the planner does not). When a bucket's
+        last member leaves, its shard pin is dropped so a future
+        same-bucket query lands on whatever shard is then emptiest.
+        """
+        shard = self._shard_of.pop(qid, None)
+        if shard is None:
+            raise QueryError(f"query {qid} is not assigned to any shard")
+        self._loads[shard] -= 1
+        if key is not None and key in self._bucket_sizes:
+            self._bucket_sizes[key] -= 1
+            if self._bucket_sizes[key] <= 0:
+                del self._bucket_sizes[key]
+                del self._bucket_shard[key]
+                del self._bucket_open[key]
+        return shard
+
+    def shard_of(self, qid: int) -> int:
+        """Owning shard of a registered query."""
+        try:
+            return self._shard_of[qid]
+        except KeyError:
+            raise QueryError(
+                f"query {qid} is not assigned to any shard"
+            ) from None
+
+    def loads(self) -> List[int]:
+        """Current query count per shard (index = shard id)."""
+        return list(self._loads)
+
+    def _least_loaded(self) -> int:
+        best = 0
+        for shard in range(1, self.shards):
+            if self._loads[shard] < self._loads[best]:
+                best = shard
+        return best

@@ -1,0 +1,80 @@
+"""Shard worker: one process, one algorithm instance, one pipe.
+
+A worker owns a full replica of the *stream* state (its own grid /
+sorted lists, fed the same arrivals and expirations as every other
+shard) and a disjoint subset of the *query* state. It answers a tiny
+request/response protocol over a duplex pipe; every data-bearing reply
+carries a fresh :class:`~repro.core.stats.OpCounters` snapshot so the
+coordinator can merge machine-independent work counts additively.
+
+Protocol (``(command, payload)`` in, ``(status, payload)`` out)::
+
+    register_many [TopKQuery]   -> ok ({qid: [ResultEntry]}, counters)
+    unregister    qid           -> ok (None, counters)
+    cycle         snapshot      -> ok ({qid: ResultChange}, counters)
+    stats         None          -> ok ((state_sizes, il_entries), counters)
+    space         None          -> ok SpaceBreakdown
+    stop          None          -> ok None, then the loop exits
+
+Any exception is caught and returned as ``("error", traceback)`` — the
+coordinator re-raises; a worker only dies on pipe EOF or ``stop``.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from repro.parallel.snapshot import decode_cycle
+
+
+def worker_main(
+    conn,
+    algorithm: str,
+    dims: int,
+    cells_per_axis,
+    options: dict,
+) -> None:
+    """Entry point of a shard worker process (blocks until ``stop``)."""
+    from repro.algorithms import make_algorithm
+
+    algo = make_algorithm(algorithm, dims, cells_per_axis, **options)
+    while True:
+        try:
+            command, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if command == "stop":
+                conn.send(("ok", None))
+                break
+            conn.send(("ok", _dispatch(algo, command, payload)))
+        except Exception:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                break
+    conn.close()
+
+
+def _dispatch(algo, command: str, payload):
+    if command == "cycle":
+        arrivals, expirations = decode_cycle(payload)
+        changes = algo.process_cycle(arrivals, expirations)
+        return changes, algo.counters.as_dict()
+    if command == "register_many":
+        results = algo.register_many(payload)
+        return results, algo.counters.as_dict()
+    if command == "unregister":
+        algo.unregister(payload)
+        return None, algo.counters.as_dict()
+    if command == "stats":
+        entries = getattr(algo, "influence_list_entries", None)
+        return (
+            algo.result_state_sizes(),
+            entries() if entries is not None else 0,
+        ), algo.counters.as_dict()
+    if command == "space":
+        from repro.analysis.memory import estimate_space
+
+        return estimate_space(algo)
+    raise ValueError(f"unknown shard command {command!r}")

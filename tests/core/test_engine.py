@@ -83,6 +83,46 @@ class TestProcessing:
         assert monitor.counters.arrivals == 1
 
 
+class TestBatchRegistration:
+    def test_add_queries_matches_add_query(self):
+        solo = make_monitor()
+        batch = make_monitor()
+        specs = [([1.0, 2.0], 2), ([2.0, 0.5], 1), ([1.0, 1.1], 3)]
+        solo_qids = [
+            solo.add_query(TopKQuery(LinearFunction(w), k=k))
+            for w, k in specs
+        ]
+        batch_qids = batch.add_queries(
+            [TopKQuery(LinearFunction(w), k=k) for w, k in specs]
+        )
+        assert solo_qids == batch_qids
+        rows = [[0.2, 0.9], [0.8, 0.3], [0.5, 0.5]]
+        solo.process(solo.make_records(rows))
+        batch.process(batch.make_records(rows))
+        for qid in solo_qids:
+            assert [e.key for e in solo.result(qid)] == [
+                e.key for e in batch.result(qid)
+            ]
+
+    def test_setup_seconds_accumulate(self):
+        monitor = make_monitor()
+        monitor.process(monitor.make_records([[0.5, 0.5]]))
+        assert monitor.setup_seconds == []
+        monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=1))
+        monitor.add_queries(
+            [TopKQuery(LinearFunction([0.5, 1.0]), k=2)]
+        )
+        assert len(monitor.setup_seconds) == 2
+        assert monitor.total_setup_seconds >= 0.0
+        # Registration cost never leaks into the maintenance account.
+        assert len(monitor.cycle_seconds) == 1
+
+    def test_close_is_noop_for_in_process(self):
+        with make_monitor() as monitor:
+            monitor.process(monitor.make_records([[0.5, 0.5]]))
+        monitor.close()  # idempotent
+
+
 class TestTimeBased:
     def test_advance_expires_without_arrivals(self):
         monitor = StreamMonitor(
@@ -107,3 +147,85 @@ class TestTimeBased:
         monitor.process(monitor.make_records([[0.8, 0.8]], time_=1.0))
         monitor.advance(2.0)  # expires only the t=0 record
         assert [entry.rid for entry in monitor.result(qid)] == [1]
+
+
+class TestDeadOnArrival:
+    """A time-window arrival older than ``now - span`` must be dropped,
+    not fed to the algorithm as arrival *and* expiration (the PR 3
+    double-feed bugfix)."""
+
+    @pytest.mark.parametrize("algorithm", ["tma", "sma", "tsl", "brute"])
+    def test_stale_arrival_dropped_and_reported(self, algorithm):
+        monitor = StreamMonitor(
+            2, TimeBasedWindow(2.0), algorithm=algorithm, cells_per_axis=4
+        )
+        qid = monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=2))
+        # One batch spanning 5 time units: the t=0 record is already
+        # expired at now=5 and must never reach the algorithm.
+        records = monitor.make_records(
+            [[0.9, 0.9]], time_=0.0
+        ) + monitor.make_records([[0.5, 0.5]], time_=5.0)
+        report = monitor.process(records)
+        assert report.dead_on_arrival == 1
+        assert report.arrivals == 1
+        assert report.expirations == 0
+        assert monitor.counters.arrivals == 1
+        assert monitor.counters.expirations == 0
+        assert [entry.rid for entry in monitor.result(qid)] == [1]
+        assert monitor.valid_count == 1
+
+    def test_doa_counters_not_double_fed(self):
+        """TSL/SMA internal work counters must not see the dead record
+        at all — previously it cost an insertion plus a removal."""
+        for algorithm, counter in (("tsl", "sorted_list_updates"),
+                                   ("sma", "skyband_insertions")):
+            monitor = StreamMonitor(
+                2,
+                TimeBasedWindow(1.0),
+                algorithm=algorithm,
+                cells_per_axis=4,
+            )
+            monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=2))
+            baseline = StreamMonitor(
+                2,
+                TimeBasedWindow(1.0),
+                algorithm=algorithm,
+                cells_per_axis=4,
+            )
+            baseline.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=2))
+            # Identical cycles except the dead record in the first one.
+            dead = monitor.make_records([[0.9, 0.9]], time_=0.0)
+            live = monitor.make_records([[0.6, 0.6]], time_=5.0)
+            monitor.process(dead + live)
+            baseline.process(
+                baseline.make_records([[0.6, 0.6]], time_=5.0), now=5.0
+            )
+            assert getattr(monitor.counters, counter) == getattr(
+                baseline.counters, counter
+            )
+
+    def test_doa_drop_keeps_order_validation(self):
+        """Dropping a stale record must not mask a misordered
+        producer: genuinely out-of-order batches still fail loudly."""
+        from repro.core.errors import WindowError
+
+        monitor = StreamMonitor(
+            2, TimeBasedWindow(2.0), algorithm="tma", cells_per_axis=4
+        )
+        records = monitor.make_records(
+            [[0.5, 0.5]], time_=5.0
+        ) + monitor.make_records([[0.9, 0.9]], time_=0.0)
+        with pytest.raises(WindowError):
+            monitor.process(records)
+
+    def test_count_based_window_never_doa(self):
+        monitor = make_monitor(capacity=2)
+        monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=1))
+        # Batch larger than the window: oldest spill out the same
+        # cycle, but they *did* enter the window — not dead on arrival.
+        report = monitor.process(
+            monitor.make_records([[0.1, 0.1], [0.2, 0.2], [0.3, 0.3]])
+        )
+        assert report.dead_on_arrival == 0
+        assert report.arrivals == 3
+        assert report.expirations == 1

@@ -1,0 +1,189 @@
+"""Unit tests for the sharded coordinator (lifecycle, errors, merge)."""
+
+import pytest
+
+from repro.core.engine import StreamMonitor
+from repro.core.errors import DimensionalityError, QueryError
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.tuples import StreamRecord
+from repro.core.window import CountBasedWindow
+from repro.parallel import ShardedMonitorAlgorithm
+
+
+def make_query(weights, k=2):
+    return TopKQuery(LinearFunction(weights), k=k)
+
+
+@pytest.fixture
+def sharded():
+    algorithm = ShardedMonitorAlgorithm(
+        "tma", 2, shards=2, cells_per_axis=4
+    )
+    yield algorithm
+    algorithm.close()
+
+
+class TestConstruction:
+    def test_unknown_algorithm_rejected_before_spawn(self):
+        with pytest.raises(ValueError):
+            ShardedMonitorAlgorithm("nope", 2, shards=2)
+
+    def test_algorithm_instance_rejected(self):
+        from repro.algorithms.brute import BruteForceAlgorithm
+
+        with pytest.raises(TypeError):
+            ShardedMonitorAlgorithm(BruteForceAlgorithm(2), 2, shards=2)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedMonitorAlgorithm("tma", 2, shards=0)
+
+    def test_name_reflects_base_and_width(self, sharded):
+        assert sharded.name == "tmax2"
+        assert sharded.base_algorithm == "tma"
+        assert sharded.shards == 2
+
+    def test_single_shard_worker_pool(self):
+        with ShardedMonitorAlgorithm(
+            "sma", 2, shards=1, cells_per_axis=4
+        ) as algorithm:
+            query = make_query([0.5, 0.5])
+            query.qid = 0
+            entries = algorithm.register(query)
+            assert entries == []
+
+
+class TestLifecycle:
+    def test_register_unregister(self, sharded):
+        query = make_query([0.6, 0.4])
+        query.qid = 7
+        sharded.register(query)
+        assert [q.qid for q in sharded.queries()] == [7]
+        assert sharded.current_result(7) == []
+        sharded.unregister(7)
+        assert list(sharded.queries()) == []
+        with pytest.raises(QueryError):
+            sharded.current_result(7)
+
+    def test_unknown_query_errors(self, sharded):
+        with pytest.raises(QueryError):
+            sharded.current_result(3)
+        with pytest.raises(QueryError):
+            sharded.unregister(3)
+
+    def test_dimension_mismatch_rejected(self, sharded):
+        query = make_query([0.5, 0.5, 0.5])
+        query.qid = 0
+        with pytest.raises(DimensionalityError):
+            sharded.register(query)
+
+    def test_close_is_idempotent(self):
+        algorithm = ShardedMonitorAlgorithm(
+            "tma", 2, shards=2, cells_per_axis=4
+        )
+        algorithm.close()
+        algorithm.close()
+
+    def test_use_after_close_raises_clearly(self):
+        from repro.core.errors import StreamError
+
+        algorithm = ShardedMonitorAlgorithm(
+            "tma", 2, shards=2, cells_per_axis=4
+        )
+        algorithm.close()
+        with pytest.raises(StreamError):
+            algorithm.process_cycle([], [])
+        with pytest.raises(StreamError):
+            algorithm.result_state_sizes()
+        query = make_query([0.5, 0.5])
+        query.qid = 0
+        with pytest.raises(StreamError):
+            algorithm.register(query)
+
+    def test_register_counters_merged(self, sharded):
+        queries = []
+        for qid in range(4):
+            query = make_query([0.2 + 0.2 * qid, 0.5])
+            query.qid = qid
+            queries.append(query)
+        sharded.register_many(queries)
+        # Initial computations happened in workers, yet the merged
+        # counters see their work.
+        assert sharded.counters.topk_computations == 4
+
+    def test_counters_reset_then_accumulate(self, sharded):
+        query = make_query([0.5, 0.5])
+        query.qid = 0
+        sharded.register(query)
+        sharded.counters.reset()
+        records = [
+            StreamRecord(rid, (0.1 * rid, 0.5), 0.0) for rid in range(3)
+        ]
+        sharded.process_cycle(records, [])
+        assert sharded.counters.arrivals == 3
+        assert sharded.counters.influence_checks >= 0
+
+
+class TestEngineIntegration:
+    def test_monitor_rejects_instance_with_shards(self):
+        from repro.algorithms.brute import BruteForceAlgorithm
+
+        with pytest.raises(ValueError):
+            StreamMonitor(
+                2,
+                CountBasedWindow(4),
+                algorithm=BruteForceAlgorithm(2),
+                shards=2,
+            )
+
+    def test_monitor_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            StreamMonitor(
+                2, CountBasedWindow(4), algorithm="tma", shards=0
+            )
+
+    def test_shards_one_stays_in_process(self):
+        from repro.algorithms.tma import TopKMonitoringAlgorithm
+
+        with StreamMonitor(
+            2,
+            CountBasedWindow(4),
+            algorithm="tma",
+            cells_per_axis=4,
+            shards=1,
+        ) as monitor:
+            assert isinstance(monitor.algorithm, TopKMonitoringAlgorithm)
+
+    def test_monitor_context_manager_closes_pool(self):
+        with StreamMonitor(
+            2,
+            CountBasedWindow(8),
+            algorithm="tma",
+            cells_per_axis=4,
+            shards=2,
+        ) as monitor:
+            qid = monitor.add_query(make_query([1.0, 1.0]))
+            monitor.process(monitor.make_records([[0.5, 0.5]]))
+            assert [entry.rid for entry in monitor.result(qid)] == [0]
+            procs = list(monitor.algorithm._procs)
+        assert all(not proc.is_alive() for proc in procs)
+
+    def test_state_sizes_merge_across_shards(self):
+        with StreamMonitor(
+            2,
+            CountBasedWindow(30),
+            algorithm="tma",
+            cells_per_axis=4,
+            shards=3,
+        ) as monitor:
+            qids = monitor.add_queries(
+                [make_query([0.2 + 0.2 * i, 0.9 - 0.2 * i]) for i in range(4)]
+            )
+            monitor.process(
+                monitor.make_records(
+                    [[0.1 * i, 0.05 * i] for i in range(10)]
+                )
+            )
+            sizes = monitor.algorithm.result_state_sizes()
+            assert sorted(sizes) == sorted(qids)

@@ -1,0 +1,170 @@
+"""Unit tests for the query→shard assignment planner."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.queries import ConstrainedTopKQuery, TopKQuery
+from repro.core.regions import Rectangle
+from repro.core.scoring import LinearFunction, QuadraticFunction
+from repro.parallel.sharding import ShardPlanner
+
+
+def linear_query(qid, weights, k=3):
+    query = TopKQuery(LinearFunction(weights), k=k)
+    query.qid = qid
+    return query
+
+
+def quadratic_query(qid, weights, k=3):
+    query = TopKQuery(QuadraticFunction(weights), k=k)
+    query.qid = qid
+    return query
+
+
+class TestAssignment:
+    def test_same_bucket_sticks_to_one_shard(self):
+        planner = ShardPlanner(4)
+        # Nearly identical preference vectors: one angular bucket.
+        shards = {
+            planner.assign(linear_query(qid, [0.6 + qid * 1e-4, 0.4]))
+            for qid in range(8)
+        }
+        assert len(shards) == 1
+
+    def test_scaled_weights_share_a_bucket(self):
+        planner = ShardPlanner(2)
+        a = planner.assign(linear_query(0, [0.3, 0.2]))
+        b = planner.assign(linear_query(1, [0.6, 0.4]))  # same direction
+        assert a == b
+
+    def test_distinct_buckets_balance_load(self):
+        planner = ShardPlanner(2)
+        planner.assign(linear_query(0, [1.0, 0.0]))
+        planner.assign(linear_query(1, [0.0, 1.0]))
+        planner.assign(linear_query(2, [1.0, 1.0]))
+        planner.assign(linear_query(3, [1.0, 4.0]))
+        loads = planner.loads()
+        assert sum(loads) == 4
+        assert max(loads) - min(loads) <= 1
+
+    def test_ungroupable_queries_round_robin(self):
+        planner = ShardPlanner(3)
+        shards = [
+            planner.assign(quadratic_query(qid, [0.5, 0.5]))
+            for qid in range(6)
+        ]
+        assert shards == [0, 1, 2, 0, 1, 2]
+
+    def test_constrained_queries_round_robin(self):
+        planner = ShardPlanner(2)
+        region = Rectangle((0.0, 0.0), (0.5, 0.5))
+        shards = [
+            planner.assign(
+                ConstrainedTopKQuery(
+                    LinearFunction([0.6, 0.4]), k=2, qid=qid,
+                    constraint=region,
+                )
+            )
+            for qid in range(4)
+        ]
+        assert shards == [0, 1, 0, 1]
+
+    def test_oversized_bucket_splits_into_chunks(self):
+        """A dominant bucket (high-similarity workload) must not
+        collapse onto one shard: every ``chunk`` members the pin moves
+        to the emptiest shard. ``chunk`` defaults to the grouped
+        traversal's max_group_size, so splitting costs no sweep
+        sharing."""
+        planner = ShardPlanner(2, chunk=3)
+        shards = [
+            planner.assign(linear_query(qid, [0.6, 0.4]))
+            for qid in range(7)
+        ]
+        assert len(set(shards)) == 2
+        loads = planner.loads()
+        assert max(loads) - min(loads) <= 1
+
+    def test_chunk_members_stay_contiguous(self):
+        planner = ShardPlanner(4, chunk=3)
+        shards = [
+            planner.assign(linear_query(qid, [0.6, 0.4]))
+            for qid in range(9)
+        ]
+        # Consecutive same-bucket registrations fill one chunk before
+        # moving on — grouped bursts keep chunk-sized locality.
+        assert shards[0] == shards[1] == shards[2]
+        assert shards[3] == shards[4] == shards[5]
+        assert shards[6] == shards[7] == shards[8]
+
+    def test_double_assign_rejected(self):
+        planner = ShardPlanner(2)
+        query = linear_query(0, [0.5, 0.5])
+        planner.assign(query)
+        with pytest.raises(QueryError):
+            planner.assign(query)
+
+
+class TestRebalance:
+    def test_release_frees_load(self):
+        planner = ShardPlanner(2)
+        query = linear_query(0, [0.5, 0.5])
+        shard = planner.assign(query)
+        assert planner.loads()[shard] == 1
+        key = planner.registry.key_of(query)
+        assert planner.release(0, key) == shard
+        assert planner.loads() == [0, 0]
+        assert len(planner) == 0
+
+    def test_emptied_bucket_loses_its_pin(self):
+        planner = ShardPlanner(2)
+        a = linear_query(0, [1.0, 0.0])
+        planner.assign(a)  # bucket A pinned to shard 0
+        # Load shard 0 with round-robin traffic so it is the fullest.
+        planner.assign(quadratic_query(1, [0.5, 0.5]))  # shard 0
+        planner.assign(quadratic_query(2, [0.5, 0.5]))  # shard 1
+        key = planner.registry.key_of(a)
+        planner.release(0, key)
+        # Bucket A's pin is gone; a fresh member lands on the
+        # now-least-loaded shard instead of the historic pin.
+        fresh = planner.assign(linear_query(3, [1.0, 0.0]))
+        assert fresh == planner.loads().index(max(planner.loads()))
+        assert max(planner.loads()) - min(planner.loads()) <= 1
+
+    def test_surviving_bucket_keeps_its_pin(self):
+        planner = ShardPlanner(2)
+        first = linear_query(0, [1.0, 0.0])
+        second = linear_query(1, [1.0, 0.0])
+        shard = planner.assign(first)
+        planner.assign(second)
+        planner.release(0, planner.registry.key_of(first))
+        assert planner.assign(linear_query(2, [1.0, 0.0])) == shard
+
+    def test_churn_keeps_load_even(self):
+        planner = ShardPlanner(4)
+        for qid in range(16):
+            planner.assign(quadratic_query(qid, [0.5, 0.5]))
+        for qid in range(0, 16, 2):
+            planner.release(qid)
+        for qid in range(16, 24):
+            planner.assign(quadratic_query(qid, [0.5, 0.5]))
+        loads = planner.loads()
+        assert sum(loads) == 16
+        assert max(loads) - min(loads) <= 4  # round-robin drift bound
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(QueryError):
+            ShardPlanner(2).release(99)
+
+    def test_shard_of(self):
+        planner = ShardPlanner(2)
+        query = linear_query(5, [0.5, 0.5])
+        shard = planner.assign(query)
+        assert planner.shard_of(5) == shard
+        with pytest.raises(QueryError):
+            planner.shard_of(6)
+
+
+class TestValidation:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardPlanner(0)

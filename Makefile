@@ -3,7 +3,15 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test selfcheck bench-smoke bench-json
+.PHONY: test selfcheck bench-smoke bench-json examples
+
+# Docs-facing smoke: every example must run end to end (CI mirrors
+# this on both batch backends with a hard per-script timeout).
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		PYTHONPATH=src timeout 120 python $$script > /dev/null || exit 1; \
+	done
 
 # Tier-1: the full unit + benchmark-trend suite.
 test:
@@ -23,6 +31,8 @@ bench-smoke: test selfcheck
 		--similarity 0.9 --algorithms tma,tma-grouped,sma,sma-grouped
 	$(PY) -m repro.bench run --n 4000 --rate 40 --queries 12 --cycles 5 \
 		--shards 2 --algorithms tma,sma
+	$(PY) -m repro.bench run --n 4000 --rate 40 --queries 12 --cycles 8 \
+		--churn
 
 # Capture a machine-readable baseline on the default workload
 # (the BENCH_PR1.json format's per-run payload).

@@ -10,6 +10,11 @@ normalised to [0, 1). Operations keeps three standing queries:
 3. a *threshold* query: every reading whose combined severity exceeds
    a fixed alarm level — however many those are.
 
+All three register through the same ``add_query`` on ONE unified
+monitor — the facade serves every query kind over one window, one
+grid, and one notification path (the threshold query's alarms arrive
+by push subscription).
+
 Run:  python examples/constrained_and_threshold.py
 """
 
@@ -18,13 +23,11 @@ import random
 from repro import (
     CountBasedWindow,
     LinearFunction,
-    RecordFactory,
     StreamMonitor,
     ThresholdQuery,
     TopKQuery,
 )
 from repro.extensions.constrained import constrained_query
-from repro.extensions.threshold import ThresholdMonitor
 
 
 def sensor_rows(rng, count, heatwave=False):
@@ -42,8 +45,7 @@ def main() -> None:
     rng = random.Random(33)
     severity = LinearFunction([2.0, 1.0])  # temperature-weighted
 
-    # One engine serves the two top-k flavours; the threshold monitor
-    # is a separate engine with its own window and record factory.
+    # One engine serves all three query kinds.
     monitor = StreamMonitor(
         dims=2, window=CountBasedWindow(500), algorithm="tma"
     )
@@ -56,46 +58,47 @@ def main() -> None:
             label="hottest-in-band",
         )
     )
-
-    alarms = ThresholdMonitor(2, CountBasedWindow(500), cells_per_axis=10)
-    alarm_factory = RecordFactory()
-    q_alarm = alarms.add_query(
+    q_alarm = monitor.add_query(
         ThresholdQuery(severity, threshold=2.5, label="severity>2.5")
     )
+
+    # Alarms are pushed, not polled: the threshold query's deltas
+    # carry exactly the newly-fired and newly-cleared alarms.
+    fired_this_cycle = []
+    q_alarm.subscribe(lambda change: fired_this_cycle.append(change))
 
     for cycle in range(1, 9):
         heatwave = 4 <= cycle <= 6
         rows = sensor_rows(rng, 120, heatwave=heatwave)
+        fired_this_cycle.clear()
         monitor.process(monitor.make_records(rows, time_=float(cycle)))
-        alarm_report = alarms.process(
-            [alarm_factory.make(row, float(cycle)) for row in rows]
-        )
 
         flag = "HEATWAVE" if heatwave else "        "
-        hottest = monitor.result(q_hot)[0]
-        in_band = monitor.result(q_band)
+        hottest = q_hot.result()[0]
+        in_band = q_band.result()
         band_text = (
             f"{in_band[0].score:.2f} @ {in_band[0].record.attrs[1]:.2f}rh"
             if in_band
             else "none"
         )
-        change = alarm_report.changes.get(q_alarm)
-        fired = len(change.added) if change else 0
+        fired = sum(len(change.added) for change in fired_this_cycle)
         print(
             f"cycle {cycle} {flag} | hottest={hottest.score:.2f} | "
             f"in-band top={band_text} | active alarms="
-            f"{len(alarms.result(q_alarm)):3d} (+{fired})"
+            f"{len(q_alarm.result()):3d} (+{fired})"
         )
 
-    influence_cells = sum(
-        1
-        for cell in monitor.algorithm.grid.cells()
-        if q_band in cell.influence
+    grid = monitor.algorithm.grid
+    band_cells = sum(
+        1 for cell in grid.cells() if q_band in cell.influence
+    )
+    alarm_cells = sum(
+        1 for cell in grid.cells() if q_alarm in cell.influence
     )
     print(
-        "\nconstrained query book-keeping stays inside its region: "
-        f"{influence_cells} influence cells (grid has "
-        f"{monitor.algorithm.grid.total_cells} total)"
+        "\nbook-keeping stays local: constrained query in "
+        f"{band_cells} influence cells, threshold query in "
+        f"{alarm_cells} static cells (grid has {grid.total_cells} total)"
     )
 
 

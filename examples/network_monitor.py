@@ -10,8 +10,10 @@ continuous queries alive:
   source IP, that host is likely an Internet worm probing for victims
   with single-SYN flows.
 
-The synthetic feed injects one DDoS and one worm episode; the detector
-below finds both using nothing but the monitor's change reports.
+The synthetic feed injects one DDoS and one worm episode; the
+detectors below are *push* consumers — each subscribes to its query's
+handle and re-evaluates only when the result actually changed, instead
+of polling every cycle.
 
 Run:  python examples/network_monitor.py
 """
@@ -52,31 +54,43 @@ def main() -> None:
     )
 
     flows_by_rid = {}
-    for cycle in range(1, 18):
-        batch = stream.next_batch()
-        for item in batch:
-            flows_by_rid[item.record.rid] = item.flow
-        monitor.process([item.record for item in batch])
+    clock = {"cycle": 0}
 
-        # Detector 1: DDoS — top throughput flows share a destination.
-        top = monitor.result(q_throughput)
-        dst_counts = Counter(flows_by_rid[e.rid].dst for e in top)
+    # Detector 1: DDoS — top throughput flows share a destination.
+    def ddos_detector(change):
+        dst_counts = Counter(
+            flows_by_rid[entry.rid].dst for entry in change.top
+        )
         dst, hits = dst_counts.most_common(1)[0]
         if hits >= ALERT_SHARE * TOP_K:
             print(
-                f"cycle {cycle:2d}  *** DDoS ALERT: {hits}/{TOP_K} top "
-                f"throughput flows target {dst}"
+                f"cycle {clock['cycle']:2d}  *** DDoS ALERT: "
+                f"{hits}/{TOP_K} top throughput flows target {dst}"
             )
 
-        # Detector 2: worm — minimal-packet flows share a source.
-        top = monitor.result(q_min_packets)
-        src_counts = Counter(flows_by_rid[e.rid].src for e in top)
+    # Detector 2: worm — minimal-packet flows share a source.
+    def worm_detector(change):
+        src_counts = Counter(
+            flows_by_rid[entry.rid].src for entry in change.top
+        )
         src, hits = src_counts.most_common(1)[0]
         if hits >= ALERT_SHARE * TOP_K:
             print(
-                f"cycle {cycle:2d}  *** WORM ALERT: {hits}/{TOP_K} "
-                f"minimal-packet flows originate from {src}"
+                f"cycle {clock['cycle']:2d}  *** WORM ALERT: "
+                f"{hits}/{TOP_K} minimal-packet flows originate "
+                f"from {src}"
             )
+
+    q_throughput.subscribe(ddos_detector)
+    q_min_packets.subscribe(worm_detector)
+
+    for cycle in range(1, 18):
+        clock["cycle"] = cycle
+        batch = stream.next_batch()
+        for item in batch:
+            flows_by_rid[item.record.rid] = item.flow
+        # Detectors fire from inside process() — push, not poll.
+        monitor.process([item.record for item in batch])
 
     print(
         f"\nprocessed {len(flows_by_rid)} flows; total maintenance "

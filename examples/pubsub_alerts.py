@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Publish/subscribe alerting: the push side of the unified facade.
+
+Top-k publish/subscribe systems deliver result *deltas* to standing
+subscriptions instead of letting clients poll. This example runs one
+monitor with a mixed fleet of queries — leaderboards and a threshold
+alarm — and wires three kinds of consumers to it:
+
+- a **per-handle callback**: a pager that fires the moment a specific
+  leaderboard changes;
+- a **monitor-wide fan-in** (``subscribe_all``): an audit log that
+  sees every delta of every query, tagged with *why* it happened
+  (``cycle`` maintenance, ``register``, ``update``, ``resume``,
+  ``cancel``);
+- a **buffered change stream** (``handle.changes()``): a consumer that
+  drains at its own pace — here, once every three cycles.
+
+Mid-run, one query is updated in flight (k tightened) and another is
+paused and resumed; every one of those transitions is delivered as an
+ordinary delta, so subscribers reconstruct the exact result without
+ever calling the pull API.
+
+Run:  python examples/pubsub_alerts.py
+"""
+
+import random
+from collections import Counter
+
+from repro import (
+    CountBasedWindow,
+    LinearFunction,
+    StreamMonitor,
+    ThresholdQuery,
+    TopKQuery,
+)
+
+
+def main() -> None:
+    rng = random.Random(77)
+    monitor = StreamMonitor(
+        dims=2, window=CountBasedWindow(300), algorithm="sma"
+    )
+
+    # The audit log subscribes FIRST, so it also sees the queries'
+    # initial results arrive as cause="register" deltas.
+    audit = Counter()
+    monitor.subscribe_all(lambda change: audit.update([change.cause]))
+
+    leaders = monitor.add_query(
+        TopKQuery(LinearFunction([1.0, 1.0]), k=5, label="leaders")
+    )
+    spikes = monitor.add_query(
+        TopKQuery(LinearFunction([0.2, 1.8]), k=3, label="spikes")
+    )
+    alarm = monitor.add_query(
+        ThresholdQuery(LinearFunction([1.0, 1.0]), threshold=1.7,
+                       label="alarm")
+    )
+
+    # Consumer 1: a pager on the alarm query — push only.
+    def pager(change):
+        for entry in change.added:
+            print(
+                f"    PAGE: record {entry.rid} breached the alarm "
+                f"threshold (score {entry.score:.2f})"
+            )
+
+    alarm.subscribe(pager)
+
+    # Consumer 2: a lazy dashboard draining a buffered stream.
+    dashboard = leaders.changes()
+
+    for cycle in range(1, 10):
+        if cycle == 4:
+            print("cycle 4: tightening 'spikes' to k=1 in flight")
+            spikes.update(k=1)
+        if cycle == 5:
+            print("cycle 5: pausing 'leaders' (dashboard maintenance)")
+            leaders.pause()
+        if cycle == 7:
+            print("cycle 7: resuming 'leaders' (exact re-sync delta)")
+            leaders.resume()
+
+        batch = monitor.make_records(
+            [(rng.random(), rng.random()) for _ in range(60)],
+            time_=float(cycle),
+        )
+        print(f"cycle {cycle}:")
+        monitor.process(batch)
+
+        if cycle % 3 == 0:
+            deltas = dashboard.drain()
+            print(
+                f"    dashboard drained {len(deltas)} buffered "
+                f"leader deltas; current board: "
+                f"{[entry.rid for entry in leaders.result()]}"
+            )
+
+    spikes.cancel()  # subscribers get a final cause="cancel" delta
+    print(
+        "\naudit log (deltas by cause): "
+        + ", ".join(
+            f"{cause}={count}" for cause, count in sorted(audit.items())
+        )
+    )
+    print(
+        f"handle states: leaders={leaders.state}, spikes={spikes.state}, "
+        f"alarm={alarm.state}"
+    )
+    monitor.close()
+    print(f"after close: leaders={leaders.state} (monitor closed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,11 @@ random 2-d tuples through it, and prints the change reports — the
 exact server loop of the paper (Section 4), at toy scale so the output
 is readable.
 
+``add_query`` returns a :class:`repro.QueryHandle`: deltas are pushed
+to per-handle subscriptions, the current result is ``handle.result()``,
+and handles are int-like so the original ``report.changes[qid]`` code
+keeps working.
+
 Run:  python examples/quickstart.py
 """
 
@@ -39,29 +44,38 @@ def main() -> None:
         TopKQuery(LinearFunction([2.0, 0.5]), k=3, label="prefers-x1")
     )
 
+    # Push delivery: only changed results are reported, and the
+    # subscriber fires right after each cycle's maintenance.
+    cycle_box = {"now": 0}
+
+    def printer(label):
+        def show(change):
+            top = " ".join(
+                f"{entry.score:.2f}:{entry.rid}" for entry in change.top
+            )
+            print(f"{cycle_box['now']:5d} | {label:<12} | {top}")
+
+        return show
+
+    q_high.subscribe(printer("prefers-x2"))
+    q_wide.subscribe(printer("prefers-x1"))
+
     print("cycle | query        | top-3 (score:id)")
     print("------+--------------+----------------------------------")
     for cycle in range(10):
+        cycle_box["now"] = cycle
         batch = monitor.make_records(
             [(rng.random(), rng.random()) for _ in range(20)],
             time_=float(cycle),
         )
-        report = monitor.process(batch)
-
-        for qid, label in ((q_high, "prefers-x2"), (q_wide, "prefers-x1")):
-            if qid in report.changes:  # only changed results are reported
-                top = " ".join(
-                    f"{entry.score:.2f}:{entry.rid}"
-                    for entry in report.changes[qid].top
-                )
-                print(f"{cycle:5d} | {label:<12} | {top}")
+        monitor.process(batch)
 
     print("\nfinal results:")
-    for qid in (q_high, q_wide):
-        for entry in monitor.result(qid):
+    for handle in (q_high, q_wide):
+        for entry in handle.result():
             record = entry.record
             print(
-                f"  q{qid}: record {record.rid} "
+                f"  q{handle.qid}: record {record.rid} "
                 f"attrs=({record.attrs[0]:.3f}, {record.attrs[1]:.3f}) "
                 f"score={entry.score:.3f}"
             )

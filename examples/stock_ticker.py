@@ -4,9 +4,12 @@
 The paper's introduction lists stock market trading among the target
 applications. This example monitors a synthetic tick stream over a
 *time-based* window (the last 5 time units) with a preference function
-that mixes trade volume and price movement, and it also demonstrates
-query churn: mid-stream, an analyst registers a second, pure-momentum
-query and later removes it.
+that mixes trade volume and price movement, and it demonstrates the
+query-handle lifecycle: mid-stream an analyst registers a second,
+pure-momentum query, *pauses* it while chasing something else (its
+maintenance is skipped entirely), resumes it with an exact re-sync,
+tightens it in flight with ``handle.update(k=...)``, and finally
+cancels it.
 
 Run:  python examples/stock_ticker.py
 """
@@ -20,10 +23,9 @@ from repro import (
 from repro.streams.stock import StockStream
 
 
-def show(label, monitor, qid, ticks_by_rid):
-    entries = monitor.result(qid)
+def show(label, handle, ticks_by_rid):
     print(f"  {label}:")
-    for entry in entries:
+    for entry in handle.result():
         tick = ticks_by_rid[entry.rid]
         print(
             f"    {tick.symbol}  price={tick.price:8.2f} "
@@ -49,21 +51,27 @@ def main() -> None:
     )
 
     ticks_by_rid = {}
-    momentum_qid = None
+    momentum = None
     for cycle in range(1, 13):
         if cycle == 5:
             stream.shock("SYM007", 0.40)  # takeover rumour
             print("cycle 5: (injecting +40% shock into SYM007)")
         if cycle == 6:
-            momentum_qid = monitor.add_query(
+            momentum = monitor.add_query(
                 TopKQuery(
                     LinearFunction([0.0, 1.0]), k=3, label="pure-momentum"
                 )
             )
             print("cycle 6: analyst registers a pure-momentum query")
-        if cycle == 10 and momentum_qid is not None:
-            monitor.remove_query(momentum_qid)
-            momentum_qid = None
+        if cycle == 8 and momentum is not None:
+            momentum.pause()  # maintenance skipped while paused
+            print("cycle 8: momentum query paused (analyst in a meeting)")
+        if cycle == 9 and momentum is not None:
+            momentum.resume()  # exact re-sync against current window
+            momentum.update(k=2)  # tightened in flight, no re-register
+            print("cycle 9: momentum query resumed and narrowed to k=2")
+        if cycle == 10 and momentum is not None:
+            momentum.cancel()
             print("cycle 10: pure-momentum query terminated")
 
         batch = stream.next_batch()
@@ -71,16 +79,21 @@ def main() -> None:
             ticks_by_rid[item.record.rid] = item.tick
         report = monitor.process([item.record for item in batch])
 
-        if q_active in report.changes or cycle in (5, 6):
+        if q_active in report.changes or cycle in (5, 6, 9):
             print(f"cycle {cycle:2d}:")
-            show("top-5 active movers", monitor, q_active, ticks_by_rid)
-            if momentum_qid is not None:
-                show("top-3 momentum", monitor, momentum_qid, ticks_by_rid)
+            show("top-5 active movers", q_active, ticks_by_rid)
+            if momentum is not None and momentum.active:
+                show(
+                    f"top-{momentum.query.k} momentum",
+                    momentum,
+                    ticks_by_rid,
+                )
 
     print(
         f"\nmaintenance: {monitor.total_cpu_seconds * 1e3:.1f} ms over "
-        f"{len(monitor.cycle_seconds)} cycles; window currently holds "
-        f"{monitor.valid_count} ticks"
+        f"{len(monitor.cycle_seconds)} cycles (+ "
+        f"{monitor.total_mutation_seconds * 1e3:.2f} ms of handle "
+        f"mutations); window currently holds {monitor.valid_count} ticks"
     )
 
 

@@ -8,12 +8,15 @@ TMA carries over unchanged (hash-based point lists, recompute when a
 result member is deleted), while SMA's skyband is impossible because
 the expiry order is unknown — this example demonstrates both facts.
 
+The model is a facade switch now: ``StreamMonitor(...,
+stream_model="update")`` — no separate monitor class, and the full
+handle/subscription surface works over explicit deletions too.
+
 Run:  python examples/update_stream.py
 """
 
-from repro import LinearFunction, TopKQuery
+from repro import LinearFunction, StreamMonitor, TopKQuery
 from repro.core.errors import StreamError
-from repro.extensions.update_model import UpdateStreamMonitor
 from repro.streams.generators import Independent
 from repro.streams.update_stream import UpdateStreamDriver
 
@@ -29,28 +32,30 @@ def main() -> None:
         seed=55,
     )
 
-    # SMA is structurally impossible here — the library says so:
+    # SMA is structurally impossible here — the facade says so:
     try:
-        UpdateStreamMonitor(2, algorithm="sma")
+        StreamMonitor(2, algorithm="sma", stream_model="update")
     except StreamError as error:
         print(f"SMA correctly rejected: {error}\n")
 
-    monitor = UpdateStreamMonitor(2, algorithm="tma")
-    qid = monitor.add_query(
+    monitor = StreamMonitor(2, algorithm="tma", stream_model="update")
+    handle = monitor.add_query(
         TopKQuery(LinearFunction([1.0, 1.0]), k=5, label="best-orders")
     )
+    stream = handle.changes()  # buffered push deltas
 
     for cycle, batch in enumerate(driver.batches(15), start=1):
-        report = monitor.process(batch.insertions, batch.deletions)
-        top_ids = [entry.rid for entry in monitor.result(qid)]
-        marker = "*" if qid in report.changes else " "
+        monitor.process(batch.insertions, deletions=batch.deletions)
+        deltas = stream.drain()
+        top_ids = [entry.rid for entry in handle.result()]
+        marker = "*" if deltas else " "
         print(
             f"cycle {cycle:2d} {marker} live={monitor.live_count:5d} "
             f"+{len(batch.insertions):3d}/-{len(batch.deletions):3d}  "
             f"top-5 ids={top_ids}"
         )
 
-    counters = monitor.algorithm.counters
+    counters = monitor.counters
     print(
         f"\n{counters.recomputations} from-scratch recomputations were "
         f"needed — every one caused by an explicit deletion of a "

@@ -13,6 +13,11 @@ an operator actually asks:
 - "Will this record ever be reported before it expires?"
 - "How long until the current leader falls out?"
 
+(Relation to the live API: ``handle.pause()`` freezes a query's
+result; this module predicts what the *maintained* result would do if
+the stream — not the query — stood still. Both are forms of looking
+at the window without new arrivals.)
+
 Run:  python examples/whatif_prediction.py
 """
 

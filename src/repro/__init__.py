@@ -21,11 +21,18 @@ Quickstart::
 
     monitor = StreamMonitor(dims=2, window=CountBasedWindow(10_000),
                             algorithm="sma")
-    qid = monitor.add_query(TopKQuery(LinearFunction([1.0, 2.0]), k=10))
+    handle = monitor.add_query(TopKQuery(LinearFunction([1.0, 2.0]), k=10))
+    handle.subscribe(lambda change: print(change.top))   # push delivery
     for batch in my_stream:                     # lists of StreamRecord
-        report = monitor.process(batch)
-        if qid in report.changes:
-            print(report.changes[qid].top)
+        monitor.process(batch)
+    print(handle.result())                      # pull, any time
+    handle.update(k=20)                         # in-flight mutation
+    handle.cancel()
+
+Handles are int-like, so the original qid-based calls
+(``monitor.result(qid)``, ``report.changes[qid]``) keep working
+unchanged — see ``docs/API.md`` for the full surface and the
+migration guide.
 """
 
 from repro.algorithms import (
@@ -37,6 +44,7 @@ from repro.algorithms import (
 )
 from repro.core import (
     CallableFunction,
+    ChangeStream,
     ConstrainedTopKQuery,
     CountBasedWindow,
     CycleReport,
@@ -44,23 +52,28 @@ from repro.core import (
     PreferenceFunction,
     ProductFunction,
     QuadraticFunction,
+    QueryError,
+    QueryHandle,
     Rectangle,
     RecordFactory,
     ReproError,
     ResultChange,
     ResultEntry,
+    StreamError,
     StreamMonitor,
     StreamRecord,
+    Subscription,
     ThresholdQuery,
     TimeBasedWindow,
     TopKQuery,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BruteForceAlgorithm",
     "CallableFunction",
+    "ChangeStream",
     "ConstrainedTopKQuery",
     "CountBasedWindow",
     "CycleReport",
@@ -68,14 +81,18 @@ __all__ = [
     "PreferenceFunction",
     "ProductFunction",
     "QuadraticFunction",
+    "QueryError",
+    "QueryHandle",
     "Rectangle",
     "RecordFactory",
     "ReproError",
     "ResultChange",
     "ResultEntry",
     "SkybandMonitoringAlgorithm",
+    "StreamError",
     "StreamMonitor",
     "StreamRecord",
+    "Subscription",
     "ThresholdQuery",
     "ThresholdSortedListAlgorithm",
     "TimeBasedWindow",

@@ -10,18 +10,59 @@ Change detection works by lazy snapshots: the first time a cycle
 mutates a query's result state, the previous result is stashed; at the
 end of the cycle each touched query is diffed against its snapshot.
 This keeps untouched queries free (no O(Q·k) per-cycle copying).
+
+Beyond top-k queries, every algorithm also serves **threshold
+queries** (paper Section 7: monitor all points with score above a
+user-set threshold) through the same registration / cycle / change
+machinery — the support lives here so the unified
+:class:`~repro.core.engine.StreamMonitor` facade can mix query kinds
+freely. Grid-based algorithms register threshold queries in the
+influence lists of exactly the cells whose maxscore exceeds the
+threshold (the paper's method); maintenance batch-scores each cycle's
+arrivals per threshold query with the vector kernel, which is exact
+for any algorithm (a record scoring above the threshold necessarily
+lies inside the query's static influence region).
+
+**In-flight mutation**: :meth:`MonitorAlgorithm.update_query` changes
+a running query's ``k`` and/or preference function while *reusing* the
+algorithm's window-derived state (grid, sorted lists) — the result is
+identical to unregister + re-register with the same qid, never a
+stream replay. Subclasses override it with cheaper in-place paths
+(e.g. TMA trims its exact top list on a k decrease without touching
+the grid).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
+from repro.core.batch import ArrivalScorer
 from repro.core.errors import QueryError
-from repro.core.queries import TopKQuery
+from repro.core.queries import ThresholdQuery, TopKQuery
 from repro.core.results import ResultChange, ResultEntry, diff_results
 from repro.core.stats import OpCounters
 from repro.core.tuples import StreamRecord
+
+
+class _ThresholdState:
+    """Per-threshold-query state: spec, members, and (grid) cells."""
+
+    __slots__ = ("query", "members", "cells")
+
+    def __init__(self, query: ThresholdQuery) -> None:
+        self.query = query
+        #: rid -> ResultEntry of every valid point above the threshold.
+        self.members: Dict[int, ResultEntry] = {}
+        #: influence-cell coords (grid-based algorithms only).
+        self.cells: List = []
+
+    def result_entries(self) -> List[ResultEntry]:
+        return sorted(
+            self.members.values(),
+            key=lambda entry: entry.key,
+            reverse=True,
+        )
 
 
 class MonitorAlgorithm(abc.ABC):
@@ -34,6 +75,7 @@ class MonitorAlgorithm(abc.ABC):
         self.dims = dims
         self.counters = OpCounters()
         self._snapshots: Dict[int, List[ResultEntry]] = {}
+        self._threshold_states: Dict[int, _ThresholdState] = {}
 
     # ------------------------------------------------------------------
     # Query lifecycle
@@ -67,6 +109,54 @@ class MonitorAlgorithm(abc.ABC):
     def queries(self) -> Iterable[TopKQuery]:
         """The registered queries."""
 
+    def update_query(
+        self,
+        qid: int,
+        k: Optional[int] = None,
+        function=None,
+    ) -> List[ResultEntry]:
+        """Mutate a running top-k query in place; return the new result.
+
+        The default re-derives the result from the algorithm's current
+        window state — exactly what unregister + register with the
+        same qid would produce, minus a monitor-level round trip and
+        without ever replaying the stream. Subclasses override with
+        cheaper in-place paths where the maths allows (see TMA).
+        """
+        if qid in self._threshold_states:
+            raise QueryError(
+                f"threshold query {qid} cannot be updated in flight; "
+                "cancel and re-register it instead"
+            )
+        query = self._find_query(qid)
+        if k is None and function is None:
+            return self.current_result(qid)
+        if k is not None and k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        old_k, old_function = query.k, query.function
+        self.unregister(qid)
+        if k is not None:
+            query.k = k
+        if function is not None:
+            query.function = function
+        try:
+            return self.register(query)
+        except BaseException:
+            # A failed mutation (e.g. a preference function that blows
+            # up mid initial-computation) must not destroy the running
+            # query: restore the previous spec and re-install it — the
+            # old spec registered successfully before, so this
+            # recovers the pre-update state.
+            query.k, query.function = old_k, old_function
+            self.register(query)
+            raise
+
+    def _find_query(self, qid: int):
+        for query in self.queries():
+            if query.qid == qid:
+                return query
+        raise self._unknown_query(qid)
+
     # ------------------------------------------------------------------
     # Stream maintenance
     # ------------------------------------------------------------------
@@ -87,6 +177,8 @@ class MonitorAlgorithm(abc.ABC):
         self.counters.expirations += len(expirations)
         self._snapshots.clear()
         self._apply_cycle(arrivals, expirations)
+        if self._threshold_states:
+            self._maintain_thresholds(arrivals, expirations)
         changes: Dict[int, ResultChange] = {}
         for qid, before in self._snapshots.items():
             change = diff_results(qid, before, self.current_result(qid))
@@ -102,6 +194,143 @@ class MonitorAlgorithm(abc.ABC):
         expirations: List[StreamRecord],
     ) -> None:
         """Algorithm-specific cycle maintenance."""
+
+    # ------------------------------------------------------------------
+    # Threshold queries (Section 7) — shared by every algorithm
+    # ------------------------------------------------------------------
+
+    def _register_threshold(self, query: ThresholdQuery) -> List[ResultEntry]:
+        """Install a threshold query; return its initial matches.
+
+        Grid-based algorithms (anything exposing ``self.grid``) add the
+        query to the influence lists of exactly the cells whose
+        maxscore exceeds the threshold and seed the result from those
+        cells' points; others scan the valid set once. The influence
+        region of a threshold query is static, so registration-time
+        lists need no lazy-cleanup machinery.
+        """
+        if query.dims != self.dims:
+            raise QueryError(
+                f"query has {query.dims} dims, monitor has {self.dims}"
+            )
+        state = _ThresholdState(query)
+        grid = getattr(self, "grid", None)
+        if grid is not None:
+            from repro.grid.traversal import collect_cells_above_threshold
+
+            for coords in collect_cells_above_threshold(
+                grid, query.function, query.threshold, self.counters
+            ):
+                cell = grid.get_cell(coords)
+                cell.influence.add(query.qid)
+                self.counters.influence_list_updates += 1
+                state.cells.append(coords)
+                for record in cell.iter_points():
+                    score = query.score(record.attrs)
+                    self.counters.points_scored += 1
+                    if score > query.threshold:
+                        state.members[record.rid] = ResultEntry(score, record)
+        else:
+            for record in self._valid_records():
+                score = query.score(record.attrs)
+                self.counters.points_scored += 1
+                if score > query.threshold:
+                    state.members[record.rid] = ResultEntry(score, record)
+        self._threshold_states[query.qid] = state
+        return state.result_entries()
+
+    def _unregister_threshold(self, qid: int) -> None:
+        """Remove a threshold query and scrub its influence entries."""
+        state = self._threshold_states.pop(qid, None)
+        if state is None:
+            raise self._unknown_query(qid)
+        grid = getattr(self, "grid", None)
+        if grid is not None:
+            for coords in state.cells:
+                cell = grid.peek_cell(coords)
+                if cell is not None:
+                    cell.influence.discard(qid)
+
+    def _maintain_thresholds(
+        self,
+        arrivals: List[StreamRecord],
+        expirations: List[StreamRecord],
+    ) -> None:
+        """Apply one cycle to every threshold query's member set.
+
+        Grid-based algorithms narrow arrivals through the influence
+        lists (a threshold query lives in exactly the cells whose
+        maxscore exceeds its threshold, so only arrivals landing in
+        those cells are even scored — the paper's Section-7 win over
+        the naive check-every-query strategy). Non-grid algorithms
+        batch-score every arrival per query with the vector kernel;
+        both paths are exact because a record scoring above the
+        threshold necessarily lies inside the (static) influence
+        region.
+        """
+        states = self._threshold_states
+        grid = getattr(self, "grid", None)
+        if arrivals and grid is not None:
+            scorer = ArrivalScorer(arrivals)
+            coords = grid.coords_of_many(
+                [record.attrs for record in arrivals]
+            )
+            for index, record in enumerate(arrivals):
+                cell = grid.peek_cell(coords[index])
+                if cell is None or not cell.influence:
+                    continue
+                for qid in cell.influence:
+                    state = states.get(qid)
+                    if state is None:
+                        continue  # a top-k query's entry
+                    self.counters.influence_checks += 1
+                    score = scorer.score_of(state.query.function, index)
+                    if score > state.query.threshold:
+                        self._touch(qid)
+                        state.members[record.rid] = ResultEntry(
+                            score, record
+                        )
+        elif arrivals:
+            scorer = ArrivalScorer(arrivals)
+            for state in states.values():
+                query = state.query
+                scores = scorer.scores(query.function)
+                self.counters.influence_checks += len(arrivals)
+                threshold = query.threshold
+                members = state.members
+                for record, score in zip(arrivals, scores):
+                    if score > threshold:
+                        self._touch(query.qid)
+                        members[record.rid] = ResultEntry(score, record)
+        if expirations:
+            expired = {record.rid for record in expirations}
+            for state in states.values():
+                hit = state.members.keys() & expired
+                if not hit:
+                    continue
+                self._touch(state.query.qid)
+                for rid in hit:
+                    del state.members[rid]
+
+    def _valid_records(self) -> Iterable[StreamRecord]:
+        """The currently valid records (non-grid algorithms override;
+        used to seed threshold-query registration)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot enumerate valid records; "
+            "threshold queries are unsupported here"
+        )
+
+    def _threshold_result(self, qid: int) -> List[ResultEntry]:
+        return self._threshold_states[qid].result_entries()
+
+    def _threshold_queries(self) -> List[ThresholdQuery]:
+        return [state.query for state in self._threshold_states.values()]
+
+    def _threshold_state_sizes(self) -> Dict[int, int]:
+        return {
+            qid: len(state.members)
+            for qid, state in self._threshold_states.items()
+        }
 
     # ------------------------------------------------------------------
     # Snapshot helpers for subclasses
@@ -123,6 +352,13 @@ class MonitorAlgorithm(abc.ABC):
     def result_state_sizes(self) -> Dict[int, int]:
         """Entries of per-query result state (view/skyband/top list).
 
-        Used by the Table 2 benchmark; the default reports k per query.
+        Used by the Table 2 benchmark; the default reports k per top-k
+        query and the member count per threshold query.
         """
-        return {query.qid: query.k for query in self.queries()}
+        sizes = {
+            query.qid: query.k
+            for query in self.queries()
+            if isinstance(query, TopKQuery)
+        }
+        sizes.update(self._threshold_state_sizes())
+        return sizes

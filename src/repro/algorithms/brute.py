@@ -31,22 +31,32 @@ class BruteForceAlgorithm(MonitorAlgorithm):
         self._results: Dict[int, List[ResultEntry]] = {}
 
     def register(self, query: TopKQuery) -> List[ResultEntry]:
+        if not isinstance(query, TopKQuery):
+            return self._register_threshold(query)
         self._queries[query.qid] = query
         self._results[query.qid] = self._evaluate(query)
         return list(self._results[query.qid])
 
     def unregister(self, qid: int) -> None:
+        if qid in self._threshold_states:
+            self._unregister_threshold(qid)
+            return
         if self._queries.pop(qid, None) is None:
             raise self._unknown_query(qid)
         self._results.pop(qid, None)
 
     def current_result(self, qid: int) -> List[ResultEntry]:
         if qid not in self._results:
+            if qid in self._threshold_states:
+                return self._threshold_result(qid)
             raise self._unknown_query(qid)
         return list(self._results[qid])
 
     def queries(self) -> Iterable[TopKQuery]:
-        return list(self._queries.values())
+        return list(self._queries.values()) + self._threshold_queries()
+
+    def _valid_records(self) -> Iterable[StreamRecord]:
+        return self._valid.values()
 
     def _apply_cycle(
         self,

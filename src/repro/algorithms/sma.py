@@ -26,9 +26,10 @@ SMA storing far fewer extras than TSL's kmax-sized views.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.algorithms.base import MonitorAlgorithm
+from repro.core.errors import QueryError
 from repro.algorithms.topk_computation import (
     compute_and_install,
     compute_and_install_burst,
@@ -92,6 +93,8 @@ class SkybandMonitoringAlgorithm(MonitorAlgorithm):
     # ------------------------------------------------------------------
 
     def register(self, query: TopKQuery) -> List[ResultEntry]:
+        if not isinstance(query, TopKQuery):
+            return self._register_threshold(query)
         state = _SmaQueryState(query)
         outcome = compute_and_install(self.grid, query, self.counters)
         state.rebuild_from(outcome.entries, self.counters)
@@ -106,11 +109,15 @@ class SkybandMonitoringAlgorithm(MonitorAlgorithm):
         """Install a registration burst, sharing grid sweeps per group
         (see :meth:`~repro.algorithms.tma.TopKMonitoringAlgorithm.register_many`);
         each member's skyband is seeded from its exact solo outcome."""
-        if self.groups is None or len(queries) < 2:
+        topk = [query for query in queries if isinstance(query, TopKQuery)]
+        if self.groups is None or len(topk) < 2:
             return super().register_many(queries)
         results: Dict[int, List[ResultEntry]] = {}
+        for query in queries:
+            if not isinstance(query, TopKQuery):
+                results[query.qid] = self._register_threshold(query)
         for query, outcome in compute_and_install_burst(
-            self.grid, self.groups, queries, self.counters
+            self.grid, self.groups, topk, self.counters
         ):
             state = _SmaQueryState(query)
             state.rebuild_from(outcome.entries, self.counters)
@@ -119,6 +126,9 @@ class SkybandMonitoringAlgorithm(MonitorAlgorithm):
         return results
 
     def unregister(self, qid: int) -> None:
+        if qid in self._threshold_states:
+            self._unregister_threshold(qid)
+            return
         state = self._states.pop(qid, None)
         if state is None:
             raise self._unknown_query(qid)
@@ -129,11 +139,48 @@ class SkybandMonitoringAlgorithm(MonitorAlgorithm):
     def current_result(self, qid: int) -> List[ResultEntry]:
         state = self._states.get(qid)
         if state is None:
+            if qid in self._threshold_states:
+                return self._threshold_result(qid)
             raise self._unknown_query(qid)
         return state.result_entries()
 
     def queries(self) -> Iterable[TopKQuery]:
-        return [state.query for state in self._states.values()]
+        return [
+            state.query for state in self._states.values()
+        ] + self._threshold_queries()
+
+    def update_query(
+        self,
+        qid: int,
+        k: Optional[int] = None,
+        function=None,
+    ) -> List[ResultEntry]:
+        """In-flight mutation: a pure k change rebuilds the skyband
+        from the current grid (one traversal — the same work a cycle's
+        skyband refill performs) without touching the query's
+        registration; a preference change takes the base
+        unregister/register path so the influence region moves
+        wholesale. Either way the result is identical to cancelling
+        and re-registering the modified query."""
+        state = self._states.get(qid)
+        if state is None or function is not None:
+            return super().update_query(qid, k=k, function=function)
+        query = state.query
+        if k is None or k == query.k:
+            return state.result_entries()
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        old_k = query.k
+        query.k = k
+        self.counters.recomputations += 1
+        try:
+            outcome = compute_and_install(self.grid, query, self.counters)
+        except BaseException:
+            query.k = old_k  # old skyband untouched: query still runs
+            raise
+        state.skyband = ScoreTimeSkyband(k)
+        state.rebuild_from(outcome.entries, self.counters)
+        return state.result_entries()
 
     # ------------------------------------------------------------------
     # Cycle maintenance (Figure 11)
@@ -228,9 +275,11 @@ class SkybandMonitoringAlgorithm(MonitorAlgorithm):
 
     def result_state_sizes(self) -> Dict[int, int]:
         """Skyband cardinality per query (Table 2's SMA column)."""
-        return {
+        sizes = {
             qid: len(state.skyband) for qid, state in self._states.items()
         }
+        sizes.update(self._threshold_state_sizes())
+        return sizes
 
     def influence_list_entries(self) -> int:
         """Total IL entries across cells (space accounting, Section 6)."""

@@ -27,7 +27,7 @@ O(log k) accounting.
 from __future__ import annotations
 
 from bisect import insort
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.algorithms.base import MonitorAlgorithm
 from repro.algorithms.topk_computation import (
@@ -129,6 +129,8 @@ class TopKMonitoringAlgorithm(MonitorAlgorithm):
     # ------------------------------------------------------------------
 
     def register(self, query: TopKQuery) -> List[ResultEntry]:
+        if not isinstance(query, TopKQuery):
+            return self._register_threshold(query)
         if query.dims != self.dims:
             raise self._unknown_dimensionality(query)
         state = _TmaQueryState(query)
@@ -150,14 +152,18 @@ class TopKMonitoringAlgorithm(MonitorAlgorithm):
         instead of one solo traversal each — results and influence
         lists are identical either way.
         """
-        if self.groups is None or len(queries) < 2:
+        topk = [query for query in queries if isinstance(query, TopKQuery)]
+        if self.groups is None or len(topk) < 2:
             return super().register_many(queries)
-        for query in queries:
+        for query in topk:
             if query.dims != self.dims:
                 raise self._unknown_dimensionality(query)
         results: Dict[int, List[ResultEntry]] = {}
+        for query in queries:
+            if not isinstance(query, TopKQuery):
+                results[query.qid] = self._register_threshold(query)
         for query, outcome in compute_and_install_burst(
-            self.grid, self.groups, queries, self.counters
+            self.grid, self.groups, topk, self.counters
         ):
             state = _TmaQueryState(query)
             state.set_result(outcome.entries)
@@ -166,6 +172,9 @@ class TopKMonitoringAlgorithm(MonitorAlgorithm):
         return results
 
     def unregister(self, qid: int) -> None:
+        if qid in self._threshold_states:
+            self._unregister_threshold(qid)
+            return
         state = self._states.pop(qid, None)
         if state is None:
             raise self._unknown_query(qid)
@@ -176,11 +185,46 @@ class TopKMonitoringAlgorithm(MonitorAlgorithm):
     def current_result(self, qid: int) -> List[ResultEntry]:
         state = self._states.get(qid)
         if state is None:
+            if qid in self._threshold_states:
+                return self._threshold_result(qid)
             raise self._unknown_query(qid)
         return state.result_entries()
 
     def queries(self) -> Iterable[TopKQuery]:
-        return [state.query for state in self._states.values()]
+        return [
+            state.query for state in self._states.values()
+        ] + self._threshold_queries()
+
+    def update_query(
+        self,
+        qid: int,
+        k: Optional[int] = None,
+        function=None,
+    ) -> List[ResultEntry]:
+        """In-flight mutation; a pure k *decrease* is O(k) in place.
+
+        TMA keeps the exact top-k, so shrinking k only trims the worst
+        entries off the top list — no grid traversal at all. The
+        influence lists keep their (now slightly too wide) entries and
+        are cleaned by the usual lazy discipline; results are identical
+        to a from-scratch re-registration. Any other mutation (k
+        increase, new preference function) recomputes from the grid
+        via the base path.
+        """
+        state = self._states.get(qid)
+        if state is None:
+            return super().update_query(qid, k=k, function=function)
+        query = state.query
+        if function is None and k is not None and 1 <= k <= query.k:
+            if k != query.k:
+                query.k = k
+                excess = len(state.top) - k
+                if excess > 0:
+                    for _, record in state.top[:excess]:
+                        state.member_ids.discard(record.rid)
+                    state.top = state.top[excess:]
+            return state.result_entries()
+        return super().update_query(qid, k=k, function=function)
 
     # ------------------------------------------------------------------
     # Cycle maintenance (Figure 9)
@@ -309,7 +353,9 @@ class TopKMonitoringAlgorithm(MonitorAlgorithm):
     # ------------------------------------------------------------------
 
     def result_state_sizes(self) -> Dict[int, int]:
-        return {qid: len(state.top) for qid, state in self._states.items()}
+        sizes = {qid: len(state.top) for qid, state in self._states.items()}
+        sizes.update(self._threshold_state_sizes())
+        return sizes
 
     def influence_list_entries(self) -> int:
         """Total IL entries across cells (space accounting, Section 6)."""

@@ -197,23 +197,68 @@ class ThresholdSortedListAlgorithm(MonitorAlgorithm):
     # ------------------------------------------------------------------
 
     def register(self, query: TopKQuery) -> List[ResultEntry]:
+        if not isinstance(query, TopKQuery):
+            return self._register_threshold(query)
         state = _TslQueryState(query, self._kmax_for(query.k))
         state.set_view(self._threshold_algorithm(query, state.kmax))
         self._states[query.qid] = state
         return state.top_entries()
 
     def unregister(self, qid: int) -> None:
+        if qid in self._threshold_states:
+            self._unregister_threshold(qid)
+            return
         if self._states.pop(qid, None) is None:
             raise self._unknown_query(qid)
 
     def current_result(self, qid: int) -> List[ResultEntry]:
         state = self._states.get(qid)
         if state is None:
+            if qid in self._threshold_states:
+                return self._threshold_result(qid)
             raise self._unknown_query(qid)
         return state.top_entries()
 
     def queries(self) -> Iterable[TopKQuery]:
-        return [state.query for state in self._states.values()]
+        return [
+            state.query for state in self._states.values()
+        ] + self._threshold_queries()
+
+    def update_query(
+        self,
+        qid: int,
+        k: Optional[int] = None,
+        function=None,
+    ) -> List[ResultEntry]:
+        """In-flight mutation: mutate the spec, re-derive kmax, and
+        refill the view with one TA pass over the *current* sorted
+        lists — exactly what registration would compute, without
+        touching the per-dimension lists."""
+        state = self._states.get(qid)
+        if state is None:
+            return super().update_query(qid, k=k, function=function)
+        query = state.query
+        if k is None and function is None:
+            return state.top_entries()
+        if k is not None and k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        old_k, old_function, old_kmax = query.k, query.function, state.kmax
+        if k is not None:
+            query.k = k
+        if function is not None:
+            query.function = function
+        state.kmax = max(query.k, self._kmax_for(query.k))
+        self.counters.view_refills += 1
+        try:
+            view = self._threshold_algorithm(query, state.kmax)
+        except BaseException:
+            # Old view untouched: restore the spec and keep running.
+            query.k, query.function = old_k, old_function
+            state.kmax = old_kmax
+            raise
+        state.set_view(view)
+        state.updates_since_refill = 0
+        return state.top_entries()
 
     # ------------------------------------------------------------------
     # The TA module
@@ -409,7 +454,18 @@ class ThresholdSortedListAlgorithm(MonitorAlgorithm):
 
     def result_state_sizes(self) -> Dict[int, int]:
         """View cardinality k' per query (Table 2's TSL column)."""
-        return {qid: len(state.view) for qid, state in self._states.items()}
+        sizes = {
+            qid: len(state.view) for qid, state in self._states.items()
+        }
+        sizes.update(self._threshold_state_sizes())
+        return sizes
+
+    def _valid_records(self) -> Iterable[StreamRecord]:
+        """Walk one sorted list (each holds every valid record once)."""
+        attribute_list = self._sorted_lists[0]
+        return (
+            attribute_list[index] for index in range(len(attribute_list))
+        )
 
     def sorted_list_entries(self) -> int:
         """Total entries across the d sorted lists (space accounting)."""

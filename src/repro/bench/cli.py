@@ -101,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--churn",
+        action="store_true",
+        help=(
+            "exercise the handle API mid-run: deterministic "
+            "handle.update(k=...) mutations plus pause/resume churn "
+            "between cycles (identical across algorithms); mutation "
+            "cost is reported separately from maintenance"
+        ),
+    )
+    run.add_argument(
         "--no-check",
         action="store_true",
         help="skip the cross-algorithm result-equality verification",
@@ -154,8 +164,11 @@ def command_run(args: argparse.Namespace) -> int:
         cells_per_axis=args.cells_per_axis,
         query_similarity=args.similarity,
         shards=args.shards,
+        churn=args.churn,
     )
     sharding = f" shards={spec.shards}" if spec.shards > 1 else ""
+    if spec.churn:
+        sharding += " churn"
     print(
         f"workload: N={spec.n} r={spec.rate} Q={spec.num_queries} "
         f"k={spec.k} d={spec.dims} {spec.distribution.upper()} "
@@ -178,6 +191,16 @@ def command_run(args: argparse.Namespace) -> int:
                 f"{run.mean_state_size:.1f}",
                 f"{run.space.total_mb:.2f}",
             ]
+            + (
+                [
+                    f"{run.mutation_seconds:.4f}",
+                    run.churn_updates
+                    + run.churn_pauses
+                    + run.churn_resumes,
+                ]
+                if spec.churn
+                else []
+            )
         )
     print(
         format_table(
@@ -190,7 +213,8 @@ def command_run(args: argparse.Namespace) -> int:
                 "Pr_rec",
                 "state/query",
                 "space [MB]",
-            ],
+            ]
+            + (["mutate [s]", "churn ops"] if spec.churn else []),
             rows,
         )
     )
@@ -200,7 +224,9 @@ def command_run(args: argparse.Namespace) -> int:
         from repro.core.batch import BACKEND
 
         payload = {
-            "schema": "repro-bench-run/1",
+            # /2 adds workload.churn + per-run mutation_seconds and
+            # churn_ops (the handle-API mutation account).
+            "schema": "repro-bench-run/2",
             "batch_backend": BACKEND,
             "workload": workload_to_dict(spec),
             "algorithms": {

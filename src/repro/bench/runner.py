@@ -44,6 +44,14 @@ class RunResult:
     #: initial top-k computations — setup_seconds additionally covers
     #: the warm-up window fill)
     register_seconds: float = 0.0
+    #: total seconds spent in in-flight mutations (handle.update /
+    #: pause / resume) under ``spec.churn`` — kept out of
+    #: cycle_seconds so mutation cost never pollutes maintenance cost
+    mutation_seconds: float = 0.0
+    #: churn operations performed (updates, pauses, resumes)
+    churn_updates: int = 0
+    churn_pauses: int = 0
+    churn_resumes: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -87,6 +95,63 @@ class RunResult:
         cycles = max(1, len(self.cycle_seconds))
         queries = max(1, self.spec.num_queries)
         return self.counters.recomputations / (cycles * queries)
+
+
+class _ChurnDriver:
+    """Deterministic mid-run handle churn for ``spec.churn`` runs.
+
+    The schedule is a pure function of the cycle index and Q, so every
+    algorithm under comparison performs byte-identical mutations and
+    the cross-algorithm result check still holds:
+
+    - every third cycle, one query (round-robin) toggles its k between
+      ``spec.k`` and ``max(1, spec.k // 2)`` via ``handle.update``;
+    - every fourth cycle, one query pauses for two cycles, then
+      resumes (exact re-sync against the then-current window).
+
+    All paused queries are resumed at the end so final results are
+    fresh for the equality check.
+    """
+
+    def __init__(self, spec: WorkloadSpec, handles) -> None:
+        self.spec = spec
+        self.handles = list(handles)
+        self.updates = 0
+        self.pauses = 0
+        self.resumes = 0
+        self._resume_at: List = []  # (cycle, handle) pairs
+
+    def step(self, cycle: int) -> None:
+        due = [item for item in self._resume_at if item[0] <= cycle]
+        self._resume_at = [
+            item for item in self._resume_at if item[0] > cycle
+        ]
+        for _, handle in due:
+            handle.resume()
+            self.resumes += 1
+        count = len(self.handles)
+        if count == 0:
+            return
+        if cycle % 3 == 1:
+            handle = self.handles[cycle % count]
+            if not handle.paused:
+                low = max(1, self.spec.k // 2)
+                handle.update(
+                    k=low if handle.query.k == self.spec.k else self.spec.k
+                )
+                self.updates += 1
+        if cycle % 4 == 2:
+            handle = self.handles[(cycle + 1) % count]
+            if not handle.paused:
+                handle.pause()
+                self.pauses += 1
+                self._resume_at.append((cycle + 2, handle))
+
+    def finish(self) -> None:
+        for _, handle in self._resume_at:
+            handle.resume()
+            self.resumes += 1
+        self._resume_at = []
 
 
 def run_workload(
@@ -137,12 +202,15 @@ def run_workload(
         # pause would land on whichever cycle trips the threshold,
         # distorting single-run comparisons at millisecond scale. Collect
         # once up front so the pause happens outside the timed region.
+        churn = _ChurnDriver(spec, qids) if spec.churn else None
         gc_was_enabled = gc.isenabled()
         gc.collect()
         gc.disable()
         try:
             for cycle_index in range(spec.cycles):
                 monitor.process(driver.next_batch())
+                if churn is not None:
+                    churn.step(cycle_index)
                 if cycle_index % probe_every == 0:
                     sizes = monitor.algorithm.result_state_sizes()
                     if sizes:
@@ -150,6 +218,8 @@ def run_workload(
         finally:
             if gc_was_enabled:
                 gc.enable()
+        if churn is not None:
+            churn.finish()
 
         final_results = {
             qid: [entry.rid for entry in monitor.result(qid)]
@@ -167,6 +237,10 @@ def run_workload(
             ),
             final_results=final_results,
             register_seconds=monitor.total_setup_seconds,
+            mutation_seconds=monitor.total_mutation_seconds,
+            churn_updates=churn.updates if churn else 0,
+            churn_pauses=churn.pauses if churn else 0,
+            churn_resumes=churn.resumes if churn else 0,
         )
     finally:
         monitor.close()

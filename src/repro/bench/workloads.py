@@ -70,6 +70,12 @@ class WorkloadSpec:
     #: queries across N worker processes (bitwise-identical results;
     #: see :mod:`repro.parallel`).
     shards: int = 1
+    #: True = exercise the handle API mid-run: a deterministic
+    #: schedule of ``handle.update(k=…)`` mutations and
+    #: ``pause()``/``resume()`` churn runs between measured cycles
+    #: (identical across algorithms, so results stay comparable);
+    #: the mutation cost is recorded separately from maintenance.
+    churn: bool = False
 
     def grid_cells_per_axis(self) -> int:
         if self.cells_per_axis is not None:

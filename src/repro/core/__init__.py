@@ -1,6 +1,12 @@
 """Core model: records, scoring, windows, queries, results, engine."""
 
 from repro.core.engine import StreamMonitor
+from repro.core.handles import QueryHandle
+from repro.core.subscriptions import (
+    ChangeStream,
+    Subscription,
+    SubscriptionHub,
+)
 from repro.core.errors import (
     DimensionalityError,
     NonMonotoneFunctionError,
@@ -31,6 +37,7 @@ from repro.core.window import CountBasedWindow, SlidingWindow, TimeBasedWindow
 
 __all__ = [
     "CallableFunction",
+    "ChangeStream",
     "ConstrainedTopKQuery",
     "CountBasedWindow",
     "CycleReport",
@@ -42,6 +49,7 @@ __all__ = [
     "ProductFunction",
     "QuadraticFunction",
     "QueryError",
+    "QueryHandle",
     "QueryTable",
     "Rectangle",
     "RecordFactory",
@@ -49,6 +57,8 @@ __all__ = [
     "ResultChange",
     "ResultEntry",
     "RunStats",
+    "Subscription",
+    "SubscriptionHub",
     "SlidingWindow",
     "StreamError",
     "StreamMonitor",

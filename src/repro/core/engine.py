@@ -1,18 +1,40 @@
-"""The monitoring engine: windows + algorithm + change reports.
+"""The unified monitoring facade: windows + algorithm + push delivery.
 
-:class:`StreamMonitor` wires together a sliding window, a monitoring
-algorithm, and the query table, and exposes the processing-cycle model
-of the paper: each call to :meth:`StreamMonitor.process` is one cycle —
-a batch of arrivals enters the window, the records that fall out of the
-window expire, the algorithm maintains every registered query, and the
-per-query result changes are reported back.
+:class:`StreamMonitor` wires together a sliding window (or an
+explicit-deletion live set), a monitoring algorithm, and the query
+table, and exposes the processing-cycle model of the paper: each call
+to :meth:`StreamMonitor.process` is one cycle — a batch of arrivals
+enters the window, the records that fall out of the window expire, the
+algorithm maintains every registered query, and the per-query result
+changes are reported back *and* pushed to subscribers.
+
+One facade serves every query kind and execution mode:
+
+- **top-k / constrained / threshold queries** all register through
+  :meth:`add_query` (the Section-7 extension monitors are thin shims
+  over this facade now);
+- ``stream_model="update"`` switches the engine to Section 7's
+  explicit-deletion stream model (no sliding window; SMA is refused
+  because the expiry order is unknown in advance);
+- ``shards=N`` partitions queries across worker processes with
+  bitwise-identical results.
+
+:meth:`add_query` returns a :class:`~repro.core.handles.QueryHandle`
+that owns the query's lifecycle — ``result()``, ``cancel()``,
+``pause()``/``resume()``, in-flight ``update(k=…, weights=…)``, and
+push delivery via ``subscribe(callback)`` / ``changes()``. Handles are
+int-like (they hash and compare as their qid), so the original
+qid-based calls (``monitor.result(qid)``, ``report.changes[qid]``)
+keep working unchanged; see ``docs/API.md``.
 
 Timing discipline: the engine times the algorithm's maintenance work
 (the paper's measured quantity) per cycle in
-:attr:`StreamMonitor.cycle_seconds`, and — separately — the initial
-top-k computation each query registration performs in
-:attr:`StreamMonitor.setup_seconds`, so registration cost can never
-masquerade as (or hide from) maintenance cost in a comparison.
+:attr:`StreamMonitor.cycle_seconds`; the initial top-k computation
+each registration performs in :attr:`StreamMonitor.setup_seconds`; and
+in-flight mutations (update / pause / resume) in
+:attr:`StreamMonitor.mutation_seconds` — three separate accounts, so
+none can masquerade as (or hide from) another in a comparison.
+Subscriber callbacks run *after* the maintenance clock stops.
 
 Dead-on-arrival records: under a time-based window, an arrival already
 older than ``now - duration`` would be inserted and evicted within the
@@ -25,16 +47,40 @@ ever sees them and reports the count in
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
-from repro.core.errors import StreamError
-from repro.core.queries import QueryTable, TopKQuery
-from repro.core.results import CycleReport, ResultChange, ResultEntry
+from repro.core.errors import QueryError, StreamError
+from repro.core.handles import ACTIVE, CANCELLED, CLOSED, PAUSED, QueryHandle
+from repro.core.queries import QueryTable, ThresholdQuery, TopKQuery
+from repro.core.results import (
+    CycleReport,
+    ResultChange,
+    ResultEntry,
+    diff_results,
+)
+from repro.core.scoring import LinearFunction
+from repro.core.subscriptions import (
+    ChangeStream,
+    Subscription,
+    SubscriptionHub,
+)
 from repro.core.tuples import RecordFactory, StreamRecord
 from repro.core.window import SlidingWindow
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.algorithms import MonitorAlgorithm
+
+#: recognised stream models (see class docstring).
+STREAM_MODELS = ("window", "update")
 
 
 class StreamMonitor:
@@ -43,7 +89,10 @@ class StreamMonitor:
     Args:
         dims: data dimensionality.
         window: a :class:`~repro.core.window.SlidingWindow` instance
-            (count-based or time-based).
+            (count-based or time-based). Required under the default
+            ``stream_model="window"``; must be None under
+            ``stream_model="update"`` (explicit deletions define the
+            valid set there).
         algorithm: algorithm name (``"tma"``, ``"sma"``, ``"tsl"``,
             ``"brute"``, or the similarity-grouped variants
             ``"tma-grouped"`` / ``"sma-grouped"``) or a pre-built
@@ -56,6 +105,11 @@ class StreamMonitor:
             — results are bitwise identical, maintenance parallelises.
             Requires an algorithm *name* (workers build their own
             instances).
+        stream_model: ``"window"`` (the paper's sliding window — FIFO
+            expiry) or ``"update"`` (Section 7's explicit-deletion
+            streams: :meth:`process` takes a ``deletions`` batch, no
+            window exists, and SMA is refused because the skyband
+            needs the expiry order in advance).
         **algorithm_options: forwarded to the algorithm factory —
             e.g. ``grouped=True`` makes TMA/SMA batch each cycle's
             from-scratch recomputations by preference-vector
@@ -66,27 +120,46 @@ class StreamMonitor:
         >>> from repro import LinearFunction, TopKQuery, CountBasedWindow
         >>> monitor = StreamMonitor(2, CountBasedWindow(4), algorithm="sma",
         ...                         cells_per_axis=4)
-        >>> qid = monitor.add_query(TopKQuery(LinearFunction([1.0, 2.0]), k=1))
+        >>> handle = monitor.add_query(TopKQuery(LinearFunction([1.0, 2.0]), k=1))
         >>> records = monitor.make_records([[0.3, 0.4], [0.9, 0.8]])
         >>> report = monitor.process(records)
-        >>> [entry.rid for entry in monitor.result(qid)]
+        >>> [entry.rid for entry in handle.result()]
         [1]
     """
 
     def __init__(
         self,
         dims: int,
-        window: SlidingWindow,
+        window: Optional[SlidingWindow] = None,
         algorithm: Union[str, "MonitorAlgorithm"] = "sma",
         cells_per_axis: Optional[int] = None,
         shards: Optional[int] = None,
+        stream_model: str = "window",
         **algorithm_options,
     ) -> None:
         # Imported here to keep repro.core importable on its own
         # (repro.algorithms.base imports repro.core in turn).
         from repro.algorithms import MonitorAlgorithm, make_algorithm
 
+        if stream_model not in STREAM_MODELS:
+            raise ValueError(
+                f"stream_model must be one of {STREAM_MODELS}, "
+                f"got {stream_model!r}"
+            )
         self.dims = dims
+        self.stream_model = stream_model
+        if stream_model == "window":
+            if window is None:
+                raise StreamError(
+                    "the sliding-window stream model requires a window; "
+                    "pass stream_model='update' for explicit-deletion "
+                    "streams"
+                )
+        elif window is not None:
+            raise StreamError(
+                "the update stream model has no sliding window — data "
+                "leaves via explicit deletions, not expiry"
+            )
         self.window = window
         self.shards = 1 if shards is None else int(shards)
         if self.shards < 1:
@@ -113,6 +186,8 @@ class StreamMonitor:
             self.algorithm = make_algorithm(
                 algorithm, dims, cells_per_axis, **algorithm_options
             )
+        if stream_model == "update":
+            self._refuse_unordered_expiry()
         self.query_table = QueryTable()
         self.cycle_seconds: List[float] = []
         #: per-registration wall-clock of the initial top-k computation
@@ -120,23 +195,96 @@ class StreamMonitor:
         #: from cycle_seconds so benchmarks can report setup and
         #: maintenance without either skewing the other.
         self.setup_seconds: List[float] = []
+        #: wall-clock of in-flight query mutations (update / pause /
+        #: resume), one entry per operation — the third timing account
+        #: (bench ``--churn`` reports it separately).
+        self.mutation_seconds: List[float] = []
         self._factory = RecordFactory()
         self._clock = 0.0
+        self._handles: Dict[int, QueryHandle] = {}
+        self._paused: Dict[int, List[ResultEntry]] = {}
+        self._hub = SubscriptionHub()
+        self._live: Dict[int, StreamRecord] = {}
+        self._closed = False
+
+    def _refuse_unordered_expiry(self) -> None:
+        """Reject SMA under the update model (paper Section 7: the
+        skyband needs the expiry order known in advance)."""
+        from repro.algorithms.sma import SkybandMonitoringAlgorithm
+
+        base = getattr(self.algorithm, "base_algorithm", "")
+        if isinstance(
+            self.algorithm, SkybandMonitoringAlgorithm
+        ) or base.startswith("sma"):
+            raise StreamError(
+                "SMA cannot monitor update streams: the skyband reduction "
+                "requires the expiry order to be known in advance "
+                "(paper Section 7); use TMA instead"
+            )
+
+    # ------------------------------------------------------------------
+    # Internal guards
+    # ------------------------------------------------------------------
+
+    def _describe(self) -> str:
+        name = getattr(self.algorithm, "name", type(self.algorithm).__name__)
+        state = "closed" if self._closed else "open"
+        return (
+            f"{state} {self.stream_model}-model monitor, "
+            f"algorithm={name}, {len(self.query_table)} live queries, "
+            f"{len(self._paused)} paused"
+        )
+
+    def _require(self, qid) -> object:
+        """The registered query behind ``qid`` (handle or int), or a
+        descriptive :class:`~repro.core.errors.QueryError`."""
+        qid = int(qid)
+        if self._closed:
+            raise QueryError(
+                f"query {qid} is unavailable: the monitor is closed "
+                f"({self._describe()})"
+            )
+        try:
+            return self.query_table.get(qid)
+        except QueryError:
+            raise QueryError(
+                f"unknown or terminated query id {qid} "
+                f"({self._describe()})"
+            ) from None
+
+    def _ensure_open(self, operation: str) -> None:
+        if self._closed:
+            raise StreamError(
+                f"{operation} on a closed monitor ({self._describe()})"
+            )
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
-    def add_query(self, query: TopKQuery) -> int:
-        """Register a query; its initial result is computed immediately."""
+    def add_query(self, query) -> QueryHandle:
+        """Register a query; its initial result is computed immediately.
+
+        Accepts every query kind — :class:`~repro.core.queries.TopKQuery`,
+        :class:`~repro.core.queries.ConstrainedTopKQuery`, and
+        :class:`~repro.core.queries.ThresholdQuery` — and returns an
+        int-like :class:`~repro.core.handles.QueryHandle` owning the
+        query's lifecycle. Monitor-wide subscribers receive the initial
+        result as a ``cause="register"`` delta.
+        """
+        self._ensure_open("add_query")
         qid = self.query_table.register(query)
         started = time.perf_counter()
-        self.algorithm.register(query)
+        try:
+            entries = self.algorithm.register(query)
+        except BaseException:
+            self.query_table.unregister(qid)
+            raise
         self.setup_seconds.append(time.perf_counter() - started)
-        return qid
+        return self._adopt(query, entries)
 
-    def add_queries(self, queries: Sequence[TopKQuery]) -> List[int]:
-        """Register a burst of queries in one batch; return their qids.
+    def add_queries(self, queries: Sequence) -> List[QueryHandle]:
+        """Register a burst of queries in one batch; return handles.
 
         The whole burst is handed to the algorithm at once
         (:meth:`~repro.algorithms.base.MonitorAlgorithm.register_many`),
@@ -145,20 +293,254 @@ class StreamMonitor:
         issues one round trip per shard instead of one per query.
         Results are identical to registering one by one.
         """
+        self._ensure_open("add_queries")
         qids = [self.query_table.register(query) for query in queries]
         started = time.perf_counter()
-        self.algorithm.register_many(list(queries))
+        try:
+            results = self.algorithm.register_many(list(queries))
+        except BaseException:
+            for qid in qids:
+                self.query_table.unregister(qid)
+            raise
         self.setup_seconds.append(time.perf_counter() - started)
-        return qids
+        return [
+            self._adopt(query, results[query.qid]) for query in queries
+        ]
 
-    def remove_query(self, qid: int) -> None:
-        """Terminate a query and scrub its book-keeping."""
+    def _adopt(self, query, entries: List[ResultEntry]) -> QueryHandle:
+        handle = QueryHandle(self, query)
+        self._handles[handle.qid] = handle
+        if entries and not self._hub.empty:
+            self._hub.dispatch(
+                {
+                    handle.qid: diff_results(
+                        handle.qid, [], entries, cause="register"
+                    )
+                }
+            )
+        return handle
+
+    def remove_query(self, qid) -> None:
+        """Terminate a query and scrub its book-keeping everywhere.
+
+        Subscribers receive a final ``cause="cancel"`` delta clearing
+        the result, then the query's subscriptions are cancelled. The
+        handle transitions to ``cancelled``; any further operation on
+        it raises :class:`~repro.core.errors.QueryError`.
+        """
+        self._require(qid)
+        qid = int(qid)
+        announce = not self._hub.empty
+        frozen = self._paused.pop(qid, None)
+        if frozen is None:
+            last = self.algorithm.current_result(qid) if announce else []
+            self.algorithm.unregister(qid)
+        else:
+            # Paused queries are already unregistered from the
+            # algorithm; their frozen snapshot is the last delivered
+            # result.
+            last = frozen
         self.query_table.unregister(qid)
-        self.algorithm.unregister(qid)
+        # Drop the handle entry so register/cancel churn cannot grow
+        # the monitor without bound — the caller's handle object keeps
+        # reporting its (now cancelled) state.
+        handle = self._handles.pop(qid, None)
+        if handle is not None:
+            handle._state = CANCELLED
+        if announce and last:
+            self._hub.dispatch(
+                {
+                    qid: ResultChange(
+                        qid=qid,
+                        removed=list(last),
+                        top=[],
+                        cause="cancel",
+                    )
+                }
+            )
+        self._hub.drop_query(qid)
 
-    def result(self, qid: int) -> List[ResultEntry]:
-        """Current top-k of a query, best-first."""
+    def result(self, qid) -> List[ResultEntry]:
+        """Current top-k of a query, best-first (the frozen snapshot
+        while the query is paused)."""
+        self._require(qid)
+        qid = int(qid)
+        frozen = self._paused.get(qid)
+        if frozen is not None:
+            return list(frozen)
         return self.algorithm.current_result(qid)
+
+    # ------------------------------------------------------------------
+    # Handles
+    # ------------------------------------------------------------------
+
+    def handle(self, qid) -> QueryHandle:
+        """The :class:`~repro.core.handles.QueryHandle` of a live
+        (active or paused) qid; cancelled queries' entries are
+        released, so only the caller's own reference outlives
+        termination."""
+        found = self._handles.get(int(qid))
+        if found is None:
+            raise QueryError(
+                f"no handle for query id {int(qid)} ({self._describe()})"
+            )
+        return found
+
+    def handles(self) -> List[QueryHandle]:
+        """Handles of every live (active or paused) query."""
+        return [
+            handle
+            for handle in self._handles.values()
+            if handle.state in (ACTIVE, PAUSED)
+        ]
+
+    # ------------------------------------------------------------------
+    # In-flight mutation
+    # ------------------------------------------------------------------
+
+    def pause_query(self, qid) -> None:
+        """Freeze a query: its maintenance is skipped entirely until
+        :meth:`resume_query`. The result visible through the pull API
+        stays the snapshot taken here; no deltas are delivered while
+        paused."""
+        self._require(qid)
+        qid = int(qid)
+        if qid in self._paused:
+            raise QueryError(
+                f"query {qid} is already paused ({self._describe()})"
+            )
+        started = time.perf_counter()
+        self._paused[qid] = self.algorithm.current_result(qid)
+        self.algorithm.unregister(qid)
+        self.mutation_seconds.append(time.perf_counter() - started)
+        handle = self._handles.get(qid)
+        if handle is not None:
+            handle._state = PAUSED
+
+    def resume_query(self, qid) -> List[ResultEntry]:
+        """Re-activate a paused query with an exact re-sync.
+
+        The result is recomputed from the *current* window state (one
+        registration-grade computation — never a stream replay), and
+        subscribers receive a single ``cause="resume"`` delta bridging
+        the frozen snapshot to the fresh result.
+        """
+        query = self._require(qid)
+        qid = int(qid)
+        frozen = self._paused.get(qid)
+        if frozen is None:
+            raise QueryError(
+                f"query {qid} is not paused ({self._describe()})"
+            )
+        started = time.perf_counter()
+        entries = self.algorithm.register(query)
+        self.mutation_seconds.append(time.perf_counter() - started)
+        del self._paused[qid]
+        handle = self._handles.get(qid)
+        if handle is not None:
+            handle._state = ACTIVE
+        if not self._hub.empty:
+            change = diff_results(qid, frozen, entries, cause="resume")
+            if change.changed:
+                self._hub.dispatch({qid: change})
+        return entries
+
+    def update_query(
+        self,
+        qid,
+        k: Optional[int] = None,
+        weights: Optional[Sequence[float]] = None,
+        function=None,
+    ) -> List[ResultEntry]:
+        """Mutate a running query in flight; return the new result.
+
+        ``k`` and/or the preference function change without tearing
+        the registration down: the algorithm reuses its window/grid
+        state (TMA trims its top list in place on a k decrease; the
+        others recompute from current structures — never a stream
+        replay), and the outcome is identical to cancelling and
+        re-registering the modified query under the same qid.
+        ``weights`` is sugar for ``function=LinearFunction(weights)``.
+        Subscribers receive one ``cause="update"`` delta. While
+        paused, only the spec changes — the re-sync happens at resume.
+        """
+        query = self._require(qid)
+        qid = int(qid)
+        if isinstance(query, ThresholdQuery):
+            raise QueryError(
+                f"threshold query {qid} cannot be updated in flight; "
+                "cancel and re-register it instead"
+            )
+        if weights is not None:
+            if function is not None:
+                raise QueryError(
+                    "pass either weights= or function=, not both"
+                )
+            function = LinearFunction(list(weights))
+        if function is not None and function.dims != self.dims:
+            raise QueryError(
+                f"updated function has {function.dims} dims, "
+                f"monitor has {self.dims}"
+            )
+        if k is not None and k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        if k is None and function is None:
+            return self.result(qid)
+        if qid in self._paused:
+            if k is not None:
+                query.k = k
+            if function is not None:
+                query.function = function
+            return list(self._paused[qid])
+        announce = not self._hub.empty
+        before = self.algorithm.current_result(qid) if announce else []
+        started = time.perf_counter()
+        entries = self.algorithm.update_query(qid, k=k, function=function)
+        self.mutation_seconds.append(time.perf_counter() - started)
+        if announce:
+            change = diff_results(qid, before, entries, cause="update")
+            if change.changed:
+                self._hub.dispatch({qid: change})
+        return entries
+
+    # ------------------------------------------------------------------
+    # Push subscriptions
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self, qid, callback: Callable[[ResultChange], None]
+    ) -> Subscription:
+        """Deliver every future delta of ``qid`` to ``callback``
+        (cycle maintenance, update, resume, and the final cancel).
+        Callbacks run synchronously after each cycle's maintenance has
+        been timed."""
+        self._require(qid)
+        return self._hub.subscribe(int(qid), callback)
+
+    def subscribe_all(
+        self, callback: Callable[[ResultChange], None]
+    ) -> Subscription:
+        """Fan-in: deliver every delta of *every* query (current and
+        future, including ``cause="register"`` initial results) to one
+        callback."""
+        if self._closed:
+            raise StreamError(
+                f"subscribe_all on a closed monitor ({self._describe()})"
+            )
+        return self._hub.subscribe_all(callback)
+
+    def changes(self, qid=None) -> ChangeStream:
+        """A buffered :class:`~repro.core.subscriptions.ChangeStream`
+        of future deltas — of one query, or of the whole monitor when
+        ``qid`` is None."""
+        if qid is None:
+            if self._closed:
+                raise StreamError(
+                    f"changes() on a closed monitor ({self._describe()})"
+                )
+            return self._hub.stream(None)
+        self._require(qid)
+        return self._hub.stream(int(qid))
 
     # ------------------------------------------------------------------
     # Stream processing
@@ -175,16 +557,29 @@ class StreamMonitor:
         self,
         arrivals: Sequence[StreamRecord],
         now: Optional[float] = None,
+        deletions: Optional[Sequence[StreamRecord]] = None,
     ) -> CycleReport:
         """Run one processing cycle and return the change report.
 
         ``now`` defaults to the latest arrival time (or the previous
         clock when the batch is empty); it drives time-based eviction
-        and must never move backwards. Arrivals already expired at
-        ``now`` (possible under a time-based window when a batch spans
-        more than the window duration) are dropped without touching
-        the algorithm and counted in the report's ``dead_on_arrival``.
+        and must never move backwards.
+
+        Under the default window model, ``deletions`` must be None:
+        records leave by expiry. Arrivals already expired at ``now``
+        (possible under a time-based window when a batch spans more
+        than the window duration) are dropped without touching the
+        algorithm and counted in the report's ``dead_on_arrival``.
+
+        Under ``stream_model="update"``, ``deletions`` carries the
+        batch of explicit deletions; the whole batch is validated
+        before anything mutates.
+
+        After maintenance, the report's changes are pushed to every
+        matching subscriber (merged across shards first in a sharded
+        run).
         """
+        self._ensure_open("process")
         if now is None:
             now = max(
                 [self._clock] + [record.time for record in arrivals]
@@ -195,18 +590,31 @@ class StreamMonitor:
             )
         self._clock = now
 
-        live: List[StreamRecord] = []
-        dead = 0
-        for record in arrivals:
-            if self.window.admits(record, now):
-                self.window.insert(record)
-                live.append(record)
-            else:
-                # Dropped, but it still arrived: keep the stream-order
-                # validation (and clock) a normal insert would apply.
-                self.window.observe(record)
-                dead += 1
-        expirations = self.window.evict(now)
+        if self.stream_model == "update":
+            live, expirations = self._apply_update_batch(
+                arrivals, deletions
+            )
+            dead = 0
+        else:
+            if deletions is not None:
+                raise StreamError(
+                    "explicit deletions require "
+                    "StreamMonitor(..., stream_model='update'); the "
+                    "window model expires records by age"
+                )
+            live = []
+            dead = 0
+            for record in arrivals:
+                if self.window.admits(record, now):
+                    self.window.insert(record)
+                    live.append(record)
+                else:
+                    # Dropped, but it still arrived: keep the
+                    # stream-order validation (and clock) a normal
+                    # insert would apply.
+                    self.window.observe(record)
+                    dead += 1
+            expirations = self.window.evict(now)
 
         started = time.perf_counter()
         changes: Dict[int, ResultChange] = self.algorithm.process_cycle(
@@ -215,7 +623,7 @@ class StreamMonitor:
         elapsed = time.perf_counter() - started
         self.cycle_seconds.append(elapsed)
 
-        return CycleReport(
+        report = CycleReport(
             timestamp=now,
             arrivals=len(live),
             expirations=len(expirations),
@@ -223,6 +631,37 @@ class StreamMonitor:
             cpu_seconds=elapsed,
             dead_on_arrival=dead,
         )
+        if not self._hub.empty:
+            self._hub.dispatch(report.changes)
+        return report
+
+    def _apply_update_batch(
+        self,
+        insertions: Sequence[StreamRecord],
+        deletions: Optional[Sequence[StreamRecord]],
+    ):
+        """Validate and apply one explicit-deletion batch to the live
+        set (whole batch validated *before* anything mutates)."""
+        deletions = [] if deletions is None else list(deletions)
+        inserted: Set[int] = set()
+        for record in insertions:
+            if record.rid in self._live or record.rid in inserted:
+                raise StreamError(f"record {record.rid} inserted twice")
+            inserted.add(record.rid)
+        deleted: Set[int] = set()
+        for record in deletions:
+            known = record.rid in self._live or record.rid in inserted
+            if not known or record.rid in deleted:
+                raise StreamError(
+                    f"deletion of unknown/already-deleted record "
+                    f"{record.rid}"
+                )
+            deleted.add(record.rid)
+        for record in insertions:
+            self._live[record.rid] = record
+        for record in deletions:
+            self._live.pop(record.rid, None)
+        return list(insertions), deletions
 
     def advance(self, now: float) -> CycleReport:
         """Process a cycle with no arrivals (time-based expiry only)."""
@@ -233,12 +672,25 @@ class StreamMonitor:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release algorithm resources (worker processes of a sharded
-        run). In-process algorithms hold none; calling this is then a
-        no-op, so generic drivers can always close their monitors."""
+        """Shut the monitor down: cancel every subscription, mark all
+        live handles ``closed``, and release algorithm resources
+        (worker processes of a sharded run). Idempotent — a second
+        ``close()`` is a no-op; further queries/cycles raise."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles.values():
+            if handle._state != CANCELLED:
+                handle._state = CLOSED
+        self._hub.close()
         shutdown = getattr(self.algorithm, "close", None)
         if shutdown is not None:
             shutdown()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran."""
+        return self._closed
 
     def __enter__(self) -> "StreamMonitor":
         """Context-manager entry: returns the monitor itself."""
@@ -254,8 +706,16 @@ class StreamMonitor:
 
     @property
     def valid_count(self) -> int:
-        """Number of records currently valid in the window."""
+        """Number of records currently valid (window contents, or the
+        live set under the update model)."""
+        if self.stream_model == "update":
+            return len(self._live)
         return len(self.window)
+
+    @property
+    def live_count(self) -> int:
+        """Alias of :attr:`valid_count` (update-model terminology)."""
+        return self.valid_count
 
     @property
     def total_cpu_seconds(self) -> float:
@@ -268,6 +728,12 @@ class StreamMonitor:
         registration — the cost ``total_cpu_seconds`` deliberately
         excludes."""
         return sum(self.setup_seconds)
+
+    @property
+    def total_mutation_seconds(self) -> float:
+        """Total seconds spent in in-flight mutations (update / pause
+        / resume) — excluded from both other accounts."""
+        return sum(self.mutation_seconds)
 
     @property
     def counters(self):

@@ -36,12 +36,24 @@ def entries_best_first(entries: Sequence[ResultEntry]) -> List[ResultEntry]:
 
 @dataclass(slots=True)
 class ResultChange:
-    """Delta of one query's result over one processing cycle."""
+    """Delta of one query's result over one processing cycle.
+
+    ``cause`` tells push consumers *why* the result moved: ``"cycle"``
+    for ordinary stream maintenance (the paper's per-cycle report),
+    ``"register"`` for the initial result delivered at registration,
+    ``"update"`` after an in-flight :meth:`~repro.core.handles.QueryHandle.update`,
+    ``"resume"`` for the re-sync delta after a pause, and ``"cancel"``
+    for the final clear-out when a query terminates. Replaying the
+    ``added``/``removed`` sequence of *every* cause reconstructs the
+    pull API's result exactly (see ``tests/integration/
+    test_subscription_parity.py``).
+    """
 
     qid: int
     added: List[ResultEntry] = field(default_factory=list)
     removed: List[ResultEntry] = field(default_factory=list)
     top: List[ResultEntry] = field(default_factory=list)
+    cause: str = "cycle"
 
     @property
     def changed(self) -> bool:
@@ -55,6 +67,7 @@ def diff_results(
     qid: int,
     old: Sequence[ResultEntry],
     new: Sequence[ResultEntry],
+    cause: str = "cycle",
 ) -> ResultChange:
     """Compute the change report between two result snapshots."""
     old_ids = {entry.rid for entry in old}
@@ -66,6 +79,7 @@ def diff_results(
         added=entries_best_first(added),
         removed=entries_best_first(removed),
         top=list(new),
+        cause=cause,
     )
 
 

@@ -1,0 +1,254 @@
+"""Push delivery of result changes: subscriptions and change streams.
+
+The paper's engine is pull-based — clients poke ``report.changes``
+after every cycle. Production monitors (top-k publish/subscribe over
+sliding windows) invert that: a standing query *notifies* its
+subscribers whenever its result moves. This module is the delivery
+layer behind :meth:`~repro.core.handles.QueryHandle.subscribe`,
+:meth:`~repro.core.handles.QueryHandle.changes` and
+:meth:`~repro.core.engine.StreamMonitor.subscribe_all`:
+
+- a :class:`Subscription` is one registered callback (per query or
+  monitor-wide) with a :meth:`~Subscription.cancel` switch;
+- a :class:`ChangeStream` is a buffered pull-side view of a push
+  subscription: deltas accumulate between cycles and are drained by
+  iterating the stream;
+- the :class:`SubscriptionHub` owns both and fans each
+  :class:`~repro.core.results.ResultChange` out after the engine
+  builds its cycle report (or emits a synthetic delta for
+  registration / update / resume / cancel).
+
+Delivery is synchronous and in-dispatch-order: callbacks run on the
+caller's thread *after* the cycle's maintenance has been timed, so
+subscriber work never pollutes ``cycle_seconds``. Callbacks must not
+mutate the delivered change objects (they are shared with the cycle
+report) and should not re-enter the monitor mid-dispatch.
+
+Exactness contract: for any subscriber, replaying the delivered
+``added``/``removed`` deltas on top of the query's result at subscribe
+time reconstructs the pull API's result after every cycle — including
+across :meth:`~repro.core.handles.QueryHandle.update` and pause/resume
+churn, and identically for in-process and sharded monitors (sharded
+deltas are dispatched from the coordinator's merged report).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.core.results import ResultChange
+
+#: subscription callback: receives one ResultChange per delivery.
+ChangeCallback = Callable[[ResultChange], None]
+
+
+class Subscription:
+    """One registered change callback; ``cancel()`` detaches it.
+
+    Created by :meth:`SubscriptionHub.subscribe` /
+    :meth:`SubscriptionHub.subscribe_all` (via the monitor or a query
+    handle) — not directly.
+    """
+
+    __slots__ = ("qid", "_callback", "_hub", "_active")
+
+    def __init__(
+        self,
+        hub: "SubscriptionHub",
+        qid: Optional[int],
+        callback: ChangeCallback,
+    ) -> None:
+        #: qid the subscription watches; None = every query (fan-in).
+        self.qid = qid
+        self._callback = callback
+        self._hub = hub
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        """False once cancelled (or the hub closed)."""
+        return self._active
+
+    def cancel(self) -> None:
+        """Stop deliveries. Idempotent; buffered stream deltas remain
+        drainable."""
+        if self._active:
+            self._active = False
+            self._hub._detach(self)
+
+    def _deliver(self, change: ResultChange) -> None:
+        if self._active:
+            self._callback(change)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        scope = "all" if self.qid is None else f"q{self.qid}"
+        state = "active" if self._active else "cancelled"
+        return f"Subscription({scope}, {state})"
+
+
+class ChangeStream:
+    """Buffered iterator over a query's (or the monitor's) deltas.
+
+    Deltas pushed between drains accumulate in an unbounded FIFO;
+    iterating the stream pops them in delivery order and *stops* when
+    the buffer runs dry — it does not block. A later cycle refills the
+    buffer and iteration can simply continue::
+
+        stream = handle.changes()
+        monitor.process(batch_1)
+        for change in stream:        # deltas of batch_1
+            ...
+        monitor.process(batch_2)
+        for change in stream:        # deltas of batch_2
+            ...
+
+    Once :meth:`close` is called (directly, via query cancellation, or
+    by ``monitor.close()``) no further deltas arrive; anything already
+    buffered stays drainable.
+    """
+
+    __slots__ = ("_buffer", "_subscription", "_closed")
+
+    def __init__(self, subscription_factory) -> None:
+        self._buffer: Deque[ResultChange] = deque()
+        self._closed = False
+        self._subscription: Subscription = subscription_factory(
+            self._buffer.append
+        )
+
+    @property
+    def qid(self) -> Optional[int]:
+        """The watched qid (None for a monitor-wide stream)."""
+        return self._subscription.qid
+
+    @property
+    def pending(self) -> int:
+        """Deltas buffered and not yet drained."""
+        return len(self._buffer)
+
+    @property
+    def closed(self) -> bool:
+        """True once no further deltas can arrive — the stream was
+        closed directly, its query was cancelled, or the monitor shut
+        down."""
+        return self._closed or not self._subscription.active
+
+    def __iter__(self) -> "ChangeStream":
+        return self
+
+    def __next__(self) -> ResultChange:
+        if self._buffer:
+            return self._buffer.popleft()
+        raise StopIteration
+
+    def drain(self) -> List[ResultChange]:
+        """Pop and return every buffered delta."""
+        drained = list(self._buffer)
+        self._buffer.clear()
+        return drained
+
+    def close(self) -> None:
+        """Detach from the hub. Idempotent; buffered deltas remain."""
+        if not self._closed:
+            self._closed = True
+            self._subscription.cancel()
+
+
+class SubscriptionHub:
+    """Registry and dispatcher of a monitor's subscriptions."""
+
+    __slots__ = ("_by_qid", "_all")
+
+    def __init__(self) -> None:
+        self._by_qid: Dict[int, List[Subscription]] = {}
+        self._all: List[Subscription] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def subscribe(self, qid: int, callback: ChangeCallback) -> Subscription:
+        """Deliver every future delta of ``qid`` to ``callback``."""
+        subscription = Subscription(self, int(qid), callback)
+        self._by_qid.setdefault(subscription.qid, []).append(subscription)
+        return subscription
+
+    def subscribe_all(self, callback: ChangeCallback) -> Subscription:
+        """Deliver every delta of *every* query to ``callback``."""
+        subscription = Subscription(self, None, callback)
+        self._all.append(subscription)
+        return subscription
+
+    def stream(self, qid: Optional[int] = None) -> ChangeStream:
+        """A buffered :class:`ChangeStream` (per query, or monitor-wide
+        when ``qid`` is None)."""
+        if qid is None:
+            return ChangeStream(self.subscribe_all)
+        return ChangeStream(
+            lambda callback: self.subscribe(int(qid), callback)
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        """True when nobody is listening (dispatch short-circuits)."""
+        return not (self._by_qid or self._all)
+
+    def dispatch(self, changes: Dict[int, ResultChange]) -> None:
+        """Fan one batch of per-query deltas out to the subscribers.
+
+        Per-query subscribers fire before monitor-wide ones, in
+        registration order; the snapshot lists tolerate callbacks that
+        subscribe or cancel mid-dispatch.
+        """
+        if self.empty or not changes:
+            return
+        for qid, change in changes.items():
+            for subscription in list(self._by_qid.get(qid, ())):
+                subscription._deliver(change)
+            for subscription in list(self._all):
+                subscription._deliver(change)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def _detach(self, subscription: Subscription) -> None:
+        if subscription.qid is None:
+            try:
+                self._all.remove(subscription)
+            except ValueError:  # already detached
+                pass
+            return
+        bucket = self._by_qid.get(subscription.qid)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(subscription)
+        except ValueError:
+            pass
+        if not bucket:
+            del self._by_qid[subscription.qid]
+
+    def drop_query(self, qid: int) -> None:
+        """Cancel every per-query subscription of a terminated qid.
+
+        Called *after* the final ``cause="cancel"`` delta has been
+        dispatched, so streams keep that delta buffered.
+        """
+        for subscription in list(self._by_qid.get(int(qid), ())):
+            subscription.cancel()
+
+    def close(self) -> None:
+        """Cancel every subscription (monitor shutdown). Idempotent."""
+        for bucket in list(self._by_qid.values()):
+            for subscription in list(bucket):
+                subscription.cancel()
+        for subscription in list(self._all):
+            subscription.cancel()
+        self._by_qid.clear()
+        self._all.clear()

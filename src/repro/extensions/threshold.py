@@ -6,42 +6,39 @@ user-specified threshold." The naive method checks every update
 against every query; the paper's framework instead registers the query
 in the influence lists of exactly the cells whose maxscore exceeds the
 threshold — found by a plain list flood from the preference-optimal
-corner (visiting order does not matter, so no heap is needed) — and
-maintenance only reports insertions/deletions inside those cells.
+corner — and reports insertions/deletions inside those cells.
 
-Unlike top-k queries, the influence region of a threshold query is
-*static* (the threshold never moves), so no lazy cleanup machinery is
-required: lists are written once at registration and removed at
-termination.
+That support now lives in the unified facade: *any*
+:class:`~repro.core.engine.StreamMonitor` accepts
+:class:`~repro.core.queries.ThresholdQuery` through the ordinary
+``add_query`` (grid algorithms install the static influence cells;
+see :mod:`repro.algorithms.base`), so threshold, top-k and constrained
+queries share one registration, accounting, sharding and notification
+path. :class:`ThresholdMonitor` remains as a thin shim over a
+dedicated facade instance, preserving the original constructor and
+attribute surface (``grid``, ``counters``, ``query_table``).
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
-from repro.core.errors import QueryError
-from repro.core.queries import QueryTable, ThresholdQuery
-from repro.core.results import CycleReport, ResultChange, ResultEntry
-from repro.core.stats import OpCounters
+from repro.core.engine import StreamMonitor
+from repro.core.handles import QueryHandle
+from repro.core.queries import ThresholdQuery
+from repro.core.results import CycleReport, ResultEntry
 from repro.core.tuples import StreamRecord
 from repro.core.window import SlidingWindow
-from repro.grid.grid import Grid
-from repro.grid.traversal import collect_cells_above_threshold
-
-
-class _ThresholdState:
-    __slots__ = ("query", "members", "cells")
-
-    def __init__(self, query: ThresholdQuery) -> None:
-        self.query = query
-        #: rid -> ResultEntry of every current point above the threshold.
-        self.members: Dict[int, ResultEntry] = {}
-        self.cells: List = []
 
 
 class ThresholdMonitor:
-    """Continuous monitoring of score-above-threshold queries."""
+    """Continuous monitoring of score-above-threshold queries.
+
+    Thin shim over a TMA-backed :class:`~repro.core.engine.StreamMonitor`
+    whose queries happen to all be threshold queries; mixing in top-k
+    queries is possible but better done on a facade you construct
+    yourself.
+    """
 
     def __init__(
         self,
@@ -49,122 +46,49 @@ class ThresholdMonitor:
         window: SlidingWindow,
         cells_per_axis: int = 12,
     ) -> None:
-        self.dims = dims
-        self.window = window
-        self.grid = Grid(dims, cells_per_axis)
-        self.counters = OpCounters()
-        self.query_table = QueryTable()
-        self._states: Dict[int, _ThresholdState] = {}
-        self._clock = 0.0
-
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-
-    def add_query(self, query: ThresholdQuery) -> int:
-        """Register; the initial result is every valid point above t."""
-        if query.dims != self.dims:
-            raise QueryError(
-                f"query has {query.dims} dims, monitor has {self.dims}"
-            )
-        qid = self.query_table.register(query)
-        state = _ThresholdState(query)
-        for coords in collect_cells_above_threshold(
-            self.grid, query.function, query.threshold, self.counters
-        ):
-            cell = self.grid.get_cell(coords)
-            cell.influence.add(qid)
-            state.cells.append(coords)
-            for record in cell.iter_points():
-                score = query.score(record.attrs)
-                self.counters.points_scored += 1
-                if score > query.threshold:
-                    state.members[record.rid] = ResultEntry(score, record)
-        self._states[qid] = state
-        return qid
-
-    def remove_query(self, qid: int) -> None:
-        state = self._states.pop(qid, None)
-        if state is None:
-            raise QueryError(f"unknown query id {qid}")
-        self.query_table.unregister(qid)
-        for coords in state.cells:
-            cell = self.grid.peek_cell(coords)
-            if cell is not None:
-                cell.influence.discard(qid)
-
-    def result(self, qid: int) -> List[ResultEntry]:
-        """Current matches, best-first."""
-        state = self._states.get(qid)
-        if state is None:
-            raise QueryError(f"unknown query id {qid}")
-        return sorted(
-            state.members.values(), key=lambda entry: entry.key, reverse=True
+        self.monitor = StreamMonitor(
+            dims,
+            window,
+            algorithm="tma",
+            cells_per_axis=cells_per_axis,
         )
+        self.dims = dims
 
-    # ------------------------------------------------------------------
-    # Stream processing
-    # ------------------------------------------------------------------
+    # -- delegated surface --------------------------------------------
+
+    @property
+    def window(self) -> SlidingWindow:
+        return self.monitor.window
+
+    @property
+    def grid(self):
+        return self.monitor.algorithm.grid
+
+    @property
+    def counters(self):
+        return self.monitor.counters
+
+    @property
+    def query_table(self):
+        return self.monitor.query_table
+
+    def add_query(self, query: ThresholdQuery) -> QueryHandle:
+        """Register; the initial result is every valid point above t.
+        Returns an int-like :class:`~repro.core.handles.QueryHandle`."""
+        return self.monitor.add_query(query)
+
+    def remove_query(self, qid) -> None:
+        self.monitor.remove_query(qid)
+
+    def result(self, qid) -> List[ResultEntry]:
+        """Current matches, best-first."""
+        return self.monitor.result(qid)
 
     def process(
-        self, arrivals: Sequence[StreamRecord], now: Optional[float] = None
+        self, arrivals: Sequence[StreamRecord], now=None
     ) -> CycleReport:
-        """One cycle: report per-query additions and removals.
-
-        Grid ingestion is batched (``insert_many`` / ``delete_many``,
-        one vectorized cell-mapping pass per batch); the per-record
-        loops below only walk influence lists.
-        """
-        if now is None:
-            now = max([self._clock] + [r.time for r in arrivals])
-        self._clock = now
-        for record in arrivals:
-            self.window.insert(record)
-        expirations = self.window.evict(now)
-
-        started = time.perf_counter()
-        changes: Dict[int, ResultChange] = {}
-
-        def change_for(qid: int) -> ResultChange:
-            if qid not in changes:
-                changes[qid] = ResultChange(qid=qid)
-            return changes[qid]
-
-        for record, cell in zip(arrivals, self.grid.insert_many(arrivals)):
-            for qid in cell.influence:
-                state = self._states.get(qid)
-                if state is None:
-                    continue
-                self.counters.influence_checks += 1
-                score = state.query.score(record.attrs)
-                if score > state.query.threshold:
-                    entry = ResultEntry(score, record)
-                    state.members[record.rid] = entry
-                    change_for(qid).added.append(entry)
-
-        for record, cell in zip(
-            expirations, self.grid.delete_many(expirations)
-        ):
-            for qid in cell.influence:
-                state = self._states.get(qid)
-                if state is None:
-                    continue
-                self.counters.influence_checks += 1
-                entry = state.members.pop(record.rid, None)
-                if entry is not None:
-                    change_for(qid).removed.append(entry)
-
-        for qid, change in changes.items():
-            change.top = self.result(qid)
-        elapsed = time.perf_counter() - started
-
-        return CycleReport(
-            timestamp=now,
-            arrivals=len(arrivals),
-            expirations=len(expirations),
-            changes=changes,
-            cpu_seconds=elapsed,
-        )
+        """One cycle: report per-query additions and removals."""
+        return self.monitor.process(arrivals, now=now)
 
     def queries(self) -> Iterable[ThresholdQuery]:
-        return [state.query for state in self._states.values()]
+        return list(self.monitor.query_table)

@@ -6,29 +6,32 @@ directly to this scenario [...] On the other hand, the skyband
 computation and maintenance of SMA is not possible because the expiry
 order of the tuples is not known in advance."
 
-:class:`UpdateStreamMonitor` therefore wraps TMA (or the brute-force
-oracle for testing) and refuses SMA at construction. There is no
-sliding window: the live set is exactly the inserted-minus-deleted
-records, tracked here so deletions can be validated and the paper's
-hash-based point lists exercised (our cell point lists are dicts, so
-random deletion is O(1) as Section 7 requires).
+The machinery lives in the unified facade now:
+``StreamMonitor(dims, stream_model="update")`` runs the
+explicit-deletion model directly — no sliding window, whole-batch
+validation, SMA refused at construction — with the full handle /
+subscription surface. :class:`UpdateStreamMonitor` remains as a thin
+shim preserving the original constructor and
+``process(insertions, deletions)`` signature.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional, Sequence, Set, Union
+from typing import Optional, Sequence, Union
 
-from repro.algorithms import MonitorAlgorithm, make_algorithm
-from repro.algorithms.sma import SkybandMonitoringAlgorithm
-from repro.core.errors import StreamError
-from repro.core.queries import QueryTable, TopKQuery
-from repro.core.results import CycleReport, ResultChange, ResultEntry
+from repro.algorithms import MonitorAlgorithm
+from repro.core.engine import StreamMonitor
+from repro.core.results import CycleReport
 from repro.core.tuples import StreamRecord
 
 
-class UpdateStreamMonitor:
-    """Top-k monitoring over a stream with explicit deletions."""
+class UpdateStreamMonitor(StreamMonitor):
+    """Top-k monitoring over a stream with explicit deletions.
+
+    Thin shim over ``StreamMonitor(..., stream_model="update")`` — the
+    positional ``process(insertions, deletions)`` signature is the
+    only difference.
+    """
 
     def __init__(
         self,
@@ -37,99 +40,27 @@ class UpdateStreamMonitor:
         cells_per_axis: Optional[int] = None,
         **algorithm_options,
     ) -> None:
-        self.dims = dims
-        if isinstance(algorithm, MonitorAlgorithm):
-            self.algorithm = algorithm
-        else:
-            self.algorithm = make_algorithm(
-                algorithm, dims, cells_per_axis, **algorithm_options
-            )
-        if isinstance(self.algorithm, SkybandMonitoringAlgorithm):
-            raise StreamError(
-                "SMA cannot monitor update streams: the skyband reduction "
-                "requires the expiry order to be known in advance "
-                "(paper Section 7); use TMA instead"
-            )
-        self.query_table = QueryTable()
-        self.cycle_seconds: List[float] = []
-        self._live: Dict[int, StreamRecord] = {}
-        self._clock = 0.0
+        super().__init__(
+            dims,
+            window=None,
+            algorithm=algorithm,
+            cells_per_axis=cells_per_axis,
+            stream_model="update",
+            **algorithm_options,
+        )
 
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-
-    def add_query(self, query: TopKQuery) -> int:
-        qid = self.query_table.register(query)
-        self.algorithm.register(query)
-        return qid
-
-    def remove_query(self, qid: int) -> None:
-        self.query_table.unregister(qid)
-        self.algorithm.unregister(qid)
-
-    def result(self, qid: int) -> List[ResultEntry]:
-        return self.algorithm.current_result(qid)
-
-    # ------------------------------------------------------------------
-    # Updates
-    # ------------------------------------------------------------------
-
-    @property
-    def live_count(self) -> int:
-        return len(self._live)
-
-    def process(
+    def process(  # type: ignore[override]
         self,
         insertions: Sequence[StreamRecord],
-        deletions: Sequence[StreamRecord],
+        deletions: Sequence[StreamRecord] = (),
         now: Optional[float] = None,
     ) -> CycleReport:
         """Apply one batch of explicit insertions and deletions.
 
         The whole batch is validated *before* anything mutates: a bad
-        record still raises its per-record :class:`StreamError`, but
-        the live set is no longer left half-applied, and the batch then
-        flows to the algorithm as one cycle — whose grid ingestion runs
-        through the batched ``Grid.insert_many`` / ``delete_many``
-        paths, not record-at-a-time inserts. A record inserted and
-        deleted in the same batch is legal (net effect: absent), as
-        under the previous insert-all-then-delete-all order.
+        record still raises its per-record
+        :class:`~repro.core.errors.StreamError`, but the live set is
+        never left half-applied. A record inserted and deleted in the
+        same batch is legal (net effect: absent).
         """
-        inserted: Set[int] = set()
-        for record in insertions:
-            if record.rid in self._live or record.rid in inserted:
-                raise StreamError(f"record {record.rid} inserted twice")
-            inserted.add(record.rid)
-        deleted: Set[int] = set()
-        for record in deletions:
-            known = record.rid in self._live or record.rid in inserted
-            if not known or record.rid in deleted:
-                raise StreamError(
-                    f"deletion of unknown/already-deleted record {record.rid}"
-                )
-            deleted.add(record.rid)
-        for record in insertions:
-            self._live[record.rid] = record
-        for record in deletions:
-            self._live.pop(record.rid, None)
-        if now is None:
-            now = max(
-                [self._clock]
-                + [record.time for record in insertions]
-            )
-        self._clock = now
-
-        started = time.perf_counter()
-        changes: Dict[int, ResultChange] = self.algorithm.process_cycle(
-            list(insertions), list(deletions)
-        )
-        elapsed = time.perf_counter() - started
-        self.cycle_seconds.append(elapsed)
-        return CycleReport(
-            timestamp=now,
-            arrivals=len(insertions),
-            expirations=len(deletions),
-            changes=changes,
-            cpu_seconds=elapsed,
-        )
+        return super().process(insertions, now=now, deletions=list(deletions))

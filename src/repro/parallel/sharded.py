@@ -263,12 +263,40 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
         query = self._queries.get(qid)
         if query is None:
             raise self._unknown_query(qid)
-        key = self.planner.registry.key_of(query)
-        shard = self.planner.release(qid, key)
+        shard = self.planner.release(qid)
         _, counters = self._call(shard, "unregister", qid)
         self._merge_counters(shard, counters)
         del self._queries[qid]
         del self._results[qid]
+
+    def update_query(
+        self,
+        qid: int,
+        k: Optional[int] = None,
+        function=None,
+    ) -> List[ResultEntry]:
+        """In-flight mutation as one round trip to the owning shard.
+
+        The worker's algorithm applies its own in-place path (TMA
+        trims, SMA/TSL recompute from local window state) and replies
+        with the new result; the coordinator mirrors the spec change
+        on its copy and re-buckets the planner accounting
+        (:meth:`~repro.parallel.sharding.ShardPlanner.rekey`) so
+        similarity bookkeeping follows the new preference vector.
+        """
+        query = self._queries.get(qid)
+        if query is None:
+            raise self._unknown_query(qid)
+        shard = self.planner.shard_of(qid)
+        entries, counters = self._call(shard, "update", (qid, k, function))
+        self._merge_counters(shard, counters)
+        if k is not None:
+            query.k = k
+        if function is not None:
+            query.function = function
+        self.planner.rekey(qid, query)
+        self._results[qid] = list(entries)
+        return list(entries)
 
     def current_result(self, qid: int) -> List[ResultEntry]:
         """Current top-k of a query (coordinator-side cache, refreshed

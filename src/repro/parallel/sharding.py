@@ -45,7 +45,7 @@ class ShardPlanner:
 
     __slots__ = ("shards", "chunk", "registry", "_shard_of", "_loads",
                  "_bucket_shard", "_bucket_open", "_bucket_sizes",
-                 "_round_robin")
+                 "_round_robin", "_keys")
 
     def __init__(
         self, shards: int, resolution: int = 4, chunk: int = 64
@@ -65,6 +65,11 @@ class ShardPlanner:
         self._bucket_open: Dict[GroupKey, int] = {}
         self._bucket_sizes: Dict[GroupKey, int] = {}
         self._round_robin = 0
+        #: per-qid *accounting* key — the bucket whose size this query
+        #: is counted in (None for ungroupable / untracked queries).
+        #: Recorded at assign time so release/rekey never depend on
+        #: the caller still holding the original spec.
+        self._keys: Dict[int, Optional[GroupKey]] = {}
 
     def __len__(self) -> int:
         return len(self._shard_of)
@@ -98,27 +103,69 @@ class ShardPlanner:
             self._bucket_sizes[key] = self._bucket_sizes.get(key, 0) + 1
         self._shard_of[query.qid] = shard
         self._loads[shard] += 1
+        self._keys[query.qid] = key
         return shard
 
     def release(self, qid: int, key: Optional[GroupKey] = None) -> int:
         """Forget a terminated query; return the shard it lived on.
 
-        ``key`` is the query's bucket key when it had one (the caller
-        kept the query object; the planner does not). When a bucket's
-        last member leaves, its shard pin is dropped so a future
-        same-bucket query lands on whatever shard is then emptiest.
+        The planner records each query's bucket key at assign time, so
+        ``key`` is accepted only for backwards compatibility and
+        ignored. When a bucket's last member leaves, its shard pin is
+        dropped so a future same-bucket query lands on whatever shard
+        is then emptiest.
         """
         shard = self._shard_of.pop(qid, None)
         if shard is None:
             raise QueryError(f"query {qid} is not assigned to any shard")
         self._loads[shard] -= 1
-        if key is not None and key in self._bucket_sizes:
-            self._bucket_sizes[key] -= 1
-            if self._bucket_sizes[key] <= 0:
-                del self._bucket_sizes[key]
-                del self._bucket_shard[key]
-                del self._bucket_open[key]
+        self._release_bucket(self._keys.pop(qid, None))
         return shard
+
+    def rekey(self, qid: int, query) -> int:
+        """Re-bucket a mutated query *without* moving it off its shard.
+
+        An in-flight :meth:`~repro.core.handles.QueryHandle.update`
+        can change a query's preference vector — and with it the
+        similarity bucket the planner counted it in. The query's state
+        lives on a worker, so it must stay put; only the bucket
+        accounting moves: the old bucket sheds a member (dropping its
+        pin when drained), and the new bucket adopts the query if it
+        is unpinned (pinning it to this query's shard) or already
+        pinned there. A new bucket pinned *elsewhere* leaves the query
+        untracked — colocating it would require worker-to-worker state
+        transfer (the ROADMAP's load-aware rebalancing follow-up).
+        Returns the (unchanged) owning shard.
+        """
+        shard = self.shard_of(qid)
+        old = self._keys.get(qid)
+        new = self.registry.key_of(query)
+        if new == old:
+            return shard
+        self._release_bucket(old)
+        counted: Optional[GroupKey] = None
+        if new is not None:
+            pinned = self._bucket_shard.get(new)
+            if pinned is None:
+                self._bucket_shard[new] = shard
+                self._bucket_open[new] = 1
+                self._bucket_sizes[new] = 1
+                counted = new
+            elif pinned == shard:
+                self._bucket_open[new] += 1
+                self._bucket_sizes[new] += 1
+                counted = new
+        self._keys[qid] = counted
+        return shard
+
+    def _release_bucket(self, key: Optional[GroupKey]) -> None:
+        if key is None or key not in self._bucket_sizes:
+            return
+        self._bucket_sizes[key] -= 1
+        if self._bucket_sizes[key] <= 0:
+            del self._bucket_sizes[key]
+            del self._bucket_shard[key]
+            del self._bucket_open[key]
 
     def shard_of(self, qid: int) -> int:
         """Owning shard of a registered query."""

@@ -11,6 +11,7 @@ Protocol (``(command, payload)`` in, ``(status, payload)`` out)::
 
     register_many [TopKQuery]   -> ok ({qid: [ResultEntry]}, counters)
     unregister    qid           -> ok (None, counters)
+    update        (qid, k, fn)  -> ok ([ResultEntry], counters)
     cycle         snapshot      -> ok ({qid: ResultChange}, counters)
     stats         None          -> ok ((state_sizes, il_entries), counters)
     space         None          -> ok SpaceBreakdown
@@ -67,6 +68,10 @@ def _dispatch(algo, command: str, payload):
     if command == "unregister":
         algo.unregister(payload)
         return None, algo.counters.as_dict()
+    if command == "update":
+        qid, k, function = payload
+        entries = algo.update_query(qid, k=k, function=function)
+        return entries, algo.counters.as_dict()
     if command == "stats":
         entries = getattr(algo, "influence_list_entries", None)
         return (

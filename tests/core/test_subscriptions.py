@@ -1,0 +1,220 @@
+"""Unit tests for push subscriptions and change streams."""
+
+import random
+
+import pytest
+
+from repro.core.engine import StreamMonitor
+from repro.core.errors import QueryError, StreamError
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.window import CountBasedWindow
+
+
+def make_monitor(algorithm="tma"):
+    return StreamMonitor(
+        2, CountBasedWindow(40), algorithm=algorithm, cells_per_axis=4
+    )
+
+
+def feed(monitor, rng, count=12, time_=0.0):
+    monitor.process(
+        monitor.make_records(
+            [(rng.random(), rng.random()) for _ in range(count)],
+            time_=time_,
+        )
+    )
+
+
+class TestCallbacks:
+    def test_subscribe_receives_cycle_deltas(self):
+        rng = random.Random(1)
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+        )
+        received = []
+        handle.subscribe(received.append)
+        report = monitor.process(
+            monitor.make_records([[0.9, 0.9], [0.8, 0.7]])
+        )
+        assert len(received) == 1
+        change = received[0]
+        assert change is report.changes[handle.qid]
+        assert change.cause == "cycle"
+        feed(monitor, rng, time_=1.0)
+        assert all(change.qid == handle.qid for change in received)
+
+    def test_subscription_cancel_stops_delivery(self):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        received = []
+        subscription = handle.subscribe(received.append)
+        monitor.process(monitor.make_records([[0.9, 0.9]]))
+        subscription.cancel()
+        subscription.cancel()  # idempotent
+        assert not subscription.active
+        monitor.process(monitor.make_records([[0.95, 0.95]], time_=1.0))
+        assert len(received) == 1
+
+    def test_subscribe_unknown_qid_raises(self):
+        monitor = make_monitor()
+        with pytest.raises(QueryError):
+            monitor.subscribe(9, lambda change: None)
+
+    def test_subscribe_all_fans_in_every_query(self):
+        monitor = make_monitor()
+        received = []
+        monitor.subscribe_all(received.append)
+        first = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        monitor.process(monitor.make_records([[0.9, 0.9]]))
+        second = monitor.add_query(
+            TopKQuery(LinearFunction([0.1, 1.0]), k=1)
+        )
+        causes = [(change.qid, change.cause) for change in received]
+        # Cycle delta for the first query, then the second query's
+        # initial result as a register delta.
+        assert (first.qid, "cycle") in causes
+        assert (second.qid, "register") in causes
+
+    def test_cancel_emits_final_clearing_delta(self):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+        )
+        received = []
+        handle.subscribe(received.append)
+        monitor.process(monitor.make_records([[0.9, 0.9]]))
+        handle.cancel()
+        assert received[-1].cause == "cancel"
+        assert received[-1].top == []
+        assert [e.rid for e in received[-1].removed] == [0]
+
+
+class TestChangeStreams:
+    def test_stream_buffers_between_drains(self):
+        rng = random.Random(2)
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+        )
+        stream = handle.changes()
+        feed(monitor, rng, time_=0.0)
+        monitor.process(
+            monitor.make_records([[0.97, 0.98]], time_=1.0)
+        )
+        assert stream.pending >= 1
+        first_drain = list(stream)
+        assert stream.pending == 0
+        monitor.process(
+            monitor.make_records([[0.99, 0.99]], time_=2.0)
+        )
+        second_drain = stream.drain()
+        # Iteration resumes after a drain: no delta lost, none
+        # repeated, and the last delta's top is the live result.
+        assert len(first_drain) + len(second_drain) >= 2
+        assert second_drain[-1].top_ids() == [
+            entry.rid for entry in handle.result()
+        ]
+
+    def test_monitor_wide_stream(self):
+        monitor = make_monitor()
+        stream = monitor.changes()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        monitor.process(monitor.make_records([[0.9, 0.9]]))
+        causes = [change.cause for change in stream]
+        assert causes == ["cycle"]
+        assert stream.qid is None
+
+    def test_stream_closes_with_query(self):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        stream = handle.changes()
+        monitor.process(monitor.make_records([[0.9, 0.9]]))
+        handle.cancel()
+        assert stream.closed
+        # The cycle delta and the final cancel delta stay drainable.
+        causes = [change.cause for change in stream]
+        assert causes == ["cycle", "cancel"]
+
+    def test_stream_close_is_idempotent(self):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        stream = handle.changes()
+        stream.close()
+        stream.close()
+        monitor.process(monitor.make_records([[0.9, 0.9]]))
+        assert stream.pending == 0
+
+
+class TestCloseSemantics:
+    def test_close_marks_handles_and_subscriptions(self):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        stream = handle.changes()
+        subscription = handle.subscribe(lambda change: None)
+        monitor.close()
+        monitor.close()  # idempotent
+        assert monitor.closed
+        assert handle.closed
+        assert stream.closed
+        assert not subscription.active
+        with pytest.raises(QueryError):
+            handle.result()
+        with pytest.raises(StreamError):
+            monitor.process([])
+        with pytest.raises(StreamError):
+            monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=1))
+        with pytest.raises(StreamError):
+            monitor.subscribe_all(lambda change: None)
+
+    def test_cancelled_handle_stays_cancelled_after_close(self):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        handle.cancel()
+        monitor.close()
+        assert handle.cancelled  # not overwritten to closed
+
+
+class TestDispatchDiscipline:
+    def test_callbacks_run_after_maintenance_clock(self):
+        """Subscriber work must not pollute cycle_seconds: a slow
+        callback cannot change the number of timed cycles, and the
+        timing entry exists before the callback runs."""
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        observed = []
+        handle.subscribe(
+            lambda change: observed.append(len(monitor.cycle_seconds))
+        )
+        monitor.process(monitor.make_records([[0.9, 0.9]]))
+        assert observed == [1]
+
+    def test_callback_exceptions_propagate(self):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+
+        def explode(change):
+            raise RuntimeError("subscriber bug")
+
+        handle.subscribe(explode)
+        with pytest.raises(RuntimeError):
+            monitor.process(monitor.make_records([[0.9, 0.9]]))

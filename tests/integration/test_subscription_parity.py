@@ -1,0 +1,148 @@
+"""Push/pull parity: delivered deltas replay to the pull API's results.
+
+The acceptance contract of the handle/subscription redesign: for every
+algorithm × shard count, the concatenated deltas delivered through
+``subscribe`` / ``changes()`` reconstruct *exactly* the results the
+pull API reports after every cycle — including across ``update()``
+mutations and pause/resume churn, and with sharded monitors (whose
+deltas are dispatched from the coordinator's merged report).
+
+Replay discipline: start from the query's result at subscribe time,
+apply each delta's ``removed`` then ``added``; after each cycle the
+replayed set, ordered canonically, must equal the pull result
+bitwise — and the delta's own ``top`` must agree.
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import StreamMonitor
+from repro.core.queries import TopKQuery
+from repro.core.results import entries_best_first
+from repro.core.scoring import LinearFunction
+from repro.core.window import CountBasedWindow
+
+ALGORITHMS = ["tma", "sma", "tsl"]
+SHARD_COUNTS = [1, 2, 4]
+
+
+class _Replayer:
+    """Reconstructs one query's result from its delivered deltas."""
+
+    def __init__(self, handle):
+        self.handle = handle
+        self.entries = {
+            entry.rid: entry for entry in handle.result()
+        }
+        self.deltas = 0
+
+    def apply(self, change):
+        assert change.qid == self.handle.qid
+        self.deltas += 1
+        for entry in change.removed:
+            assert self.entries.pop(entry.rid, None) is not None, (
+                f"delta removed rid {entry.rid} that was never present"
+            )
+        for entry in change.added:
+            assert entry.rid not in self.entries, (
+                f"delta re-added rid {entry.rid}"
+            )
+            self.entries[entry.rid] = entry
+        # The delta's own top must be the replayed state.
+        assert entries_best_first(self.entries.values()) == list(
+            change.top
+        )
+
+    def assert_matches(self, pulled):
+        assert entries_best_first(self.entries.values()) == list(pulled)
+
+
+def run_monitor(algorithm, shards, churn):
+    rng = random.Random(17)
+    monitor = StreamMonitor(
+        2,
+        CountBasedWindow(120),
+        algorithm=algorithm,
+        cells_per_axis=4,
+        shards=shards if shards > 1 else None,
+    )
+    try:
+        handles = monitor.add_queries(
+            [
+                TopKQuery(
+                    LinearFunction(
+                        [rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0)]
+                    ),
+                    k=rng.choice([1, 3, 5]),
+                )
+                for _ in range(5)
+            ]
+        )
+        replayers = {handle.qid: _Replayer(handle) for handle in handles}
+        for handle in handles:
+            replayer = replayers[handle.qid]
+            handle.subscribe(replayer.apply)
+        fanin_counts = {handle.qid: 0 for handle in handles}
+        monitor.subscribe_all(
+            lambda change: fanin_counts.__setitem__(
+                change.qid, fanin_counts.get(change.qid, 0) + 1
+            )
+        )
+
+        paused_qids = set()
+        for cycle in range(12):
+            batch = monitor.make_records(
+                [(rng.random(), rng.random()) for _ in range(25)],
+                time_=float(cycle),
+            )
+            monitor.process(batch)
+            for handle in handles:
+                if handle.qid in paused_qids:
+                    continue
+                replayers[handle.qid].assert_matches(handle.result())
+
+            if not churn:
+                continue
+            # Deterministic churn: update one handle, toggle a pause.
+            if cycle % 3 == 1:
+                target = handles[cycle % len(handles)]
+                if target.qid not in paused_qids:
+                    new_k = 2 if target.query.k != 2 else 4
+                    target.update(k=new_k)
+                    replayers[target.qid].assert_matches(target.result())
+            if cycle % 4 == 2:
+                target = handles[(cycle + 1) % len(handles)]
+                if target.qid in paused_qids:
+                    target.resume()
+                    paused_qids.discard(target.qid)
+                else:
+                    target.pause()
+                    paused_qids.add(target.qid)
+                replayers[target.qid].assert_matches(target.result())
+
+        for handle in handles:
+            if handle.qid in paused_qids:
+                handle.resume()
+            replayers[handle.qid].assert_matches(handle.result())
+        # Every replayer saw deltas, and the fan-in subscriber saw at
+        # least as many per query as the per-query subscribers.
+        assert all(
+            replayer.deltas > 0 for replayer in replayers.values()
+        )
+        for qid, replayer in replayers.items():
+            assert fanin_counts[qid] == replayer.deltas
+    finally:
+        monitor.close()
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_push_deltas_replay_to_pull_results(algorithm, shards):
+    run_monitor(algorithm, shards, churn=False)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_push_pull_parity_under_churn(algorithm, shards):
+    run_monitor(algorithm, shards, churn=True)

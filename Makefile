@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test selfcheck bench-smoke bench-json examples
+.PHONY: test selfcheck bench-smoke bench-json examples serve-smoke
 
 # Docs-facing smoke: every example must run end to end (CI mirrors
 # this on both batch backends with a hard per-script timeout).
@@ -33,6 +33,15 @@ bench-smoke: test selfcheck
 		--shards 2 --algorithms tma,sma
 	$(PY) -m repro.bench run --n 4000 --rate 40 --queries 12 --cycles 8 \
 		--churn
+
+# The serving gate: drive the network front-end end to end (server +
+# three socket clients with a bitwise replay check), then capture a
+# delivery-latency leg with a deliberately-stalled co-subscriber. CI
+# mirrors this on both batch backends under hard timeouts.
+serve-smoke:
+	PYTHONPATH=src timeout 120 python examples/service_client.py
+	PYTHONPATH=src timeout 300 python -m repro.bench run --n 2000 \
+		--rate 100 --queries 6 --cycles 10 --algorithms tma --serve
 
 # Capture a machine-readable baseline on the default workload
 # (the BENCH_PR1.json format's per-run payload).

@@ -42,6 +42,14 @@ from repro.algorithms import (
     TopKMonitoringAlgorithm,
     make_algorithm,
 )
+from repro.service import (
+    Delivery,
+    DeliveryHub,
+    MonitorClient,
+    MonitorServer,
+    RemoteChangeStream,
+    RemoteQueryHandle,
+)
 from repro.core import (
     CallableFunction,
     ChangeStream,
@@ -77,7 +85,11 @@ __all__ = [
     "ConstrainedTopKQuery",
     "CountBasedWindow",
     "CycleReport",
+    "Delivery",
+    "DeliveryHub",
     "LinearFunction",
+    "MonitorClient",
+    "MonitorServer",
     "PreferenceFunction",
     "ProductFunction",
     "QuadraticFunction",
@@ -85,6 +97,8 @@ __all__ = [
     "QueryHandle",
     "Rectangle",
     "RecordFactory",
+    "RemoteChangeStream",
+    "RemoteQueryHandle",
     "ReproError",
     "ResultChange",
     "ResultEntry",

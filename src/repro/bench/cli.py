@@ -111,6 +111,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "append a serving-latency leg: start a MonitorServer, "
+            "drive cycles through a socket client, and report "
+            "end-to-end delivery-latency p50/p99 — twice, the second "
+            "time with a deliberately-stalled co-subscriber attached "
+            "(whose backlog must not slow the healthy client)"
+        ),
+    )
+    run.add_argument(
+        "--serve-policy",
+        choices=["block", "drop_oldest", "coalesce"],
+        default="coalesce",
+        help="overflow policy of the healthy --serve subscription",
+    )
+    run.add_argument(
         "--no-check",
         action="store_true",
         help="skip the cross-algorithm result-equality verification",
@@ -220,13 +237,33 @@ def command_run(args: argparse.Namespace) -> int:
     )
     if not args.no_check:
         print("result check: all algorithms report identical top-k sets")
+    serve_result = None
+    if args.serve:
+        from repro.bench.serve import (
+            format_serve_report,
+            run_serve_benchmark,
+        )
+
+        serve_result = run_serve_benchmark(
+            n=spec.n,
+            rate=spec.rate,
+            cycles=max(10, spec.cycles * 2),
+            k=spec.k,
+            algorithm=names[0],
+            policy=args.serve_policy,
+            seed=spec.seed,
+            shards=spec.shards if spec.shards > 1 else None,
+        )
+        print(format_serve_report(serve_result))
     if args.json is not None:
         from repro.core.batch import BACKEND
 
         payload = {
-            # /2 adds workload.churn + per-run mutation_seconds and
-            # churn_ops (the handle-API mutation account).
-            "schema": "repro-bench-run/2",
+            # /2 added workload.churn + per-run mutation_seconds and
+            # churn_ops (the handle-API mutation account); /3 adds the
+            # optional "serve" block (end-to-end delivery-latency
+            # percentiles, with and without a stalled co-subscriber).
+            "schema": "repro-bench-run/3",
             "batch_backend": BACKEND,
             "workload": workload_to_dict(spec),
             "algorithms": {
@@ -234,6 +271,8 @@ def command_run(args: argparse.Namespace) -> int:
                 for name, run in results.items()
             },
         }
+        if serve_result is not None:
+            payload["serve"] = serve_result
         if args.json == "-":
             json.dump(payload, sys.stdout, indent=2)
             print()

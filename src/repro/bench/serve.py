@@ -1,0 +1,193 @@
+"""Serving benchmark: end-to-end delivery latency over the socket.
+
+The ``--serve`` leg of ``python -m repro.bench run`` measures what the
+in-process benchmarks cannot: the time from a delta entering a
+subscriber's delivery queue (the server's ``ts`` stamp) to the client
+receiving it off the socket — queue wait + serialisation + loop
+handoff + kernel + parse. Two phases per run:
+
+1. **baseline** — one healthy subscribed client, driven for
+   ``cycles`` cycles; p50/p99 of its delivery latency.
+2. **stalled** — the same again with a second subscriber attached
+   that *never reads its socket* (tiny ``drop_oldest`` queue). The
+   serving runtime's whole point is that this phase's healthy-client
+   percentiles match the baseline's: the stalled subscriber's backlog
+   is confined to its own delivery queue.
+
+Server and clients run in one process (threads), so the ``time.time``
+stamps on both sides share a clock; latencies are wall-clock accurate
+to NTP-free same-host precision, which is what a relative comparison
+needs.
+"""
+
+from __future__ import annotations
+
+import random
+import socket as socket_module
+import time
+from typing import Dict, List, Optional
+
+from repro.core.engine import StreamMonitor
+from repro.core.window import CountBasedWindow
+from repro.service import MonitorClient, MonitorServer, protocol
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(
+        len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+def _summary(latencies: List[float], cycle_times: List[float]) -> Dict:
+    return {
+        "deliveries": len(latencies),
+        "delivery_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 4),
+        "delivery_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 4),
+        "delivery_max_ms": round(
+            (max(latencies) if latencies else 0.0) * 1e3, 4
+        ),
+        "cycle_p50_ms": round(_percentile(cycle_times, 0.50) * 1e3, 4),
+        "cycle_p99_ms": round(_percentile(cycle_times, 0.99) * 1e3, 4),
+    }
+
+
+def _drive(client, stream, rng, cycles, rate, start) -> Dict:
+    latencies: List[float] = []
+    cycle_times: List[float] = []
+    for cycle in range(cycles):
+        started = time.perf_counter()
+        client.process(
+            [(rng.random(), rng.random()) for _ in range(rate)],
+            now=float(start + cycle),
+        )
+        cycle_times.append(time.perf_counter() - started)
+        deadline = time.monotonic() + 5.0
+        got = False
+        while time.monotonic() < deadline:
+            event = stream.get_event(timeout=0.5)
+            if event is None:
+                if got:
+                    break
+                continue
+            change, ts, received_at = event
+            if ts is not None:
+                latencies.append(received_at - ts)
+            got = True
+            if stream.pending == 0:
+                break
+    return _summary(latencies, cycle_times)
+
+
+def run_serve_benchmark(
+    n: int = 4000,
+    rate: int = 100,
+    cycles: int = 20,
+    k: int = 10,
+    algorithm: str = "tma",
+    policy: str = "coalesce",
+    seed: int = 1,
+    shards: Optional[int] = None,
+) -> Dict:
+    """One serving-latency capture; returns the JSON-ready dict.
+
+    The result's ``stalled_overhead_p50`` is the headline number: the
+    healthy subscriber's p50 delivery latency with a stalled
+    co-subscriber, divided by its baseline p50. ~1.0 means the
+    delivery layer isolates subscribers as designed.
+    """
+    rng = random.Random(seed)
+    monitor = StreamMonitor(
+        2,
+        CountBasedWindow(n),
+        algorithm=algorithm,
+        cells_per_axis=4,
+        shards=shards,
+    )
+    server = MonitorServer(monitor, default_maxlen=64)
+    host, port = server.start()
+    healthy = None
+    stalled_socket = None
+    try:
+        healthy = MonitorClient(host, port)
+        # Warm window, then a standing query with a subscription.
+        warm = 0
+        while warm < n:
+            block = min(rate * 10, n - warm)
+            healthy.process(
+                [(rng.random(), rng.random()) for _ in range(block)],
+                now=0.0,
+            )
+            warm += block
+        handle = healthy.add_query(weights=[1.0, 0.8], k=k)
+        stream = handle.subscribe(policy=policy, maxlen=64)
+
+        baseline = _drive(healthy, stream, rng, cycles, rate, start=1)
+
+        # Attach the subscriber-from-hell: subscribes to everything,
+        # never reads a byte again.
+        stalled_socket = socket_module.create_connection((host, port))
+        stalled_socket.sendall(
+            protocol.encode_line(
+                {
+                    "id": 1,
+                    "op": "subscribe",
+                    "policy": "drop_oldest",
+                    "maxlen": 2,
+                }
+            )
+        )
+        time.sleep(0.3)
+        stalled = _drive(
+            healthy, stream, rng, cycles, rate, start=1 + cycles
+        )
+
+        hub_stats = server.hub.stats()
+        overhead = (
+            stalled["delivery_p50_ms"] / baseline["delivery_p50_ms"]
+            if baseline["delivery_p50_ms"]
+            else 0.0
+        )
+        return {
+            "algorithm": algorithm,
+            "policy": policy,
+            "n": n,
+            "rate": rate,
+            "cycles": cycles,
+            "k": k,
+            "shards": 1 if shards is None else shards,
+            "baseline": baseline,
+            "stalled": stalled,
+            "stalled_overhead_p50": round(overhead, 3),
+            "stalled_dropped": hub_stats["dropped"],
+            "hub": hub_stats,
+        }
+    finally:
+        if stalled_socket is not None:
+            stalled_socket.close()
+        if healthy is not None:
+            healthy.close()
+        server.stop()
+        monitor.close()
+
+
+def format_serve_report(result: Dict) -> str:
+    """Human-readable two-line summary of one serve capture."""
+    baseline = result["baseline"]
+    stalled = result["stalled"]
+    return (
+        f"serve [{result['algorithm']} x{result['shards']} "
+        f"{result['policy']}]: baseline delivery "
+        f"p50={baseline['delivery_p50_ms']:.2f}ms "
+        f"p99={baseline['delivery_p99_ms']:.2f}ms over "
+        f"{baseline['deliveries']} deltas\n"
+        f"  with stalled subscriber: "
+        f"p50={stalled['delivery_p50_ms']:.2f}ms "
+        f"p99={stalled['delivery_p99_ms']:.2f}ms "
+        f"(overhead x{result['stalled_overhead_p50']:.2f}, "
+        f"{result['stalled_dropped']} deltas dropped on the stalled "
+        f"queue)"
+    )

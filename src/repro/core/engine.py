@@ -529,18 +529,46 @@ class StreamMonitor:
             )
         return self._hub.subscribe_all(callback)
 
-    def changes(self, qid=None) -> ChangeStream:
+    def changes(
+        self,
+        qid=None,
+        maxlen: Optional[int] = None,
+        block: bool = False,
+    ) -> ChangeStream:
         """A buffered :class:`~repro.core.subscriptions.ChangeStream`
         of future deltas — of one query, or of the whole monitor when
-        ``qid`` is None."""
+        ``qid`` is None.
+
+        ``maxlen`` bounds the buffer (default
+        :data:`~repro.core.subscriptions.DEFAULT_STREAM_MAXLEN`; on
+        overflow the oldest delta is dropped and counted — see
+        :meth:`delivery_stats`). ``block=True`` makes iteration wait
+        for the next delta instead of stopping when dry; a blocked
+        iterator terminates cleanly when the stream closes, the query
+        is cancelled, or the monitor shuts down.
+        """
         if qid is None:
             if self._closed:
                 raise StreamError(
                     f"changes() on a closed monitor ({self._describe()})"
                 )
-            return self._hub.stream(None)
+            return self._hub.stream(None, maxlen=maxlen, block=block)
         self._require(qid)
-        return self._hub.stream(int(qid))
+        return self._hub.stream(int(qid), maxlen=maxlen, block=block)
+
+    def delivery_stats(self) -> Dict[str, int]:
+        """Aggregate push-delivery accounting: live subscriptions and
+        streams, deltas buffered in stream FIFOs, deltas dropped to
+        buffer bounds (``dropped_changes``), and the deepest buffer
+        ever observed (``high_watermark``)."""
+        return self._hub.stats()
+
+    @property
+    def dropped_changes(self) -> int:
+        """Total deltas dropped to :class:`ChangeStream` buffer bounds
+        (0 means every delivered stream still has full replay
+        parity)."""
+        return self._hub.dropped_changes
 
     # ------------------------------------------------------------------
     # Stream processing
@@ -580,6 +608,37 @@ class StreamMonitor:
         run).
         """
         self._ensure_open("process")
+        now, live, expirations, dead = self._ingest(arrivals, now, deletions)
+
+        started = time.perf_counter()
+        changes: Dict[int, ResultChange] = self.algorithm.process_cycle(
+            live, expirations
+        )
+        elapsed = time.perf_counter() - started
+        self.cycle_seconds.append(elapsed)
+
+        report = CycleReport(
+            timestamp=now,
+            arrivals=len(live),
+            expirations=len(expirations),
+            changes=changes,
+            cpu_seconds=elapsed,
+            dead_on_arrival=dead,
+        )
+        if not self._hub.empty:
+            self._hub.dispatch(report.changes)
+        return report
+
+    def _ingest(
+        self,
+        arrivals: Sequence[StreamRecord],
+        now: Optional[float],
+        deletions: Optional[Sequence[StreamRecord]],
+    ):
+        """Advance the clock and apply one batch to the window (or the
+        update-model live set). Returns ``(now, live, expirations,
+        dead_on_arrival)`` — everything :meth:`process` needs before
+        handing the cycle to the algorithm."""
         if now is None:
             now = max(
                 [self._clock] + [record.time for record in arrivals]
@@ -594,39 +653,128 @@ class StreamMonitor:
             live, expirations = self._apply_update_batch(
                 arrivals, deletions
             )
-            dead = 0
-        else:
-            if deletions is not None:
-                raise StreamError(
-                    "explicit deletions require "
-                    "StreamMonitor(..., stream_model='update'); the "
-                    "window model expires records by age"
-                )
-            live = []
-            dead = 0
-            for record in arrivals:
-                if self.window.admits(record, now):
-                    self.window.insert(record)
-                    live.append(record)
-                else:
-                    # Dropped, but it still arrived: keep the
-                    # stream-order validation (and clock) a normal
-                    # insert would apply.
-                    self.window.observe(record)
-                    dead += 1
-            expirations = self.window.evict(now)
+            return now, live, expirations, 0
 
-        started = time.perf_counter()
-        changes: Dict[int, ResultChange] = self.algorithm.process_cycle(
-            live, expirations
+        if deletions is not None:
+            raise StreamError(
+                "explicit deletions require "
+                "StreamMonitor(..., stream_model='update'); the "
+                "window model expires records by age"
+            )
+        live = []
+        dead = 0
+        for record in arrivals:
+            if self.window.admits(record, now):
+                self.window.insert(record)
+                live.append(record)
+            else:
+                # Dropped, but it still arrived: keep the
+                # stream-order validation (and clock) a normal
+                # insert would apply.
+                self.window.observe(record)
+                dead += 1
+        expirations = self.window.evict(now)
+        return now, live, expirations, dead
+
+    def process_many(
+        self,
+        batches: Sequence[Sequence[StreamRecord]],
+        nows: Optional[Sequence[float]] = None,
+    ) -> List[CycleReport]:
+        """Process a run of cycles, pipelining when the algorithm can.
+
+        For in-process algorithms this is exactly ``[process(batch) for
+        batch in batches]``. A sharded algorithm exposes the
+        begin/finish cycle split (``supports_pipelining``), and this
+        method overlaps the *coordinator's* per-cycle work — window
+        maintenance plus the columnar snapshot encode of cycle *t+1* —
+        with the shards still computing cycle *t*, instead of the
+        strict send-all/recv-all lockstep of :meth:`process`. Reports
+        come back in cycle order, results and deltas are bitwise
+        identical to sequential processing, and every cycle is fully
+        merged (and its deltas dispatched) before this method returns.
+
+        Per-cycle ``cycle_seconds`` under pipelining measure the
+        coordinator's *blocking* time for that cycle (encode + send +
+        reply wait + merge); the shard compute hidden under the next
+        cycle's encode no longer shows up, which is the point.
+
+        ``nows`` optionally provides one explicit clock value per
+        batch (same semantics as :meth:`process`'s ``now``).
+        """
+        self._ensure_open("process_many")
+        if nows is not None and len(nows) != len(batches):
+            raise StreamError(
+                f"nows has {len(nows)} entries for {len(batches)} batches"
+            )
+        pipelined = (
+            getattr(self.algorithm, "supports_pipelining", False)
+            and self.stream_model == "window"
         )
-        elapsed = time.perf_counter() - started
-        self.cycle_seconds.append(elapsed)
+        if not pipelined:
+            return [
+                self.process(
+                    batch, now=None if nows is None else nows[index]
+                )
+                for index, batch in enumerate(batches)
+            ]
 
+        reports: List[CycleReport] = []
+        pending = None  # (now, arrivals, expirations, dead, seconds)
+        try:
+            for index, batch in enumerate(batches):
+                now, live, expirations, dead = self._ingest(
+                    batch, None if nows is None else nows[index], None
+                )
+                started = time.perf_counter()
+                prepared = self.algorithm.prepare_cycle(
+                    live, expirations
+                )
+                prep_seconds = time.perf_counter() - started
+                # The encode above ran while the shards were still
+                # chewing the previous cycle; only now block for their
+                # replies.
+                if pending is not None:
+                    reports.append(self._finish_pipelined(pending))
+                    pending = None
+                started = time.perf_counter()
+                self.algorithm.begin_cycle(prepared)
+                send_seconds = time.perf_counter() - started
+                pending = (
+                    now,
+                    len(live),
+                    len(expirations),
+                    dead,
+                    prep_seconds + send_seconds,
+                )
+            if pending is not None:
+                reports.append(self._finish_pipelined(pending))
+                pending = None
+            return reports
+        except BaseException:
+            # A failed ingest/encode must not strand the in-flight
+            # cycle: collect it so its deltas dispatch, its report is
+            # accounted, and the algorithm accepts new cycles again.
+            if pending is not None:
+                try:
+                    reports.append(self._finish_pipelined(pending))
+                except Exception:  # already-terminated pool etc.
+                    pass
+            raise
+
+    def _finish_pipelined(self, pending) -> CycleReport:
+        """Collect one in-flight pipelined cycle: merge the shard
+        replies, account its coordinator-side seconds, and dispatch
+        its deltas."""
+        now, arrivals, expirations, dead, seconds = pending
+        started = time.perf_counter()
+        changes = self.algorithm.finish_cycle()
+        elapsed = seconds + (time.perf_counter() - started)
+        self.cycle_seconds.append(elapsed)
         report = CycleReport(
             timestamp=now,
-            arrivals=len(live),
-            expirations=len(expirations),
+            arrivals=arrivals,
+            expirations=expirations,
             changes=changes,
             cpu_seconds=elapsed,
             dead_on_arrival=dead,

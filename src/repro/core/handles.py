@@ -187,7 +187,14 @@ class QueryHandle:
         cancel)."""
         return self._monitor.subscribe(self._qid, callback)
 
-    def changes(self) -> "ChangeStream":
+    def changes(
+        self, maxlen: Optional[int] = None, block: bool = False
+    ) -> "ChangeStream":
         """A buffered iterator of this query's future deltas (see
-        :class:`~repro.core.subscriptions.ChangeStream`)."""
-        return self._monitor.changes(self._qid)
+        :class:`~repro.core.subscriptions.ChangeStream`).
+
+        ``maxlen`` bounds the buffer (oldest delta dropped and counted
+        on overflow); ``block=True`` makes iteration wait for deltas
+        and terminate cleanly when the query or monitor goes away.
+        """
+        return self._monitor.changes(self._qid, maxlen=maxlen, block=block)

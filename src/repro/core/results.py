@@ -42,11 +42,12 @@ class ResultChange:
     for ordinary stream maintenance (the paper's per-cycle report),
     ``"register"`` for the initial result delivered at registration,
     ``"update"`` after an in-flight :meth:`~repro.core.handles.QueryHandle.update`,
-    ``"resume"`` for the re-sync delta after a pause, and ``"cancel"``
-    for the final clear-out when a query terminates. Replaying the
-    ``added``/``removed`` sequence of *every* cause reconstructs the
-    pull API's result exactly (see ``tests/integration/
-    test_subscription_parity.py``).
+    ``"resume"`` for the re-sync delta after a pause, ``"cancel"``
+    for the final clear-out when a query terminates, and ``"resync"``
+    for a backlog collapsed by a ``coalesce``-policy delivery
+    (:func:`merge_changes`). Replaying the ``added``/``removed``
+    sequence of *every* cause reconstructs the pull API's result
+    exactly (see ``tests/integration/test_subscription_parity.py``).
     """
 
     qid: int
@@ -80,6 +81,42 @@ def diff_results(
         removed=entries_best_first(removed),
         top=list(new),
         cause=cause,
+    )
+
+
+def merge_changes(
+    older: ResultChange, newer: ResultChange
+) -> ResultChange:
+    """Collapse two consecutive deltas of one query into a single
+    equivalent ``cause="resync"`` delta.
+
+    Replaying the merged delta on any state that would have accepted
+    ``older`` produces exactly the state after ``newer`` — the
+    invariant that lets a ``coalesce``-policy delivery shrink an
+    arbitrary backlog to one delta per query without breaking the
+    replay-parity contract. The pre-``older`` state is reconstructed
+    by inverting ``older`` against its own ``top``, then diffed
+    against ``newer.top``.
+
+    A terminal ``newer`` keeps its ``"cancel"`` cause: the merged
+    delta is still the query's final clear-out, and consumers (the
+    serving runtime included) key their teardown on seeing it.
+    """
+    if older.qid != newer.qid:
+        raise ValueError(
+            f"cannot merge deltas of different queries: "
+            f"{older.qid} != {newer.qid}"
+        )
+    before = {entry.rid: entry for entry in older.top}
+    for entry in older.added:
+        before.pop(entry.rid, None)
+    for entry in older.removed:
+        before[entry.rid] = entry
+    return diff_results(
+        older.qid,
+        entries_best_first(before.values()),
+        newer.top,
+        cause="cancel" if newer.cause == "cancel" else "resync",
     )
 
 

@@ -22,18 +22,37 @@ Delivery is synchronous and in-dispatch-order: callbacks run on the
 caller's thread *after* the cycle's maintenance has been timed, so
 subscriber work never pollutes ``cycle_seconds``. Callbacks must not
 mutate the delivered change objects (they are shared with the cycle
-report) and should not re-enter the monitor mid-dispatch.
+report) and should not re-enter the monitor mid-dispatch. For
+*asynchronous* delivery — bounded per-subscriber queues drained by
+dedicated consumer threads, with selectable overflow policies — layer
+:class:`repro.service.DeliveryHub` on top of this hub; it is the
+delivery path the network front-end (:mod:`repro.service.server`)
+uses.
+
+Backpressure: every :class:`ChangeStream` buffer is **bounded**
+(:data:`DEFAULT_STREAM_MAXLEN` deltas unless the creator chooses a
+different ``maxlen``). A stream nobody drains can therefore never grow
+the monitor without bound — when the buffer is full the oldest delta
+is dropped and counted (:attr:`ChangeStream.dropped`, aggregated in
+:meth:`SubscriptionHub.stats` and surfaced by the engine's
+``delivery_stats()``). A consumer that must not lose deltas drains
+every cycle, raises ``maxlen``, or uses a ``coalesce``-policy
+:class:`repro.service.Delivery` whose resync deltas preserve replay
+parity even across overflow.
 
 Exactness contract: for any subscriber, replaying the delivered
 ``added``/``removed`` deltas on top of the query's result at subscribe
 time reconstructs the pull API's result after every cycle — including
 across :meth:`~repro.core.handles.QueryHandle.update` and pause/resume
 churn, and identically for in-process and sharded monitors (sharded
-deltas are dispatched from the coordinator's merged report).
+deltas are dispatched from the coordinator's merged report) — provided
+no delta was dropped to the buffer bound (``dropped`` stays 0).
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
@@ -41,6 +60,12 @@ from repro.core.results import ResultChange
 
 #: subscription callback: receives one ResultChange per delivery.
 ChangeCallback = Callable[[ResultChange], None]
+
+#: default bound of a ChangeStream buffer. Large enough that any
+#: consumer draining once per cycle never comes close (a query's
+#: deltas arrive at most a handful per cycle), small enough that a
+#: million abandoned streams cannot hold the process hostage.
+DEFAULT_STREAM_MAXLEN = 4096
 
 
 class Subscription:
@@ -51,7 +76,7 @@ class Subscription:
     handle) — not directly.
     """
 
-    __slots__ = ("qid", "_callback", "_hub", "_active")
+    __slots__ = ("qid", "_callback", "_hub", "_active", "_cancel_hooks")
 
     def __init__(
         self,
@@ -64,11 +89,24 @@ class Subscription:
         self._callback = callback
         self._hub = hub
         self._active = True
+        self._cancel_hooks: List[Callable[[], None]] = []
 
     @property
     def active(self) -> bool:
         """False once cancelled (or the hub closed)."""
         return self._active
+
+    def add_cancel_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` when this subscription is cancelled (query
+        terminated, explicit cancel, or monitor shutdown). Runs
+        immediately if already cancelled — so a late registration can
+        never miss the teardown signal. Used by blocking streams and
+        the async delivery layer to wake waiters instead of leaving
+        them blocked forever."""
+        if not self._active:
+            hook()
+            return
+        self._cancel_hooks.append(hook)
 
     def cancel(self) -> None:
         """Stop deliveries. Idempotent; buffered stream deltas remain
@@ -76,6 +114,9 @@ class Subscription:
         if self._active:
             self._active = False
             self._hub._detach(self)
+            hooks, self._cancel_hooks = self._cancel_hooks, []
+            for hook in hooks:
+                hook()
 
     def _deliver(self, change: ResultChange) -> None:
         if self._active:
@@ -90,32 +131,103 @@ class Subscription:
 class ChangeStream:
     """Buffered iterator over a query's (or the monitor's) deltas.
 
-    Deltas pushed between drains accumulate in an unbounded FIFO;
-    iterating the stream pops them in delivery order and *stops* when
-    the buffer runs dry — it does not block. A later cycle refills the
-    buffer and iteration can simply continue::
+    Deltas pushed between drains accumulate in a **bounded** FIFO
+    (``maxlen`` deltas, default :data:`DEFAULT_STREAM_MAXLEN`; on
+    overflow the oldest delta is dropped and counted in
+    :attr:`dropped`). Iterating the stream pops them in delivery
+    order. Two consumption modes:
 
-        stream = handle.changes()
-        monitor.process(batch_1)
-        for change in stream:        # deltas of batch_1
-            ...
-        monitor.process(batch_2)
-        for change in stream:        # deltas of batch_2
-            ...
+    - **non-blocking** (the default): iteration *stops* when the
+      buffer runs dry — it does not block. A later cycle refills the
+      buffer and iteration can simply continue::
 
-    Once :meth:`close` is called (directly, via query cancellation, or
-    by ``monitor.close()``) no further deltas arrive; anything already
-    buffered stays drainable.
+          stream = handle.changes()
+          monitor.process(batch_1)
+          for change in stream:        # deltas of batch_1
+              ...
+          monitor.process(batch_2)
+          for change in stream:        # deltas of batch_2
+              ...
+
+    - **blocking** (``block=True``): iteration waits for the next
+      delta, which lets a dedicated consumer thread run ``for change
+      in stream`` as its main loop. The loop terminates cleanly
+      (``StopIteration``) when the stream closes — directly, via query
+      cancellation, or via ``monitor.close()`` — never blocking
+      forever on a dead monitor. :meth:`get` is the timeout-aware
+      single-delta variant.
+
+    Once :meth:`close` is called no further deltas arrive; anything
+    already buffered stays drainable (in non-blocking mode, and
+    blocking iteration also drains the remainder before stopping).
     """
 
-    __slots__ = ("_buffer", "_subscription", "_closed")
+    __slots__ = (
+        "_buffer",
+        "_subscription",
+        "_closed",
+        "_cond",
+        "_maxlen",
+        "_block",
+        "_dropped",
+        "_high_watermark",
+        "_accountant",
+        "__weakref__",
+    )
 
-    def __init__(self, subscription_factory) -> None:
+    def __init__(
+        self,
+        subscription_factory,
+        maxlen: Optional[int] = None,
+        block: bool = False,
+        accountant: Optional["SubscriptionHub"] = None,
+    ) -> None:
+        if maxlen is None:
+            maxlen = DEFAULT_STREAM_MAXLEN
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
         self._buffer: Deque[ResultChange] = deque()
         self._closed = False
-        self._subscription: Subscription = subscription_factory(
-            self._buffer.append
-        )
+        self._cond = threading.Condition()
+        self._maxlen = int(maxlen)
+        self._block = bool(block)
+        self._dropped = 0
+        self._high_watermark = 0
+        #: hub notified of drops, so monitor-wide loss totals survive
+        #: this stream being abandoned and garbage-collected.
+        self._accountant = accountant
+        self._subscription: Subscription = subscription_factory(self._push)
+        # Wake blocking iterators when the subscription dies out from
+        # under the stream (query cancelled, monitor closed) — the
+        # regression this guards: a consumer thread blocked in
+        # ``for change in stream`` must terminate on close, not hang.
+        self._subscription.add_cancel_hook(self._wake)
+
+    # ------------------------------------------------------------------
+    # Producer side (hub dispatch thread)
+    # ------------------------------------------------------------------
+
+    def _push(self, change: ResultChange) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            if len(self._buffer) >= self._maxlen:
+                self._buffer.popleft()
+                self._dropped += 1
+                if self._accountant is not None:
+                    self._accountant._note_stream_drop(self._maxlen)
+            self._buffer.append(change)
+            if len(self._buffer) > self._high_watermark:
+                self._high_watermark = len(self._buffer)
+            self._cond.notify_all()
+
+    def _wake(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
 
     @property
     def qid(self) -> Optional[int]:
@@ -128,41 +240,95 @@ class ChangeStream:
         return len(self._buffer)
 
     @property
+    def maxlen(self) -> int:
+        """The buffer bound (oldest delta dropped on overflow)."""
+        return self._maxlen
+
+    @property
+    def dropped(self) -> int:
+        """Deltas dropped to the buffer bound. A non-zero count voids
+        the replay-parity guarantee for this stream — re-sync by
+        pulling the query's result."""
+        return self._dropped
+
+    @property
+    def high_watermark(self) -> int:
+        """Largest buffer depth ever observed."""
+        return self._high_watermark
+
+    @property
     def closed(self) -> bool:
         """True once no further deltas can arrive — the stream was
         closed directly, its query was cancelled, or the monitor shut
         down."""
         return self._closed or not self._subscription.active
 
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+
     def __iter__(self) -> "ChangeStream":
         return self
 
     def __next__(self) -> ResultChange:
-        if self._buffer:
-            return self._buffer.popleft()
-        raise StopIteration
+        with self._cond:
+            if not self._block:
+                if self._buffer:
+                    return self._buffer.popleft()
+                raise StopIteration
+            while not self._buffer and not self.closed:
+                self._cond.wait()
+            if self._buffer:
+                return self._buffer.popleft()
+            raise StopIteration
+
+    def get(self, timeout: Optional[float] = None) -> Optional[ResultChange]:
+        """Blocking pop of the next delta, regardless of the stream's
+        iteration mode. Returns ``None`` when the stream is closed
+        with nothing buffered, or when ``timeout`` (seconds) expires
+        first."""
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: self._buffer or self.closed, timeout=timeout
+            ):
+                return None
+            if self._buffer:
+                return self._buffer.popleft()
+            return None
 
     def drain(self) -> List[ResultChange]:
-        """Pop and return every buffered delta."""
-        drained = list(self._buffer)
-        self._buffer.clear()
+        """Pop and return every buffered delta (never blocks)."""
+        with self._cond:
+            drained = list(self._buffer)
+            self._buffer.clear()
         return drained
 
     def close(self) -> None:
-        """Detach from the hub. Idempotent; buffered deltas remain."""
+        """Detach from the hub and wake blocked iterators. Idempotent;
+        buffered deltas remain drainable."""
         if not self._closed:
             self._closed = True
             self._subscription.cancel()
+            self._wake()
 
 
 class SubscriptionHub:
     """Registry and dispatcher of a monitor's subscriptions."""
 
-    __slots__ = ("_by_qid", "_all")
+    __slots__ = ("_by_qid", "_all", "_streams", "_dropped", "_overflow_hw")
 
     def __init__(self) -> None:
         self._by_qid: Dict[int, List[Subscription]] = {}
         self._all: List[Subscription] = []
+        #: live streams, for buffered-depth accounting (weak: an
+        #: abandoned stream must stay collectable).
+        self._streams: "weakref.WeakSet[ChangeStream]" = weakref.WeakSet()
+        #: cumulative drops across every stream this hub ever created
+        #: — a collected stream's losses must not vanish from the
+        #: monitor's totals.
+        self._dropped = 0
+        #: deepest buffer that ever overflowed (survives stream GC).
+        self._overflow_hw = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -180,14 +346,26 @@ class SubscriptionHub:
         self._all.append(subscription)
         return subscription
 
-    def stream(self, qid: Optional[int] = None) -> ChangeStream:
+    def stream(
+        self,
+        qid: Optional[int] = None,
+        maxlen: Optional[int] = None,
+        block: bool = False,
+    ) -> ChangeStream:
         """A buffered :class:`ChangeStream` (per query, or monitor-wide
-        when ``qid`` is None)."""
+        when ``qid`` is None). ``maxlen`` bounds the buffer (default
+        :data:`DEFAULT_STREAM_MAXLEN`); ``block=True`` makes iteration
+        wait for deltas instead of stopping when dry."""
         if qid is None:
-            return ChangeStream(self.subscribe_all)
-        return ChangeStream(
-            lambda callback: self.subscribe(int(qid), callback)
+            factory = self.subscribe_all
+        else:
+            def factory(callback, _qid=int(qid)):
+                return self.subscribe(_qid, callback)
+        stream = ChangeStream(
+            factory, maxlen=maxlen, block=block, accountant=self
         )
+        self._streams.add(stream)
+        return stream
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -214,6 +392,48 @@ class SubscriptionHub:
                 subscription._deliver(change)
 
     # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def subscription_count(self) -> int:
+        """Live subscriptions (per-query + monitor-wide)."""
+        return sum(len(bucket) for bucket in self._by_qid.values()) + len(
+            self._all
+        )
+
+    def _note_stream_drop(self, depth: int) -> None:
+        self._dropped += 1
+        if depth > self._overflow_hw:
+            self._overflow_hw = depth
+
+    @property
+    def dropped_changes(self) -> int:
+        """Total deltas dropped to stream buffer bounds — cumulative
+        over the hub's lifetime, including streams since abandoned
+        and garbage-collected."""
+        return self._dropped
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate delivery accounting across this hub's streams.
+
+        ``dropped_changes`` is cumulative (drops of collected streams
+        stay counted); ``streams``/``buffered_changes`` cover the
+        streams currently alive.
+        """
+        streams = list(self._streams)
+        return {
+            "subscriptions": self.subscription_count,
+            "streams": len(streams),
+            "buffered_changes": sum(s.pending for s in streams),
+            "dropped_changes": self._dropped,
+            "high_watermark": max(
+                (s.high_watermark for s in streams),
+                default=self._overflow_hw,
+            ),
+        }
+
+    # ------------------------------------------------------------------
     # Teardown
     # ------------------------------------------------------------------
 
@@ -238,13 +458,19 @@ class SubscriptionHub:
         """Cancel every per-query subscription of a terminated qid.
 
         Called *after* the final ``cause="cancel"`` delta has been
-        dispatched, so streams keep that delta buffered.
+        dispatched, so streams keep that delta buffered (and blocked
+        stream iterators wake up to drain it, then stop).
         """
         for subscription in list(self._by_qid.get(int(qid), ())):
             subscription.cancel()
 
     def close(self) -> None:
-        """Cancel every subscription (monitor shutdown). Idempotent."""
+        """Cancel every subscription (monitor shutdown). Idempotent.
+
+        Cancel hooks fire for every subscription, so blocking stream
+        iterators and async deliveries terminate instead of waiting on
+        a monitor that will never dispatch again.
+        """
         for bucket in list(self._by_qid.values()):
             for subscription in list(bucket):
                 subscription.cancel()

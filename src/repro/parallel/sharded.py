@@ -31,6 +31,19 @@ shard counts, algorithms, grouping, churn, and both batch backends.
 Grouped variants keep their sweeps intact because the planner routes
 whole similarity buckets to one shard.
 
+**Pipelined broadcast.** :meth:`ShardedMonitorAlgorithm.process_cycle`
+is strict lockstep (encode → send-all → recv-all → merge). The same
+work is also exposed as three phases — :meth:`prepare_cycle` (encode
+only), :meth:`begin_cycle` (send, don't wait) and :meth:`finish_cycle`
+(completion-order receive + merge) — so
+:meth:`~repro.core.engine.StreamMonitor.process_many` can build cycle
+*t+1*'s snapshot while the shards still compute cycle *t*. Replies are
+always collected in completion order
+(:func:`multiprocessing.connection.wait`), so a fast shard's report is
+unpickled and merged while slow shards still work. Results stay
+bitwise identical: workers serve requests strictly in pipe order, and
+at most one cycle is ever in flight.
+
 Worker processes are daemons; :meth:`close` shuts them down
 gracefully, and abandoning the object terminates them. Set
 ``REPRO_SHARD_START_METHOD`` (``fork``/``spawn``/``forkserver``) and
@@ -42,6 +55,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from multiprocessing import connection as mp_connection
 from typing import Dict, Iterable, List, Optional
 
 from repro.algorithms.base import MonitorAlgorithm
@@ -129,6 +144,9 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
         self._timeout = _rpc_timeout()
         self._conns: List = []
         self._procs: List = []
+        #: shared-memory handle of the one in-flight pipelined cycle
+        #: (None when no cycle is pending).
+        self._pending = None
         context = multiprocessing.get_context(_default_start_method())
         try:
             for shard in range(shards):
@@ -182,14 +200,63 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
 
     def _call(self, shard: int, command: str, payload=None):
         self._ensure_open()
+        self._require_no_pending(command)
         self._conns[shard].send((command, payload))
         return self._recv(shard)
 
     def _broadcast(self, command: str, payload=None) -> List:
         self._ensure_open()
+        self._require_no_pending(command)
         for connection in self._conns:
             connection.send((command, payload))
-        return [self._recv(shard) for shard in range(self.shards)]
+        return self._recv_all()
+
+    def _recv_all(self) -> List:
+        """Collect one reply per shard, in **completion order**.
+
+        ``send-all/recv-all`` in shard order would idle the
+        coordinator on shard 0 while faster shards sit with finished
+        replies; waiting on whichever pipe is readable lets the
+        coordinator unpickle (and later merge) each reply while the
+        stragglers still compute. Replies are returned indexed by
+        shard, so callers stay order-deterministic.
+        """
+        pending = {
+            self._conns[shard]: shard for shard in range(self.shards)
+        }
+        replies: List = [None] * self.shards
+        deadline = time.monotonic() + self._timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                ready = []
+            else:
+                ready = mp_connection.wait(
+                    list(pending), timeout=remaining
+                )
+            if not ready:
+                stuck = sorted(pending.values())
+                self._terminate()
+                raise StreamError(
+                    f"shards {stuck} ({self.name}) did not reply within "
+                    f"{self._timeout:.0f}s; worker pool terminated"
+                )
+            for connection in ready:
+                shard = pending.pop(connection)
+                try:
+                    status, payload = connection.recv()
+                except EOFError:
+                    self._terminate()
+                    raise StreamError(
+                        f"shard {shard} ({self.name}) died mid-request"
+                    ) from None
+                if status != "ok":
+                    self._terminate()
+                    raise StreamError(
+                        f"shard {shard} ({self.name}) failed:\n{payload}"
+                    )
+                replies[shard] = payload
+        return replies
 
     def _merge_counters(self, shard: int, snapshot: Dict[str, int]) -> None:
         """Fold one worker's counter snapshot into the merged totals.
@@ -235,6 +302,7 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
         single-process grouped registration would form.
         """
         self._ensure_open()
+        self._require_no_pending("register_many")
         for query in queries:
             if query.dims != self.dims:
                 raise DimensionalityError(
@@ -326,11 +394,73 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
         the disjoint union of per-shard change dicts — identical to the
         single-process report. ``arrivals``/``expirations`` (and the
         other replica-ingestion counters) come from shard 0's delta.
+
+        This is the strict (non-pipelined) path: encode, send, wait,
+        merge. :meth:`prepare_cycle` / :meth:`begin_cycle` /
+        :meth:`finish_cycle` expose the same work as three phases so
+        :meth:`~repro.core.engine.StreamMonitor.process_many` can
+        overlap the next cycle's snapshot encode with these shards
+        still computing the current one.
+        """
+        self.begin_cycle(self.prepare_cycle(arrivals, expirations))
+        return self.finish_cycle()
+
+    # ------------------------------------------------------------------
+    # Pipelined broadcast (see StreamMonitor.process_many)
+    # ------------------------------------------------------------------
+
+    #: the engine's process_many switches to the begin/finish split
+    #: when the algorithm advertises this.
+    supports_pipelining = True
+
+    def prepare_cycle(
+        self,
+        arrivals: List[StreamRecord],
+        expirations: List[StreamRecord],
+    ):
+        """Encode one cycle's columnar snapshot without sending it.
+
+        Pure coordinator-side CPU (NumPy pack + shared-memory fill) —
+        the portion of a cycle that pipelining hides under the shards'
+        in-flight work. The returned token is consumed by exactly one
+        :meth:`begin_cycle`.
         """
         payload, handle = encode_cycle(arrivals, expirations)
+        return (payload, handle)
+
+    def begin_cycle(self, prepared) -> None:
+        """Send a prepared snapshot to every shard and return without
+        waiting. Exactly one cycle may be in flight; interleaving
+        registration/mutation RPCs with an in-flight cycle would
+        reorder work between shards, so those raise until
+        :meth:`finish_cycle` collects the replies."""
+        self._ensure_open()
+        if self._pending is not None:
+            raise StreamError(
+                f"{self.name} already has a cycle in flight; call "
+                "finish_cycle() before beginning the next"
+            )
+        payload, handle = prepared
         try:
-            replies = self._broadcast("cycle", payload)
+            for connection in self._conns:
+                connection.send(("cycle", payload))
+        except BaseException:
+            handle.close()
+            raise
+        self._pending = handle
+
+    def finish_cycle(self) -> Dict[int, ResultChange]:
+        """Wait for the in-flight cycle's replies (completion order)
+        and merge them into one change report."""
+        if self._pending is None:
+            raise StreamError(f"{self.name} has no cycle in flight")
+        handle, self._pending = self._pending, None
+        try:
+            replies = self._recv_all()
         finally:
+            # Workers copy out of the shared segment before replying,
+            # so the segment is release-safe once every reply (or the
+            # terminating error) is in.
             handle.close()
         changes: Dict[int, ResultChange] = {}
         for shard, (shard_changes, counters) in enumerate(replies):
@@ -339,6 +469,13 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
                 changes[qid] = change
                 self._results[qid] = list(change.top)
         return changes
+
+    def _require_no_pending(self, operation: str) -> None:
+        if self._pending is not None:
+            raise StreamError(
+                f"{operation} while a pipelined cycle is in flight on "
+                f"{self.name}; finish_cycle() first"
+            )
 
     def _apply_cycle(
         self,
@@ -375,6 +512,16 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
             total += entries
         return total
 
+    def ping(self) -> bool:
+        """Round-trip every worker (health check / pipeline barrier).
+
+        Workers answer strictly in pipe order, so a successful ping
+        proves every previously submitted cycle has been processed.
+        """
+        return all(
+            reply == "pong" for reply in self._broadcast("ping")
+        )
+
     def shard_spaces(self) -> List:
         """Per-shard :class:`~repro.analysis.memory.SpaceBreakdown`s.
 
@@ -389,6 +536,13 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
 
     def close(self) -> None:
         """Shut the worker pool down gracefully (terminate stragglers)."""
+        if self._pending is not None and self._conns:
+            # Drain the in-flight cycle so workers reach their recv
+            # loop (and the shared segment is released) before stop.
+            try:
+                self.finish_cycle()
+            except StreamError:
+                pass
         for connection in self._conns:
             try:
                 connection.send(("stop", None))
@@ -399,6 +553,9 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
         self._terminate()
 
     def _terminate(self) -> None:
+        if self._pending is not None:
+            self._pending.close()
+            self._pending = None
         for process in self._procs:
             if process.is_alive():
                 process.terminate()

@@ -15,7 +15,13 @@ Protocol (``(command, payload)`` in, ``(status, payload)`` out)::
     cycle         snapshot      -> ok ({qid: ResultChange}, counters)
     stats         None          -> ok ((state_sizes, il_entries), counters)
     space         None          -> ok SpaceBreakdown
+    ping          None          -> ok "pong"
     stop          None          -> ok None, then the loop exits
+
+``ping`` is a pure round trip: because a worker serves requests
+strictly in pipe order, a ``pong`` proves every previously sent cycle
+has been fully processed — the barrier the pipelined-broadcast tests
+and the serving runtime's health checks rely on.
 
 Any exception is caught and returned as ``("error", traceback)`` — the
 coordinator re-raises; a worker only dies on pipe EOF or ``stop``.
@@ -82,4 +88,6 @@ def _dispatch(algo, command: str, payload):
         from repro.analysis.memory import estimate_space
 
         return estimate_space(algo)
+    if command == "ping":
+        return "pong"
     raise ValueError(f"unknown shard command {command!r}")

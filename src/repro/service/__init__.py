@@ -1,0 +1,51 @@
+"""repro.service — the asynchronous serving runtime.
+
+Layers the in-process monitor facade into something servable:
+
+- :class:`~repro.service.delivery.DeliveryHub` /
+  :class:`~repro.service.delivery.Delivery`: bounded per-subscriber
+  queues drained by dedicated consumer threads, with selectable
+  overflow policies (``block`` / ``drop_oldest`` / ``coalesce``) —
+  slow subscribers can no longer stall the maintenance cycle;
+- :class:`~repro.service.server.MonitorServer`: an asyncio TCP
+  front-end speaking the line-delimited JSON protocol of
+  :mod:`repro.service.protocol`, exposing the full query-handle
+  surface (add/result/update/pause/resume/cancel/subscribe) to many
+  concurrent clients;
+- :class:`~repro.service.client.MonitorClient`: the matching
+  synchronous client, whose :class:`~repro.service.client.RemoteQueryHandle`
+  and :class:`~repro.service.client.RemoteChangeStream` mirror the
+  in-process handle API over the socket — with the same bitwise
+  replay-parity contract.
+
+See ``docs/SERVICE.md`` for the protocol specification, backpressure
+semantics, and the policy-selection guide.
+"""
+
+from repro.service.client import (
+    MonitorClient,
+    RemoteChangeStream,
+    RemoteQueryHandle,
+)
+from repro.service.delivery import (
+    DEFAULT_MAXLEN,
+    POLICIES,
+    Delivery,
+    DeliveryHub,
+)
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError, ServiceError
+from repro.service.server import MonitorServer
+
+__all__ = [
+    "DEFAULT_MAXLEN",
+    "Delivery",
+    "DeliveryHub",
+    "MonitorClient",
+    "MonitorServer",
+    "POLICIES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteChangeStream",
+    "RemoteQueryHandle",
+    "ServiceError",
+]

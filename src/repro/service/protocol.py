@@ -1,0 +1,234 @@
+"""Line-delimited JSON wire protocol of the serving runtime.
+
+One message per line (``\\n``-terminated UTF-8 JSON object). Three
+message shapes travel the socket:
+
+**Requests** (client → server)::
+
+    {"id": 7, "op": "add_query", "query": {"kind": "topk",
+     "weights": [1.0, 2.0], "k": 10, "label": "leaders"}}
+
+**Responses** (server → client; ``id`` echoes the request)::
+
+    {"id": 7, "ok": true, "qid": 3, "result": [ENTRY, ...]}
+    {"id": 7, "ok": false, "error": {"type": "QueryError",
+     "message": "unknown or terminated query id 3 (...)"}}
+
+**Events** (server → client, unsolicited; one per delivered delta)::
+
+    {"event": "change", "sub": 2, "ts": 1721923200.125,
+     "qid": 3, "cause": "cycle",
+     "added": [ENTRY, ...], "removed": [ENTRY, ...],
+     "top": [ENTRY, ...]}
+    {"event": "closed", "sub": 2}
+
+where ``ENTRY`` is ``{"score": float, "rid": int, "attrs": [float,
+...], "time": float}`` and ``ts`` is the server's ``time.time()``
+stamp taken when the delta entered the subscriber's delivery queue
+(latency = client receipt time − ts, meaningful on one host).
+
+**Exactness over the wire.** Scores and attributes are IEEE-754
+doubles; Python's JSON encoder emits ``repr``-faithful floats and the
+decoder parses them back to the identical double, so a replayed remote
+state is *bitwise* equal to the server's pull result — the same parity
+contract the in-process subscription layer pins.
+
+Only :class:`~repro.core.scoring.LinearFunction` preferences cross the
+wire (a weights list); arbitrary callables are not serialisable and
+are rejected with :class:`ProtocolError`. Supported query kinds:
+``topk`` and ``threshold``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.errors import ReproError
+from repro.core.queries import ThresholdQuery, TopKQuery
+from repro.core.results import ResultChange, ResultEntry
+from repro.core.scoring import LinearFunction
+from repro.core.tuples import StreamRecord
+
+#: protocol revision, exchanged in the ``hello`` op.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ReproError):
+    """Malformed or unsupported wire content."""
+
+
+# ----------------------------------------------------------------------
+# Line framing
+# ----------------------------------------------------------------------
+
+
+def encode_line(message: Dict) -> bytes:
+    """One message → one ``\\n``-terminated JSON line."""
+    return (
+        json.dumps(message, separators=(",", ":"), allow_nan=False) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict:
+    """One received line → message dict."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable protocol line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"protocol line is not an object: {type(message).__name__}"
+        )
+    return message
+
+
+# ----------------------------------------------------------------------
+# Entries and changes
+# ----------------------------------------------------------------------
+
+
+def entry_to_wire(entry: ResultEntry) -> Dict:
+    return {
+        "score": entry.score,
+        "rid": entry.record.rid,
+        "attrs": list(entry.record.attrs),
+        "time": entry.record.time,
+    }
+
+
+def entry_from_wire(payload: Dict) -> ResultEntry:
+    try:
+        return ResultEntry(
+            float(payload["score"]),
+            StreamRecord(
+                int(payload["rid"]),
+                tuple(float(value) for value in payload["attrs"]),
+                float(payload["time"]),
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed wire entry: {exc}") from None
+
+
+def change_to_wire(change: ResultChange) -> Dict:
+    return {
+        "qid": change.qid,
+        "cause": change.cause,
+        "added": [entry_to_wire(entry) for entry in change.added],
+        "removed": [entry_to_wire(entry) for entry in change.removed],
+        "top": [entry_to_wire(entry) for entry in change.top],
+    }
+
+
+def change_from_wire(payload: Dict) -> ResultChange:
+    try:
+        return ResultChange(
+            qid=int(payload["qid"]),
+            added=[entry_from_wire(e) for e in payload["added"]],
+            removed=[entry_from_wire(e) for e in payload["removed"]],
+            top=[entry_from_wire(e) for e in payload["top"]],
+            cause=str(payload["cause"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed wire change: {exc}") from None
+
+
+def entries_from_wire(payload: List[Dict]) -> List[ResultEntry]:
+    return [entry_from_wire(item) for item in payload]
+
+
+def entries_to_wire(entries: List[ResultEntry]) -> List[Dict]:
+    return [entry_to_wire(entry) for entry in entries]
+
+
+# ----------------------------------------------------------------------
+# Query specifications
+# ----------------------------------------------------------------------
+
+
+def _wire_weights(query) -> List[float]:
+    function = query.function
+    if not isinstance(function, LinearFunction):
+        raise ProtocolError(
+            f"only LinearFunction preferences are wire-serialisable; "
+            f"{type(function).__name__} is not"
+        )
+    return list(function.weights)
+
+
+def query_to_wire(query) -> Dict:
+    if isinstance(query, ThresholdQuery):
+        return {
+            "kind": "threshold",
+            "weights": _wire_weights(query),
+            "threshold": query.threshold,
+            "label": query.label,
+        }
+    if isinstance(query, TopKQuery):
+        if type(query) is not TopKQuery:
+            raise ProtocolError(
+                f"{type(query).__name__} is not wire-serialisable "
+                "(supported kinds: topk, threshold)"
+            )
+        return {
+            "kind": "topk",
+            "weights": _wire_weights(query),
+            "k": query.k,
+            "label": query.label,
+        }
+    raise ProtocolError(
+        f"unsupported query type {type(query).__name__}"
+    )
+
+
+def query_from_wire(payload: Dict):
+    try:
+        kind = payload.get("kind", "topk")
+        weights = [float(value) for value in payload["weights"]]
+        label = str(payload.get("label", ""))
+        if kind == "topk":
+            return TopKQuery(
+                LinearFunction(weights),
+                k=int(payload["k"]),
+                label=label,
+            )
+        if kind == "threshold":
+            return ThresholdQuery(
+                LinearFunction(weights),
+                threshold=float(payload["threshold"]),
+                label=label,
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed wire query: {exc}") from None
+    raise ProtocolError(f"unknown query kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Errors
+# ----------------------------------------------------------------------
+
+
+def error_to_wire(exc: BaseException) -> Dict:
+    return {"type": type(exc).__name__, "message": str(exc)}
+
+
+def raise_from_wire(payload: Optional[Dict]) -> None:
+    """Re-raise a server-side error client-side, mapping the repro
+    error taxonomy back onto the local exception classes."""
+    from repro.core.errors import QueryError, StreamError
+
+    payload = payload or {}
+    kind = payload.get("type", "ServerError")
+    message = payload.get("message", "unknown server error")
+    if kind == "QueryError":
+        raise QueryError(message)
+    if kind == "StreamError":
+        raise StreamError(message)
+    if kind == "ProtocolError":
+        raise ProtocolError(message)
+    raise ServiceError(f"{kind}: {message}")
+
+
+class ServiceError(ReproError):
+    """Server-side failure with no more specific local class."""

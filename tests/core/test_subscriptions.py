@@ -218,3 +218,164 @@ class TestDispatchDiscipline:
         handle.subscribe(explode)
         with pytest.raises(RuntimeError):
             monitor.process(monitor.make_records([[0.9, 0.9]]))
+
+
+class TestBoundedStreams:
+    def test_default_buffer_is_bounded(self):
+        from repro.core.subscriptions import DEFAULT_STREAM_MAXLEN
+
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        stream = handle.changes()
+        assert stream.maxlen == DEFAULT_STREAM_MAXLEN
+        assert stream.dropped == 0
+
+    def test_overflow_drops_oldest_and_counts(self):
+        rng = random.Random(4)
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=3)
+        )
+        stream = handle.changes(maxlen=2)
+        deltas = 0
+        cycle = 0
+        while deltas < 6:
+            feed(monitor, rng, time_=float(cycle))
+            cycle += 1
+            deltas = stream.pending + stream.dropped
+        assert stream.pending == 2
+        assert stream.dropped >= 4
+        assert stream.high_watermark == 2
+        # The newest deltas survive: the last one's top is the live
+        # result.
+        drained = stream.drain()
+        assert drained[-1].top_ids() == [
+            entry.rid for entry in handle.result()
+        ]
+        monitor.close()
+
+    def test_invalid_maxlen_rejected(self):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        with pytest.raises(ValueError):
+            handle.changes(maxlen=0)
+        monitor.close()
+
+    def test_delivery_stats_surface_drops(self):
+        rng = random.Random(5)
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=3)
+        )
+        stream = handle.changes(maxlen=1)
+        assert monitor.dropped_changes == 0
+        cycle = 0
+        while stream.dropped == 0:
+            feed(monitor, rng, time_=float(cycle))
+            cycle += 1
+        stats = monitor.delivery_stats()
+        assert stats["dropped_changes"] == stream.dropped
+        assert stats["streams"] == 1
+        assert stats["subscriptions"] == 1
+        assert stats["buffered_changes"] == stream.pending
+        assert stats["high_watermark"] >= 1
+        assert monitor.dropped_changes == stream.dropped
+        monitor.close()
+
+    def test_get_with_timeout(self):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        stream = handle.changes()
+        assert stream.get(timeout=0.05) is None  # nothing buffered
+        monitor.process(monitor.make_records([[0.9, 0.9]]))
+        change = stream.get(timeout=1.0)
+        assert change is not None and change.cause == "cycle"
+        monitor.close()
+        assert stream.get(timeout=0.05) is None  # closed and empty
+
+
+class TestBlockingStreams:
+    """close() while a changes() stream is mid-iteration must
+    terminate the consumer cleanly — never leave it blocked forever."""
+
+    def consume_in_thread(self, stream):
+        import threading
+
+        seen = []
+        done = threading.Event()
+
+        def run():
+            for change in stream:  # blocking iteration
+                seen.append(change)
+            done.set()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        return seen, done, thread
+
+    def test_blocking_iteration_delivers_then_stops_on_close(self):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        stream = handle.changes(block=True)
+        seen, done, thread = self.consume_in_thread(stream)
+        monitor.process(monitor.make_records([[0.9, 0.9]]))
+        deadline = 50
+        while not seen and deadline:
+            import time as _time
+
+            _time.sleep(0.01)
+            deadline -= 1
+        assert seen and seen[0].cause == "cycle"
+        monitor.close()
+        assert done.wait(timeout=5), (
+            "blocked stream iterator did not terminate on monitor close"
+        )
+        thread.join(timeout=5)
+
+    def test_blocked_iterator_wakes_on_monitor_close(self):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        stream = handle.changes(block=True)
+        seen, done, thread = self.consume_in_thread(stream)
+        # No deltas at all: the iterator is parked on an empty buffer.
+        monitor.close()
+        assert done.wait(timeout=5)
+        assert seen == []
+        thread.join(timeout=5)
+
+    def test_blocked_iterator_wakes_on_query_cancel(self):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        stream = handle.changes(block=True)
+        seen, done, thread = self.consume_in_thread(stream)
+        monitor.process(monitor.make_records([[0.9, 0.9]]))
+        handle.cancel()
+        assert done.wait(timeout=5)
+        # The cycle delta and the final cancel delta were both drained
+        # before the iterator stopped.
+        assert [change.cause for change in seen] == ["cycle", "cancel"]
+        thread.join(timeout=5)
+
+    def test_blocked_iterator_wakes_on_stream_close(self):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=1)
+        )
+        stream = handle.changes(block=True)
+        seen, done, thread = self.consume_in_thread(stream)
+        stream.close()
+        assert done.wait(timeout=5)
+        monitor.close()
+        thread.join(timeout=5)

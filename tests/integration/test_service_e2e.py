@@ -1,0 +1,264 @@
+"""End-to-end serving acceptance: N concurrent socket clients, replay
+parity over the wire, stalled-subscriber isolation, sharded backends.
+
+The acceptance contract of the serving runtime (ISSUE 5): concurrent
+clients register queries over TCP, receive cause-tagged deltas, and
+every client's replayed state matches the pull ``result()`` bitwise;
+a deliberately-stalled subscriber does not increase the other
+subscribers' cycle or delivery latency.
+"""
+
+import random
+import socket
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.core.engine import StreamMonitor
+from repro.core.results import entries_best_first
+from repro.core.window import CountBasedWindow
+from repro.service import MonitorClient, MonitorServer, protocol
+
+
+def rows(rng, count):
+    return [(rng.random(), rng.random()) for _ in range(count)]
+
+
+def build_served(algorithm="tma", shards=None, **server_kwargs):
+    monitor = StreamMonitor(
+        2,
+        CountBasedWindow(80),
+        algorithm=algorithm,
+        cells_per_axis=4,
+        shards=shards,
+    )
+    server = MonitorServer(monitor, **server_kwargs)
+    server.start()
+    return monitor, server
+
+
+class _RemoteReplayer:
+    """Replays one remote stream into a state dict, on its own
+    thread, until the stream closes."""
+
+    def __init__(self, handle, stream):
+        self.handle = handle
+        self.stream = stream
+        self.entries = {entry.rid: entry for entry in handle.result()}
+        self.causes = []
+        self.failures = []
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+
+    def _run(self):
+        for change in self.stream:  # blocks until the stream closes
+            try:
+                self.causes.append(change.cause)
+                for entry in change.removed:
+                    assert self.entries.pop(entry.rid, None) is not None
+                for entry in change.added:
+                    assert entry.rid not in self.entries
+                    self.entries[entry.rid] = entry
+                assert entries_best_first(
+                    self.entries.values()
+                ) == list(change.top)
+            except AssertionError as exc:  # pragma: no cover
+                self.failures.append(str(exc))
+
+    def state(self):
+        # Tolerate a concurrent apply: retry the snapshot rather than
+        # blow up on "dict changed size during iteration".
+        for _ in range(100):
+            try:
+                return entries_best_first(list(self.entries.values()))
+            except RuntimeError:  # pragma: no cover - timing dependent
+                time.sleep(0.001)
+        return entries_best_first(list(self.entries.values()))
+
+
+@pytest.mark.parametrize(
+    "algorithm,shards",
+    [("tma", None), ("sma", None), ("tsl", None), ("tma", 2)],
+)
+def test_concurrent_clients_replay_parity_over_sockets(algorithm, shards):
+    rng = random.Random(41)
+    monitor, server = build_served(algorithm=algorithm, shards=shards)
+    clients, replayers = [], []
+    try:
+        host, port = server.address
+        driver = MonitorClient(host, port)
+        clients.append(driver)
+        driver.process(rows(rng, 40), now=0.0)
+
+        for index in range(3):
+            client = MonitorClient(host, port)
+            clients.append(client)
+            handle = client.add_query(
+                weights=[1.0, 0.3 + index * 0.5],
+                k=3 + index,
+                label=f"client{index}",
+            )
+            stream = handle.subscribe(policy="coalesce", maxlen=64)
+            replayers.append(_RemoteReplayer(handle, stream))
+
+        for cycle in range(1, 9):
+            driver.process(rows(rng, 20), now=float(cycle))
+        # Churn rides the same wire: one update, one pause/resume.
+        replayers[0].handle.update(k=2)
+        replayers[1].handle.pause()
+        driver.process(rows(rng, 20), now=9.0)
+        replayers[1].handle.resume()
+        driver.process(rows(rng, 20), now=10.0)
+
+        assert server.hub.flush(timeout=30)
+        # Server queues are drained, but frames may still be in socket
+        # transit (or popped-but-unapplied in a replayer thread); wait
+        # until every replayed state has converged on the pull result.
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline and any(
+            replayer.state() != replayer.handle.result()
+            for replayer in replayers
+        ):
+            time.sleep(0.05)
+
+        for replayer in replayers:
+            assert not replayer.failures, replayer.failures[:3]
+            assert replayer.causes, "no deltas delivered"
+            # Bitwise: every float crossed JSON twice and still
+            # matches the engine's pull result exactly.
+            assert replayer.state() == replayer.handle.result()
+            assert set(replayer.causes) <= {
+                "cycle",
+                "update",
+                "resume",
+                "resync",
+            }
+    finally:
+        for client in clients:
+            client.close()
+        for replayer in replayers:
+            replayer.thread.join(timeout=5)
+        server.stop()
+        monitor.close()
+
+
+def test_stalled_subscriber_does_not_slow_others():
+    """One subscriber that never reads its socket: the healthy
+    subscriber's cycle and delivery latency stay flat, losses land
+    only on the stalled delivery's counters."""
+    rng = random.Random(43)
+    monitor, server = build_served(default_maxlen=4)
+    healthy = None
+    stalled_socket = None
+    try:
+        host, port = server.address
+        healthy = MonitorClient(host, port)
+        handle = healthy.add_query(weights=[1.0, 1.0], k=3)
+        stream = handle.subscribe(policy="coalesce", maxlen=8)
+
+        def run_cycles(count, start):
+            cycle_times, latencies = [], []
+            for cycle in range(count):
+                started = time.perf_counter()
+                healthy.process(
+                    rows(rng, 25), now=float(start + cycle)
+                )
+                cycle_times.append(time.perf_counter() - started)
+                event = stream.get_event(timeout=5.0)
+                if event is not None and event[1] is not None:
+                    change, ts, received_at = event
+                    latencies.append(received_at - ts)
+            return cycle_times, latencies
+
+        # Phase 1: healthy subscriber alone.
+        base_cycles, base_latency = run_cycles(8, start=0)
+
+        # Phase 2: add a subscriber that never reads its socket (it
+        # subscribes to *every* query with a tiny drop_oldest queue).
+        stalled_socket = socket.create_connection((host, port))
+        stalled_socket.sendall(
+            protocol.encode_line(
+                {
+                    "id": 1,
+                    "op": "subscribe",
+                    "policy": "drop_oldest",
+                    "maxlen": 2,
+                }
+            )
+        )
+        time.sleep(0.3)  # subscription lands; reader never drains
+        stall_cycles, stall_latency = run_cycles(8, start=8)
+
+        assert base_latency and stall_latency
+        # The stalled subscriber must not add meaningful latency to
+        # the healthy one. Generous bounds (CI noise), but a blocking
+        # regression would overshoot them by orders of magnitude.
+        assert statistics.median(stall_latency) < max(
+            0.25, 10 * max(0.005, statistics.median(base_latency))
+        )
+        assert max(stall_cycles) < 2.0
+        # Losses are confined to the stalled delivery.
+        hub_stats = server.hub.stats()
+        deliveries = {
+            delivery.name: delivery.stats()
+            for delivery in server.hub.deliveries()
+        }
+        healthy_drops = sum(
+            stats["dropped"]
+            for name, stats in deliveries.items()
+            if "sub1@" in name or name.startswith("q")
+        )
+        assert healthy_drops == 0
+        assert hub_stats["errors"] == 0
+    finally:
+        if stalled_socket is not None:
+            stalled_socket.close()
+        if healthy is not None:
+            healthy.close()
+        server.stop()
+        monitor.close()
+
+
+def test_server_over_sharded_monitor_with_process_many_embedder():
+    """The embedder drives pipelined cycles (process_many) while the
+    server pushes deltas from the same merged reports."""
+    rng = random.Random(47)
+    monitor, server = build_served(algorithm="tma", shards=2)
+    client = None
+    try:
+        host, port = server.address
+        client = MonitorClient(host, port)
+        handle = client.add_query(weights=[0.8, 1.2], k=4)
+        stream = handle.subscribe()
+
+        # Embedder-side pipelined ingestion under the engine lock.
+        with server._lock:
+            batches = [
+                monitor.make_records(rows(rng, 20), time_=float(cycle))
+                for cycle in range(6)
+            ]
+            monitor.process_many(batches)
+
+        assert server.hub.flush(timeout=30)
+        state = {entry.rid: entry for entry in []}
+        first = handle.result()  # may already include post-cycle state
+        # Replay from scratch using the stream's deltas only.
+        replayed = {}
+        while True:
+            change = stream.get(timeout=1.0)
+            if change is None:
+                break
+            for entry in change.removed:
+                replayed.pop(entry.rid, None)
+            for entry in change.added:
+                replayed[entry.rid] = entry
+        assert entries_best_first(replayed.values()) == handle.result()
+        assert first == handle.result()
+        assert not state
+    finally:
+        if client is not None:
+            client.close()
+        server.stop()
+        monitor.close()

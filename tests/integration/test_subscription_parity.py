@@ -14,6 +14,7 @@ bitwise — and the delta's own ``top`` must agree.
 """
 
 import random
+import time
 
 import pytest
 
@@ -146,3 +147,216 @@ def test_push_deltas_replay_to_pull_results(algorithm, shards):
 @pytest.mark.parametrize("shards", SHARD_COUNTS)
 def test_push_pull_parity_under_churn(algorithm, shards):
     run_monitor(algorithm, shards, churn=True)
+
+
+# ----------------------------------------------------------------------
+# Async delivery parity: every overflow policy must hand subscribers a
+# delta sequence that replays to the pull API's exact result — even
+# when the consumer falls behind and the policy has to intervene
+# (coalesce collapses the backlog into resync deltas; block applies
+# backpressure; drop_oldest is exercised below its loss threshold,
+# since a drop by design voids replay and is surfaced via counters).
+# ----------------------------------------------------------------------
+
+POLICIES = ["block", "drop_oldest", "coalesce"]
+
+#: queue bounds chosen so block/coalesce genuinely overflow while the
+#: consumer is held, and drop_oldest never loses a delta.
+_POLICY_MAXLEN = {"block": 2, "drop_oldest": 4096, "coalesce": 2}
+
+
+class _ThreadSafeReplayer:
+    """Replays deltas on delivery consumer threads; asserts the same
+    invariants as _Replayer but defers raising to the main thread."""
+
+    def __init__(self, handle):
+        self.qid = handle.qid
+        self.entries = {entry.rid: entry for entry in handle.result()}
+        self.deltas = 0
+        self.resyncs = 0
+        self.failures = []
+
+    def __call__(self, change, enqueued_at):
+        try:
+            assert change.qid == self.qid
+            self.deltas += 1
+            if change.cause == "resync":
+                self.resyncs += 1
+            for entry in change.removed:
+                assert self.entries.pop(entry.rid, None) is not None, (
+                    f"delta removed rid {entry.rid} never present"
+                )
+            for entry in change.added:
+                assert entry.rid not in self.entries, (
+                    f"delta re-added rid {entry.rid}"
+                )
+                self.entries[entry.rid] = entry
+            assert entries_best_first(self.entries.values()) == list(
+                change.top
+            )
+        except AssertionError as exc:  # pragma: no cover - diagnostics
+            self.failures.append(str(exc))
+
+    def state(self):
+        return entries_best_first(self.entries.values())
+
+
+def run_policy_monitor(algorithm, shards, policy):
+    from repro.service import DeliveryHub
+
+    rng = random.Random(23)
+    monitor = StreamMonitor(
+        2,
+        CountBasedWindow(100),
+        algorithm=algorithm,
+        cells_per_axis=4,
+        shards=shards if shards > 1 else None,
+    )
+    hub = DeliveryHub(monitor)
+    try:
+        handles = monitor.add_queries(
+            [
+                TopKQuery(
+                    LinearFunction(
+                        [rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0)]
+                    ),
+                    k=rng.choice([2, 3, 5]),
+                )
+                for _ in range(4)
+            ]
+        )
+        replayers = {}
+        deliveries = {}
+        for handle in handles:
+            replayer = _ThreadSafeReplayer(handle)
+            replayers[handle.qid] = replayer
+            if policy == "block":
+                # Backpressure builds against a genuinely slow (but
+                # never parked) consumer — parking one would block
+                # the producer forever, which is exactly the policy's
+                # contract.
+                def callback(change, at, _replayer=replayer):
+                    time.sleep(0.003)
+                    _replayer(change, at)
+            else:
+                callback = replayer
+            deliveries[handle.qid] = hub.deliver(
+                callback,
+                qid=handle.qid,
+                policy=policy,
+                maxlen=_POLICY_MAXLEN[policy],
+            )
+
+        holdable = policy != "block"
+        for cycle in range(10):
+            # Mid-run, park every consumer for three cycles so a real
+            # backlog builds and the policy has to act.
+            if cycle == 3 and holdable:
+                for delivery in deliveries.values():
+                    delivery.hold()
+            if cycle == 6 and holdable:
+                for delivery in deliveries.values():
+                    delivery.release()
+            batch = monitor.make_records(
+                [(rng.random(), rng.random()) for _ in range(25)],
+                time_=float(cycle),
+            )
+            monitor.process(batch)
+            # Deterministic churn so update/resume deltas also ride
+            # the async path.
+            if cycle == 5:
+                handles[0].update(k=4)
+            if cycle == 7:
+                handles[1].pause()
+            if cycle == 8:
+                handles[1].resume()
+
+        assert hub.flush(timeout=30), "delivery queues failed to drain"
+        for handle in handles:
+            replayer = replayers[handle.qid]
+            assert not replayer.failures, replayer.failures[:3]
+            assert replayer.deltas > 0
+            assert replayer.state() == list(handle.result()), (
+                f"{algorithm} x{shards} {policy}: replayed state "
+                f"diverged for qid {handle.qid}"
+            )
+        if policy == "coalesce":
+            # The held consumers overflowed their 2-deep queues: the
+            # backlog really was collapsed, and losslessly so.
+            assert any(
+                delivery.coalesced > 0
+                for delivery in deliveries.values()
+            )
+            assert all(
+                delivery.dropped == 0
+                for delivery in deliveries.values()
+            )
+        if policy == "drop_oldest":
+            assert all(
+                delivery.dropped == 0
+                for delivery in deliveries.values()
+            ), "capacity was sized to avoid losses"
+        if policy == "block":
+            assert all(
+                delivery.dropped == 0 and delivery.coalesced == 0
+                for delivery in deliveries.values()
+            )
+            assert all(
+                delivery.high_watermark <= _POLICY_MAXLEN["block"]
+                for delivery in deliveries.values()
+            )
+    finally:
+        hub.close()
+        monitor.close()
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_async_delivery_policy_parity(algorithm, shards, policy):
+    run_policy_monitor(algorithm, shards, policy)
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+def test_blocked_stream_terminates_on_close(shards):
+    """Regression (in-process and sharded): a consumer thread blocked
+    on ``changes(block=True)`` iteration must end cleanly when the
+    monitor closes, instead of blocking forever."""
+    import threading
+
+    rng = random.Random(31)
+    monitor = StreamMonitor(
+        2,
+        CountBasedWindow(60),
+        algorithm="tma",
+        cells_per_axis=4,
+        shards=shards if shards > 1 else None,
+    )
+    handle = monitor.add_query(
+        TopKQuery(LinearFunction([1.0, 0.7]), k=3)
+    )
+    stream = handle.changes(block=True)
+    seen = []
+    done = threading.Event()
+
+    def consume():
+        for change in stream:
+            seen.append(change)
+        done.set()
+
+    thread = threading.Thread(target=consume, daemon=True)
+    thread.start()
+    for cycle in range(3):
+        monitor.process(
+            monitor.make_records(
+                [(rng.random(), rng.random()) for _ in range(20)],
+                time_=float(cycle),
+            )
+        )
+    monitor.close()
+    assert done.wait(timeout=10), (
+        f"stream iterator hung across close (shards={shards})"
+    )
+    thread.join(timeout=5)
+    assert stream.closed
+    assert seen, "consumer saw no deltas before close"

@@ -1,0 +1,255 @@
+"""Pipelined shard broadcast: begin/finish split, process_many parity.
+
+The contract: ``StreamMonitor.process_many`` over a sharded algorithm
+overlaps the coordinator's next-cycle snapshot with in-flight shard
+work, yet every report — changes, counters, results, timestamps — is
+bitwise identical to strict sequential ``process`` calls.
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import StreamMonitor
+from repro.core.errors import StreamError
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.window import CountBasedWindow
+
+
+def build(algorithm, shards):
+    return StreamMonitor(
+        2,
+        CountBasedWindow(90),
+        algorithm=algorithm,
+        cells_per_axis=4,
+        shards=shards if shards > 1 else None,
+    )
+
+
+def make_queries(rng, count=4):
+    return [
+        TopKQuery(
+            LinearFunction(
+                [rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0)]
+            ),
+            k=rng.choice([1, 3, 5]),
+        )
+        for _ in range(count)
+    ]
+
+
+def drive(monitor, pipelined, cycles=8, seed=21):
+    rng = random.Random(seed)
+    handles = monitor.add_queries(make_queries(random.Random(99)))
+    batches = [
+        monitor.make_records(
+            [(rng.random(), rng.random()) for _ in range(18)],
+            time_=float(cycle),
+        )
+        for cycle in range(cycles)
+    ]
+    if pipelined:
+        reports = monitor.process_many(batches)
+    else:
+        reports = [monitor.process(batch) for batch in batches]
+    summary = [
+        (
+            report.timestamp,
+            report.arrivals,
+            report.expirations,
+            sorted(
+                (qid, change.top_ids())
+                for qid, change in report.changes.items()
+            ),
+        )
+        for report in reports
+    ]
+    finals = {int(h): [e.rid for e in h.result()] for h in handles}
+    return summary, finals, monitor.counters.as_dict()
+
+
+@pytest.mark.parametrize("algorithm", ["tma", "sma", "tsl"])
+@pytest.mark.parametrize("shards", [2, 4])
+def test_process_many_matches_sequential(algorithm, shards):
+    sequential = build(algorithm, shards)
+    try:
+        expected = drive(sequential, pipelined=False)
+    finally:
+        sequential.close()
+    pipelined = build(algorithm, shards)
+    try:
+        actual = drive(pipelined, pipelined=True)
+    finally:
+        pipelined.close()
+    assert actual == expected
+
+
+def test_process_many_matches_single_process_reference():
+    reference = build("tma", 1)
+    try:
+        expected = drive(reference, pipelined=False)
+    finally:
+        reference.close()
+    pipelined = build("tma", 2)
+    try:
+        actual = drive(pipelined, pipelined=True)
+    finally:
+        pipelined.close()
+    assert actual == expected
+
+
+def test_process_many_dispatches_deltas_in_order():
+    monitor = build("tma", 2)
+    try:
+        rng = random.Random(5)
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 0.5]), k=3)
+        )
+        stream = handle.changes()
+        batches = [
+            monitor.make_records(
+                [(rng.random(), rng.random()) for _ in range(15)],
+                time_=float(cycle),
+            )
+            for cycle in range(6)
+        ]
+        reports = monitor.process_many(batches)
+        # Every delta of every cycle is flushed (in order) by return.
+        drained = stream.drain()
+        expected = [
+            report.changes[handle.qid]
+            for report in reports
+            if handle.qid in report.changes
+            and report.changes[handle.qid].changed
+        ]
+        assert drained == expected
+    finally:
+        monitor.close()
+
+
+def test_process_many_in_process_fallback():
+    monitor = build("tma", 1)
+    try:
+        rng = random.Random(6)
+        monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=2))
+        batches = [
+            monitor.make_records(
+                [(rng.random(), rng.random()) for _ in range(10)],
+                time_=float(cycle),
+            )
+            for cycle in range(3)
+        ]
+        reports = monitor.process_many(batches)
+        assert len(reports) == 3
+        assert len(monitor.cycle_seconds) == 3
+    finally:
+        monitor.close()
+
+
+def test_process_many_failed_ingest_does_not_strand_cycle():
+    """Regression: an ingest error mid-run must drain the in-flight
+    cycle (deltas dispatched, pipeline cleared) before propagating —
+    not leave the monitor refusing every later cycle."""
+    monitor = build("tma", 2)
+    try:
+        rng = random.Random(9)
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 0.5]), k=3)
+        )
+        stream = handle.changes()
+        good = monitor.make_records(
+            [(rng.random(), rng.random()) for _ in range(15)], time_=1.0
+        )
+        bad = monitor.make_records(
+            [(rng.random(), rng.random()) for _ in range(15)], time_=0.5
+        )
+        from repro.core.errors import WindowError
+
+        with pytest.raises(WindowError, match="out-of-order"):
+            monitor.process_many([good, bad])
+        # The good cycle's deltas were dispatched before the raise...
+        drained = stream.drain()
+        assert drained and drained[-1].top_ids() == [
+            entry.rid for entry in handle.result()
+        ]
+        # ...and the monitor accepts new cycles again.
+        report = monitor.process(
+            monitor.make_records(
+                [(rng.random(), rng.random()) for _ in range(10)],
+                time_=2.0,
+            )
+        )
+        assert report.arrivals == 10
+    finally:
+        monitor.close()
+
+
+def test_process_many_nows_validation():
+    monitor = build("tma", 1)
+    try:
+        with pytest.raises(StreamError):
+            monitor.process_many([[], []], nows=[0.0])
+    finally:
+        monitor.close()
+
+
+class TestBeginFinishGuards:
+    def test_double_begin_rejected(self):
+        monitor = build("tma", 2)
+        try:
+            algo = monitor.algorithm
+            algo.begin_cycle(algo.prepare_cycle([], []))
+            with pytest.raises(StreamError):
+                algo.begin_cycle(algo.prepare_cycle([], []))
+            algo.finish_cycle()
+        finally:
+            monitor.close()
+
+    def test_finish_without_begin_rejected(self):
+        monitor = build("tma", 2)
+        try:
+            with pytest.raises(StreamError):
+                monitor.algorithm.finish_cycle()
+        finally:
+            monitor.close()
+
+    def test_rpcs_rejected_while_cycle_in_flight(self):
+        monitor = build("tma", 2)
+        try:
+            handle = monitor.add_query(
+                TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+            )
+            algo = monitor.algorithm
+            algo.begin_cycle(algo.prepare_cycle([], []))
+            with pytest.raises(StreamError):
+                algo.update_query(handle.qid, k=1)
+            with pytest.raises(StreamError):
+                algo.register_many(
+                    [TopKQuery(LinearFunction([0.5, 0.5]), k=1)]
+                )
+            algo.finish_cycle()
+            # After finishing, the same RPCs go through.
+            assert len(algo.update_query(handle.qid, k=1)) <= 1
+        finally:
+            monitor.close()
+
+    def test_close_drains_in_flight_cycle(self):
+        monitor = build("tma", 2)
+        algo = monitor.algorithm
+        algo.begin_cycle(algo.prepare_cycle([], []))
+        monitor.close()  # must not hang or leak the shared segment
+        assert monitor.closed
+
+    def test_ping_is_an_order_barrier(self):
+        monitor = build("tma", 2)
+        try:
+            rng = random.Random(7)
+            monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=2))
+            batch = monitor.make_records(
+                [(rng.random(), rng.random()) for _ in range(30)]
+            )
+            monitor.process(batch)
+            assert monitor.algorithm.ping()
+        finally:
+            monitor.close()

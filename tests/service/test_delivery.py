@@ -1,0 +1,401 @@
+"""Unit tests for the DeliveryHub: queues, policies, teardown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.engine import StreamMonitor
+from repro.core.queries import TopKQuery
+from repro.core.results import (
+    ResultChange,
+    diff_results,
+    entries_best_first,
+    merge_changes,
+)
+from repro.core.scoring import LinearFunction
+from repro.core.tuples import RecordFactory
+from repro.core.window import CountBasedWindow
+from repro.service.delivery import DeliveryHub
+
+
+def make_monitor():
+    return StreamMonitor(
+        2, CountBasedWindow(30), algorithm="tma", cells_per_axis=4
+    )
+
+
+def rows(rng, count):
+    return [(rng.random(), rng.random()) for _ in range(count)]
+
+
+class _Replayer:
+    """Thread-safe delta replayer (callbacks run on consumer threads)."""
+
+    def __init__(self, entries):
+        self.entries = {entry.rid: entry for entry in entries}
+        self.deltas = []
+
+    def __call__(self, change, enqueued_at):
+        for entry in change.removed:
+            assert self.entries.pop(entry.rid, None) is not None
+        for entry in change.added:
+            assert entry.rid not in self.entries
+            self.entries[entry.rid] = entry
+        assert entries_best_first(self.entries.values()) == list(change.top)
+        self.deltas.append(change)
+
+    def state(self):
+        return entries_best_first(self.entries.values())
+
+
+class TestMergeChanges:
+    def test_merge_is_replay_equivalent(self, rng):
+        monitor = make_monitor()
+        try:
+            handle = monitor.add_query(
+                TopKQuery(LinearFunction([1.0, 1.0]), k=3)
+            )
+            stream = handle.changes()
+            deltas = []
+            for cycle in range(8):
+                monitor.process(
+                    monitor.make_records(rows(rng, 10), time_=float(cycle))
+                )
+                deltas.extend(stream.drain())
+            assert len(deltas) >= 2
+            # Merging the whole chain must equal replaying it.
+            merged = deltas[0]
+            for delta in deltas[1:]:
+                merged = merge_changes(merged, delta)
+            assert merged.cause == "resync"
+            assert merged.top == deltas[-1].top
+            state = {}
+            for entry in merged.removed:
+                state.pop(entry.rid, None)
+            for entry in merged.added:
+                state[entry.rid] = entry
+            # added alone reconstructs from empty initial state here
+            # (query registered before any data).
+            assert entries_best_first(state.values()) == list(
+                handle.result()
+            )
+        finally:
+            monitor.close()
+
+    def test_merge_rejects_mismatched_qids(self):
+        first = ResultChange(qid=1)
+        second = ResultChange(qid=2)
+        with pytest.raises(ValueError):
+            merge_changes(first, second)
+
+
+class TestDeliveryBasics:
+    def test_async_delivery_reaches_callback(self, rng):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        try:
+            handle = monitor.add_query(
+                TopKQuery(LinearFunction([1.0, 0.5]), k=2)
+            )
+            replayer = _Replayer(handle.result())
+            hub.deliver(replayer, qid=handle.qid)
+            for cycle in range(5):
+                monitor.process(
+                    monitor.make_records(rows(rng, 8), time_=float(cycle))
+                )
+            assert hub.flush(timeout=5)
+            assert replayer.state() == handle.result()
+            assert replayer.deltas
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_monitor_wide_delivery_sees_register_cause(self, rng):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        try:
+            seen = []
+            hub.deliver(lambda change, at: seen.append(change.cause))
+            monitor.process(monitor.make_records(rows(rng, 5)))
+            monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=1))
+            monitor.process(
+                monitor.make_records(rows(rng, 5), time_=1.0)
+            )
+            assert hub.flush(timeout=5)
+            assert "register" in seen
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_callback_exception_is_counted_not_fatal(self, rng):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        try:
+            handle = monitor.add_query(
+                TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+            )
+            def bad(change, at):
+                raise RuntimeError("subscriber bug")
+            delivery = hub.deliver(bad, qid=handle.qid)
+            for cycle in range(3):
+                monitor.process(
+                    monitor.make_records(rows(rng, 8), time_=float(cycle))
+                )
+            assert hub.flush(timeout=5)
+            assert delivery.errors > 0
+            # The monitor kept cycling despite the raising subscriber.
+            assert len(monitor.cycle_seconds) == 3
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_slow_subscriber_does_not_block_maintenance(self, rng):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor, default_policy="drop_oldest")
+        try:
+            handle = monitor.add_query(
+                TopKQuery(LinearFunction([1.0, 1.0]), k=3)
+            )
+            release = threading.Event()
+            def stalled(change, at):
+                release.wait(timeout=30)
+            delivery = hub.deliver(stalled, qid=handle.qid, maxlen=2)
+            started = time.perf_counter()
+            for cycle in range(10):
+                monitor.process(
+                    monitor.make_records(rows(rng, 8), time_=float(cycle))
+                )
+            elapsed = time.perf_counter() - started
+            # 10 cycles of a tiny workload with a stalled subscriber
+            # must not take anywhere near the stall duration.
+            assert elapsed < 5
+            assert delivery.pending <= 2
+            release.set()
+        finally:
+            hub.close()
+            monitor.close()
+
+
+class TestPolicies:
+    def run_with_policy(self, rng, policy, maxlen, hold_cycles):
+        """Drive cycles with the consumer held, then release and
+        compare the replayed state to the pull result."""
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        try:
+            handle = monitor.add_query(
+                TopKQuery(LinearFunction([0.8, 1.2]), k=3)
+            )
+            replayer = _Replayer(handle.result())
+            delivery = hub.deliver(
+                replayer, qid=handle.qid, policy=policy, maxlen=maxlen
+            )
+            delivery.hold()
+            for cycle in range(hold_cycles):
+                monitor.process(
+                    monitor.make_records(rows(rng, 10), time_=float(cycle))
+                )
+            delivery.release()
+            assert hub.flush(timeout=10)
+            return monitor, hub, handle, delivery, replayer
+        except BaseException:
+            hub.close()
+            monitor.close()
+            raise
+
+    def test_coalesce_preserves_replay_parity_across_overflow(self, rng):
+        monitor, hub, handle, delivery, replayer = self.run_with_policy(
+            rng, "coalesce", maxlen=2, hold_cycles=10
+        )
+        try:
+            assert delivery.coalesced > 0
+            assert any(
+                change.cause == "resync" for change in replayer.deltas
+            )
+            assert replayer.state() == handle.result()
+            assert delivery.dropped == 0
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_coalesce_bounds_queue_to_distinct_queries(self, rng):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        try:
+            handles = monitor.add_queries(
+                [
+                    TopKQuery(LinearFunction([1.0, w / 4.0]), k=2)
+                    for w in range(1, 5)
+                ]
+            )
+            delivery = hub.deliver(
+                lambda change, at: None, policy="coalesce", maxlen=2
+            )
+            delivery.hold()
+            for cycle in range(12):
+                monitor.process(
+                    monitor.make_records(rows(rng, 10), time_=float(cycle))
+                )
+            # At most one pending resync per distinct query (+1 slack
+            # for the delta appended after the collapse).
+            assert delivery.pending <= len(handles) + 1
+            delivery.release()
+            assert hub.flush(timeout=10)
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_drop_oldest_counts_losses_and_never_blocks(self, rng):
+        monitor, hub, handle, delivery, _ = self.run_with_policy(
+            rng, "drop_oldest", maxlen=2, hold_cycles=10
+        )
+        try:
+            assert delivery.dropped > 0
+            assert delivery.high_watermark <= 2
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_drop_oldest_parity_when_capacity_suffices(self, rng):
+        monitor, hub, handle, delivery, replayer = self.run_with_policy(
+            rng, "drop_oldest", maxlen=512, hold_cycles=8
+        )
+        try:
+            assert delivery.dropped == 0
+            assert replayer.state() == handle.result()
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_block_policy_applies_backpressure_losslessly(self, rng):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        try:
+            handle = monitor.add_query(
+                TopKQuery(LinearFunction([1.0, 1.0]), k=3)
+            )
+            replayer = _Replayer(handle.result())
+            slow_calls = []
+            def slow(change, at):
+                time.sleep(0.01)
+                replayer(change, at)
+                slow_calls.append(change)
+            delivery = hub.deliver(
+                slow, qid=handle.qid, policy="block", maxlen=1
+            )
+            for cycle in range(8):
+                monitor.process(
+                    monitor.make_records(rows(rng, 10), time_=float(cycle))
+                )
+            assert hub.flush(timeout=10)
+            assert delivery.dropped == 0
+            assert delivery.coalesced == 0
+            assert replayer.state() == handle.result()
+            assert delivery.high_watermark <= 1
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_coalesce_preserves_terminal_cancel_cause(self, rng):
+        """Regression: a backlog collapsed *onto* the query's final
+        cancel delta must still read cause="cancel" — consumers (the
+        serving runtime included) key teardown on it."""
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        try:
+            handle = monitor.add_query(
+                TopKQuery(LinearFunction([1.0, 1.0]), k=3)
+            )
+            replayer = _Replayer(handle.result())
+            delivery = hub.deliver(
+                replayer, qid=handle.qid, policy="coalesce", maxlen=1
+            )
+            delivery.hold()
+            for cycle in range(4):
+                monitor.process(
+                    monitor.make_records(rows(rng, 10), time_=float(cycle))
+                )
+            handle.cancel()  # lands on an already-full queue
+            delivery.release()
+            assert hub.flush(timeout=10)
+            assert replayer.deltas
+            assert replayer.deltas[-1].cause == "cancel"
+            assert replayer.state() == []
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_invalid_policy_rejected(self):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        try:
+            with pytest.raises(ValueError):
+                hub.deliver(lambda change, at: None, policy="fifo")
+            with pytest.raises(ValueError):
+                hub.deliver(lambda change, at: None, maxlen=0)
+            with pytest.raises(ValueError):
+                DeliveryHub(monitor, default_policy="nope")
+        finally:
+            hub.close()
+            monitor.close()
+
+
+class TestTeardown:
+    def test_monitor_close_stops_deliveries(self, rng):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+        )
+        delivery = hub.deliver(lambda change, at: None, qid=handle.qid)
+        monitor.process(monitor.make_records(rows(rng, 6)))
+        monitor.close()
+        # The hub hooks the subscription-cancel signal: deliveries
+        # drain and close without any explicit hub.close().
+        deadline = time.monotonic() + 5
+        while not delivery.closed and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert delivery.closed
+        assert hub.closed
+
+    def test_hub_close_is_idempotent(self):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        hub.deliver(lambda change, at: None)
+        hub.close()
+        hub.close()
+        with pytest.raises(RuntimeError):
+            hub.deliver(lambda change, at: None)
+        monitor.close()
+
+    def test_close_releases_blocked_producer(self, rng):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+        )
+        delivery = hub.deliver(
+            lambda change, at: None,
+            qid=handle.qid,
+            policy="block",
+            maxlen=1,
+        )
+        delivery.hold()
+        finished = threading.Event()
+        def churn():
+            for cycle in range(4):
+                monitor.process(
+                    monitor.make_records(rows(rng, 6), time_=float(cycle))
+                )
+            finished.set()
+        producer = threading.Thread(target=churn, daemon=True)
+        producer.start()
+        time.sleep(0.2)  # let the producer park on the full queue
+        delivery.close()
+        assert finished.wait(timeout=5), (
+            "blocked producer was not released by delivery.close()"
+        )
+        producer.join(timeout=5)
+        hub.close()
+        monitor.close()

@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test selfcheck bench-smoke bench-json examples serve-smoke
+.PHONY: test selfcheck bench-smoke bench-json examples serve-smoke check
 
 # Docs-facing smoke: every example must run end to end (CI mirrors
 # this on both batch backends with a hard per-script timeout).
@@ -16,6 +16,17 @@ examples:
 # Tier-1: the full unit + benchmark-trend suite.
 test:
 	$(PY) -m pytest -x -q
+
+# Static gates: the project-invariant analyzer (docs/ANALYSIS.md) and
+# scoped strict typing. mypy is optional tooling (not baked into the
+# runtime image), so its leg degrades to a notice when absent.
+check:
+	$(PY) -m repro.analysis.check src/repro
+	@if python -c "import mypy" 2>/dev/null; then \
+		PYTHONPATH=src python -m mypy --config-file mypy.ini; \
+	else \
+		echo "mypy not installed; skipping typed-module check (CI runs it)"; \
+	fi
 
 # Exact-parity sweep of all algorithms against the brute-force oracle.
 selfcheck:

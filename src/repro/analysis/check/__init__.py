@@ -1,0 +1,103 @@
+"""Project-invariant static analyzer for the repro tree.
+
+Usage::
+
+    python -m repro.analysis.check [--json] [paths...]
+
+Three rule families guard the invariants the test suite can only
+sample (see ``docs/ANALYSIS.md`` for the full catalogue):
+
+* **determinism** (DET1xx) — hash-order iteration, unkeyed float
+  sorts, backend-dependent accumulation, lossy wire formatting;
+* **locks** (LOCK2xx) — engine-RLock discipline and
+  blocking/callback hygiene inside critical sections;
+* **process** (PROC3xx) — pickle and shared-memory safety across the
+  shard worker boundary.
+
+Per-line suppression: ``# repro: ignore[RULE1,RULE2]`` (trailing, or
+on its own line to cover the next one).  Suppressed findings are still
+reported, under ``suppressed``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import repro.analysis.check.rules  # noqa: F401  (registers all rules)
+from repro.analysis.check.registry import Rule, all_rules, known_rule_ids
+from repro.analysis.check.report import Finding, Report, RuleInfo, SCHEMA
+from repro.analysis.check.source import (
+    CheckError,
+    SourceModule,
+    collect_files,
+    display_name,
+    load_module,
+)
+
+__all__ = [
+    "CheckError",
+    "Finding",
+    "Report",
+    "Rule",
+    "RuleInfo",
+    "SCHEMA",
+    "SourceModule",
+    "all_rules",
+    "known_rule_ids",
+    "run_check",
+]
+
+
+def _select_rules(
+    select: Optional[Iterable[str]],
+    ignore: Optional[Iterable[str]],
+) -> List[Rule]:
+    rules = all_rules()
+    known = set(known_rule_ids())
+    if select is not None:
+        wanted = {rule_id.upper() for rule_id in select}
+        unknown = wanted - known
+        if unknown:
+            raise CheckError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}"
+            )
+        rules = [rule for rule in rules if rule.id in wanted]
+    if ignore is not None:
+        dropped = {rule_id.upper() for rule_id in ignore}
+        unknown = dropped - known
+        if unknown:
+            raise CheckError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}"
+            )
+        rules = [rule for rule in rules if rule.id not in dropped]
+    return rules
+
+
+def run_check(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> Report:
+    """Run the analyzer over ``paths`` and return a :class:`Report`.
+
+    ``paths`` may mix files and directories; directories are walked
+    recursively for ``.py`` files.  ``select``/``ignore`` narrow the
+    rule set by ID.  Raises :class:`CheckError` on unreadable or
+    syntactically invalid input.
+    """
+    rules = _select_rules(select, ignore)
+    files = collect_files(paths)
+    report = Report(
+        paths=[str(p) for p in paths],
+        files=[display_name(f) for f in files],
+        rules=[rule.info() for rule in all_rules()],
+    )
+    for path in files:
+        module = load_module(path, display_name(path))
+        for rule in rules:
+            for finding in rule.check(module):
+                if module.is_suppressed(finding.line, finding.rule):
+                    report.suppressed.append(finding)
+                else:
+                    report.findings.append(finding)
+    return report

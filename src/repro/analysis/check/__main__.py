@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.check`` entry point."""
+
+import sys
+
+from repro.analysis.check.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,227 @@
+"""AST helpers shared by all rules: parent links, names, lock context.
+
+Everything here is purely syntactic.  The helpers err on the side of
+*under*-matching (heuristics keyed to this repo's naming conventions)
+because a project-invariant linter that cries wolf gets suppressed
+wholesale and stops guarding anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+# Final attribute/name segments that denote a synchronisation primitive.
+LOCK_NAME_RE = re.compile(r"(^|_)(lock|locks|cond|condition|mutex|sem)$")
+
+# threading / multiprocessing constructors that create lock-like objects.
+LOCK_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+}
+
+
+class ParentMap:
+    """Child -> parent links for one tree, plus upward traversal."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[child] = node
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def ancestry(self, node: ast.AST) -> Iterator[Tuple[ast.AST, ast.AST]]:
+        """Yield ``(ancestor, child_on_path)`` pairs walking upward."""
+        child = node
+        current = self._parents.get(node)
+        while current is not None:
+            yield current, child
+            child = current
+            current = self._parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[FunctionNode]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, FUNCTION_NODES):
+                return ancestor
+        return None
+
+    def enclosing_function_names(self, node: ast.AST) -> List[str]:
+        """Names of all enclosing functions, innermost first."""
+        return [
+            ancestor.name
+            for ancestor in self.ancestors(node)
+            if isinstance(ancestor, FUNCTION_NODES)
+        ]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """Final segment of a Name/Attribute chain (``c`` of ``a.b.c``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def receiver_of(node: ast.AST) -> Optional[ast.AST]:
+    """The object a method is called on (``a.b`` of ``a.b.c(...)``)."""
+    if isinstance(node, ast.Attribute):
+        return node.value
+    return None
+
+
+def name_tokens(node: ast.AST) -> Set[str]:
+    """Lower-cased ``_``-split tokens of every identifier in a chain.
+
+    ``self._out_queue[qid]`` -> ``{"self", "out", "queue"}`` — used by
+    naming heuristics; Subscript/Call layers are peeled off.
+    """
+    tokens: Set[str] = set()
+    current: Optional[ast.AST] = node
+    while current is not None:
+        if isinstance(current, ast.Name):
+            tokens.update(t for t in current.id.lower().split("_") if t)
+            current = None
+        elif isinstance(current, ast.Attribute):
+            tokens.update(t for t in current.attr.lower().split("_") if t)
+            current = current.value
+        elif isinstance(current, (ast.Subscript, ast.Starred)):
+            current = current.value
+        elif isinstance(current, ast.Call):
+            current = current.func
+        else:
+            current = None
+    return tokens
+
+
+def is_lock_like_name(node: ast.AST) -> bool:
+    """Heuristic: the chain's final segment names a lock primitive."""
+    final = terminal_name(node)
+    return final is not None and bool(LOCK_NAME_RE.search(final.lower()))
+
+
+def lock_factory_of(value: ast.AST) -> Optional[str]:
+    """``"RLock"`` for ``threading.RLock()`` etc., else ``None``."""
+    if not isinstance(value, ast.Call):
+        return None
+    final = terminal_name(value.func)
+    if final in LOCK_FACTORIES:
+        return final
+    return None
+
+
+def module_lock_names(tree: ast.Module) -> Set[str]:
+    """Dotted names assigned a lock factory anywhere in the module.
+
+    Collects both ``self._lock = threading.RLock()`` attribute targets
+    and plain ``guard = threading.Lock()`` local/global bindings.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if lock_factory_of(node.value) is None:
+            continue
+        for target in node.targets:
+            dotted = dotted_name(target)
+            if dotted is not None:
+                names.add(dotted)
+    return names
+
+
+def held_locks(
+    node: ast.AST,
+    parents: ParentMap,
+    known_locks: Set[str],
+) -> List[str]:
+    """Dotted names of lock-like objects held at ``node``.
+
+    A lock is "held" when ``node`` sits in the *body* of a ``with``
+    statement whose context expression is a known lock binding or has a
+    lock-like name.  Purely lexical — ``acquire()``/``release()`` pairs
+    are not tracked (the codebase uses ``with`` exclusively).
+    """
+    held: List[str] = []
+    for ancestor, child in parents.ancestry(node):
+        if not isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            continue
+        if not any(child is stmt for stmt in ancestor.body):
+            continue
+        for item in ancestor.items:
+            expr = item.context_expr
+            dotted = dotted_name(expr)
+            if dotted is not None and dotted in known_locks:
+                held.append(dotted)
+            elif is_lock_like_name(expr):
+                held.append(dotted or ast.dump(expr))
+    return held
+
+
+def assigned_lambda_or_local(
+    func: FunctionNode,
+) -> Tuple[Set[str], Set[str]]:
+    """Names bound (within ``func``) to lambdas / nested defs / classes.
+
+    Returns ``(lambda_names, local_def_names)`` where the latter covers
+    ``def``/``class`` statements nested directly in ``func``'s body
+    scope — none of which survive pickling across a process boundary.
+    """
+    lambdas: Set[str] = set()
+    local_defs: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Lambda):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        lambdas.add(target.id)
+        elif isinstance(node, FUNCTION_NODES) and node is not func:
+            local_defs.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            local_defs.add(node.name)
+    return lambdas, local_defs
+
+
+def call_keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def walk_functions(tree: ast.Module) -> Iterator[FunctionNode]:
+    for node in ast.walk(tree):
+        if isinstance(node, FUNCTION_NODES):
+            yield node
+
+
+def statements_of(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    for stmt in body:
+        yield from ast.walk(stmt)

@@ -1,0 +1,278 @@
+"""Intra-class call graph with lock-wrapper discovery.
+
+The lock-discipline rules need to know, for a server-style class, which
+methods run with the engine lock held.  Three patterns count as
+"locked" in this codebase:
+
+1. **Lexical** — the statement sits in the body of
+   ``with self.<rlock>:``.
+2. **Executor wrapper** — a method like ``_locked(self, fn, *args)``
+   whose body calls its function parameter inside ``with self._lock:``;
+   any callable handed to it runs under the lock.
+3. **Forwarding wrapper** — a method that passes its function parameter
+   on to a known wrapper, directly (``return self._locked(fn, *a)``) or
+   bound (``partial(self._locked, fn, *a)`` shipped to an executor).
+
+Method references passed *as arguments* to a wrapper (for example
+``self._engine(self.monitor.add_query, q)`` or
+``self._engine(self._snapshot)``) therefore execute under the lock and
+are excluded from the unlocked-reachability closure.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.check.astutil import (
+    FUNCTION_NODES,
+    FunctionNode,
+    ParentMap,
+    dotted_name,
+    held_locks,
+    lock_factory_of,
+)
+
+
+@dataclass
+class ClassSummary:
+    """Locks, methods, and wrapper structure of one class body."""
+
+    node: ast.ClassDef
+    name: str
+    # attribute name -> factory kind ("Lock", "RLock", "Condition", ...)
+    lock_attrs: Dict[str, str] = field(default_factory=dict)
+    methods: Dict[str, FunctionNode] = field(default_factory=dict)
+    # methods through which a callable argument runs under the lock
+    wrappers: Set[str] = field(default_factory=set)
+    # methods only ever invoked via a wrapper funcref (locked context)
+    locked_via_wrapper: Set[str] = field(default_factory=set)
+
+    @property
+    def rlock_names(self) -> Set[str]:
+        return {
+            f"self.{attr}"
+            for attr, kind in self.lock_attrs.items()
+            if kind == "RLock"
+        }
+
+    @property
+    def lock_names(self) -> Set[str]:
+        return {f"self.{attr}" for attr in self.lock_attrs}
+
+    def references_self_attr(self, attr: str) -> bool:
+        for node in ast.walk(self.node):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == attr
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                return True
+        return False
+
+
+def _positional_params(func: FunctionNode) -> List[str]:
+    names = [arg.arg for arg in func.args.args]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _calls_param_under_lock(
+    func: FunctionNode,
+    param: str,
+    parents: ParentMap,
+    lock_names: Set[str],
+) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        if dotted_name(node.func) != param:
+            continue
+        if held_locks(node, parents, lock_names):
+            return True
+    return False
+
+
+def _forwards_param_to_wrapper(
+    func: FunctionNode,
+    param: str,
+    wrapper_refs: Set[str],
+) -> bool:
+    """True when ``param`` is handed to a known wrapper inside ``func``.
+
+    Covers the direct form (``self._locked(fn, *args)``) and the bound
+    form where the wrapper and the parameter travel in the same call's
+    argument list (``partial(self._locked, fn, *args)``).
+    """
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        args = [dotted_name(arg) for arg in node.args] + [
+            dotted_name(kw.value) for kw in node.keywords
+        ]
+        func_ref = dotted_name(node.func)
+        if func_ref in wrapper_refs and param in args:
+            return True
+        if any(ref in wrapper_refs for ref in args) and param in args:
+            return True
+    return False
+
+
+def summarize_class(node: ast.ClassDef, parents: ParentMap) -> ClassSummary:
+    summary = ClassSummary(node=node, name=node.name)
+
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Assign):
+            continue
+        kind = lock_factory_of(sub.value)
+        if kind is None:
+            continue
+        for target in sub.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                summary.lock_attrs[target.attr] = kind
+
+    for stmt in node.body:
+        if isinstance(stmt, FUNCTION_NODES):
+            summary.methods[stmt.name] = stmt
+
+    lock_names = summary.lock_names
+    if not lock_names:
+        return summary
+
+    # Pass 1: executor wrappers — a function parameter called under
+    # a held class lock.
+    for name, func in summary.methods.items():
+        for param in _positional_params(func):
+            if _calls_param_under_lock(func, param, parents, lock_names):
+                summary.wrappers.add(name)
+                break
+
+    # Pass 2..n: forwarding wrappers, to a fixed point.
+    changed = True
+    while changed:
+        changed = False
+        wrapper_refs = {f"self.{w}" for w in summary.wrappers}
+        for name, func in summary.methods.items():
+            if name in summary.wrappers:
+                continue
+            for param in _positional_params(func):
+                if _forwards_param_to_wrapper(func, param, wrapper_refs):
+                    summary.wrappers.add(name)
+                    changed = True
+                    break
+
+    # Methods referenced as ``self.X`` arguments to wrapper calls run
+    # in a locked context.
+    wrapper_refs = {f"self.{w}" for w in summary.wrappers}
+    for func in summary.methods.values():
+        for node_ in ast.walk(func):
+            if not isinstance(node_, ast.Call):
+                continue
+            arg_refs = [dotted_name(arg) for arg in node_.args] + [
+                dotted_name(kw.value) for kw in node_.keywords
+            ]
+            involved = dotted_name(node_.func) in wrapper_refs or any(
+                ref in wrapper_refs for ref in arg_refs
+            )
+            if not involved:
+                continue
+            for ref in arg_refs:
+                if ref is None or not ref.startswith("self."):
+                    continue
+                leaf = ref[len("self.") :]
+                if leaf in summary.methods:
+                    summary.locked_via_wrapper.add(leaf)
+    return summary
+
+
+def wrapper_argument_nodes(
+    func: FunctionNode,
+    wrapper_refs: Set[str],
+) -> Set[ast.AST]:
+    """AST nodes passed as arguments into wrapper calls within ``func``.
+
+    Used to exclude funcrefs like ``self.monitor.add_query`` (handed to
+    ``self._engine``) from "unlocked engine access" findings — the
+    reference itself is created unlocked, but the *call* happens inside
+    the wrapper, under the lock.
+    """
+    consumed: Set[ast.AST] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        all_args = list(node.args) + [kw.value for kw in node.keywords]
+        involved = dotted_name(node.func) in wrapper_refs or any(
+            dotted_name(arg) in wrapper_refs for arg in all_args
+        )
+        if not involved:
+            continue
+        for arg in all_args:
+            for sub in ast.walk(arg):
+                consumed.add(sub)
+    return consumed
+
+
+def unlocked_call_edges(
+    summary: ClassSummary,
+    parents: ParentMap,
+) -> Dict[str, Set[str]]:
+    """``method -> {methods it calls directly with no lock held}``."""
+    edges: Dict[str, Set[str]] = {}
+    for name, func in summary.methods.items():
+        targets: Set[str] = set()
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            ref = dotted_name(node.func)
+            if ref is None or not ref.startswith("self."):
+                continue
+            leaf = ref[len("self.") :]
+            if leaf not in summary.methods:
+                continue
+            if held_locks(node, parents, summary.lock_names):
+                continue
+            targets.add(leaf)
+        edges[name] = targets
+    return edges
+
+
+def reachable_unlocked(
+    summary: ClassSummary,
+    parents: ParentMap,
+    entrypoints: Set[str],
+) -> Dict[str, str]:
+    """Methods reachable from ``entrypoints`` without holding the lock.
+
+    Returns ``{method: entrypoint_it_was_first_reached_from}``.
+    Wrapper methods and methods only invoked via wrapper funcrefs are
+    not traversed (their bodies run under the lock).
+    """
+    edges = unlocked_call_edges(summary, parents)
+    origin: Dict[str, str] = {}
+    stack: List[str] = []
+    for entry in sorted(entrypoints):
+        if entry in summary.methods and entry not in origin:
+            origin[entry] = entry
+            stack.append(entry)
+    while stack:
+        current = stack.pop()
+        for target in sorted(edges.get(current, ())):
+            if target in origin:
+                continue
+            if target in summary.wrappers:
+                continue
+            if (
+                target in summary.locked_via_wrapper
+                and target not in entrypoints
+            ):
+                continue
+            origin[target] = origin[current]
+            stack.append(target)
+    return origin

@@ -1,0 +1,93 @@
+"""Command-line front end: ``python -m repro.analysis.check``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/parse error — the same
+contract CI keys off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.check import CheckError, all_rules, run_check
+from repro.analysis.check.report import render_rule_table
+
+
+def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.check",
+        description=(
+            "Static analyzer for repro project invariants: determinism "
+            "(DET1xx), lock discipline (LOCK2xx), process safety "
+            "(PROC3xx)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report on stdout",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the JSON report to FILE",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule IDs to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule inventory and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_table([rule.info() for rule in all_rules()]))
+        return 0
+
+    try:
+        report = run_check(
+            args.paths,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+        )
+    except CheckError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    payload = json.dumps(report.to_json(), indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    if args.json:
+        print(payload)
+    else:
+        print(report.render_human())
+    return 0 if report.clean else 1

@@ -1,0 +1,78 @@
+"""Rule base class and the global rule registry.
+
+A rule is a stateless object with stable metadata (``id``, ``family``,
+one-line ``description``) and a ``check`` method producing findings for
+one module.  Rules register at import time via :func:`register`; the
+``rules`` package imports every rule module so that
+``import repro.analysis.check`` yields the full inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type, TypeVar
+
+from repro.analysis.check.report import Finding, RuleInfo
+from repro.analysis.check.source import SourceModule
+
+
+class Rule:
+    """Base class for analyzer rules.  Subclass and :func:`register`."""
+
+    id: str = ""
+    name: str = ""
+    family: str = ""
+    description: str = ""
+
+    def info(self) -> RuleInfo:
+        return RuleInfo(
+            id=self.id,
+            name=self.name,
+            family=self.family,
+            description=self.description,
+        )
+
+    def check(self, module: SourceModule) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: SourceModule,
+        line: int,
+        col: int,
+        message: str,
+    ) -> Finding:
+        return Finding(
+            path=module.display,
+            line=line,
+            col=col,
+            rule=self.id,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+R = TypeVar("R", bound=Rule)
+
+
+def register(rule_cls: Type[R]) -> Type[R]:
+    """Class decorator: instantiate and register a rule by its ID."""
+    rule = rule_cls()
+    if not rule.id or not rule.family:
+        raise ValueError(f"rule {rule_cls.__name__} lacks id/family")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id.upper()]
+
+
+def known_rule_ids() -> List[str]:
+    return sorted(_REGISTRY)

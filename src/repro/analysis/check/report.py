@@ -1,0 +1,115 @@
+"""Findings, rule metadata, and the JSON report envelope.
+
+The JSON schema is versioned (``repro-analysis-check/1``) and stable:
+CI archives the ``--json`` output per commit, so downstream tooling can
+diff reports across revisions.  The ``rules`` array always lists every
+*registered* rule — a clean run still documents the full inventory that
+was enforced, which is what makes an "exit 0" report auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+SCHEMA = "repro-analysis-check/1"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "file": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Static metadata describing a registered rule."""
+
+    id: str
+    name: str
+    family: str
+    description: str
+
+    def to_json(self) -> Dict[str, str]:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "family": self.family,
+            "description": self.description,
+        }
+
+
+@dataclass
+class Report:
+    """Outcome of one analyzer run over a set of paths."""
+
+    paths: List[str]
+    files: List[str]
+    rules: List[RuleInfo]
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "paths": list(self.paths),
+            "files_scanned": len(self.files),
+            "rules": [rule.to_json() for rule in self.rules],
+            "findings": [f.to_json() for f in sorted(self.findings)],
+            "suppressed": [f.to_json() for f in sorted(self.suppressed)],
+            "summary": {
+                "clean": self.clean,
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "files": len(self.files),
+                "by_rule": self.by_rule(),
+            },
+        }
+
+    def render_human(self) -> str:
+        lines: List[str] = []
+        for finding in sorted(self.findings):
+            lines.append(finding.render())
+        lines.append(
+            f"checked {len(self.files)} files against "
+            f"{len(self.rules)} rules: "
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+
+def render_rule_table(rules: Sequence[RuleInfo]) -> str:
+    """Human-readable rule inventory for ``--list-rules``."""
+    lines = []
+    for rule in sorted(rules, key=lambda r: r.id):
+        lines.append(f"{rule.id}  [{rule.family}]  {rule.name}")
+        lines.append(f"    {rule.description}")
+    return "\n".join(lines)

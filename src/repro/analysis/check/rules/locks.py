@@ -1,0 +1,300 @@
+"""Lock-discipline rules (LOCK2xx).
+
+``MonitorServer`` runs three planes concurrently (asyncio event loop,
+engine executor, delivery hub threads); the invariant that keeps them
+coherent is simple: *every* touch of mutable engine state goes through
+the engine ``RLock``, and nothing slow or re-entrant happens while any
+lock is held.  These rules enforce both halves statically, using the
+wrapper-aware call graph in :mod:`repro.analysis.check.callgraph`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.check.astutil import (
+    dotted_name,
+    held_locks,
+    is_lock_like_name,
+    module_lock_names,
+    name_tokens,
+    terminal_name,
+)
+from repro.analysis.check.callgraph import (
+    ClassSummary,
+    reachable_unlocked,
+    summarize_class,
+    wrapper_argument_nodes,
+)
+from repro.analysis.check.registry import Rule, register
+from repro.analysis.check.report import Finding
+from repro.analysis.check.source import SourceModule
+
+# ---------------------------------------------------------------------------
+# LOCK201 — engine state touched outside the engine RLock
+# ---------------------------------------------------------------------------
+
+# The engine facade attribute guarded by the RLock, and the mutable
+# attributes on it that must never be read without the lock.  Immutable
+# configuration (algorithm, dims, shards, window, ...) is exempt.
+_ENGINE_ATTR = "monitor"
+_MUTABLE_ENGINE_ATTRS = {
+    "query_table",
+    "cycle_seconds",
+    "setup_seconds",
+    "mutation_seconds",
+}
+
+
+def _entrypoints(summary: ClassSummary) -> Set[str]:
+    """Server ops: ``_op_*`` handlers plus the public surface."""
+    names: Set[str] = set()
+    for name in summary.methods:
+        if name.startswith("_op_"):
+            names.add(name)
+        elif not name.startswith("_"):
+            names.add(name)
+    return names
+
+
+@register
+class UnlockedEngineAccessRule(Rule):
+    id = "LOCK201"
+    name = "unlocked-engine-access"
+    family = "locks"
+    description = (
+        "engine-state call or mutable-attribute read reachable from a "
+        "server op without holding the engine RLock; route it through "
+        "the locked executor (self._engine / with self._lock)"
+    )
+
+    def check(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(
+        self, module: SourceModule, cls: ast.ClassDef
+    ) -> List[Finding]:
+        summary = summarize_class(cls, module.parents)
+        # Scope: classes that own an engine RLock *and* hold the engine
+        # facade.  (DeliveryHub has a plain Lock and is exempt — its
+        # monitor reference is wiring, not guarded state.)
+        if not summary.rlock_names:
+            return []
+        if not summary.references_self_attr(_ENGINE_ATTR):
+            return []
+
+        entry = _entrypoints(summary)
+        origin = reachable_unlocked(summary, module.parents, entry)
+        wrapper_refs = {f"self.{w}" for w in summary.wrappers}
+        findings: List[Finding] = []
+
+        for name in sorted(origin):
+            func = summary.methods[name]
+            if name == "__init__":
+                continue
+            consumed = wrapper_argument_nodes(func, wrapper_refs)
+            for node in ast.walk(func):
+                if node in consumed:
+                    continue
+                hit = self._engine_access(node)
+                if hit is None:
+                    continue
+                if held_locks(node, module.parents, summary.lock_names):
+                    continue
+                via = (
+                    "" if origin[name] == name
+                    else f" (reachable from {origin[name]})"
+                )
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"{hit} outside the engine lock in "
+                        f"{summary.name}.{name}{via}",
+                    )
+                )
+        return findings
+
+    def _engine_access(self, node: ast.AST) -> Optional[str]:
+        """Describe an engine-state access, or ``None``."""
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted is not None and dotted.startswith(
+                f"self.{_ENGINE_ATTR}."
+            ):
+                return f"engine call {dotted}(...)"
+            return None
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in _MUTABLE_ENGINE_ATTRS
+            and isinstance(node.ctx, ast.Load)
+            and dotted_name(node.value) == f"self.{_ENGINE_ATTR}"
+        ):
+            return f"read of mutable self.monitor.{node.attr}"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# LOCK202 — blocking call while a lock is held
+# ---------------------------------------------------------------------------
+
+_ALWAYS_BLOCKING_ATTRS = {
+    "recv",
+    "recv_bytes",
+    "accept",
+    "connect",
+    "sendall",
+}
+_QUEUE_TOKENS = {"queue", "q", "slot", "slots", "inbox", "outbox", "backlog"}
+_CONN_TOKENS = {"conn", "conns", "connection", "connections", "sock",
+                "socket", "pipe", "pipes"}
+_JOINABLE_TOKENS = {"thread", "threads", "proc", "process", "processes",
+                    "worker", "workers", "reader", "consumer", "pool"}
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "select.select",
+    "connection.wait",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+}
+
+
+def _kwarg_is_false(call: ast.Call, name: str) -> bool:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return (
+                isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+            )
+    return False
+
+
+def _blocking_reason(call: ast.Call, held: List[str]) -> Optional[str]:
+    dotted = dotted_name(call.func)
+    if dotted in _BLOCKING_DOTTED:
+        return f"{dotted}(...) blocks"
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    attr = call.func.attr
+    receiver = call.func.value
+    recv_dotted = dotted_name(receiver)
+    tokens = name_tokens(receiver)
+    if attr in _ALWAYS_BLOCKING_ATTRS:
+        return f".{attr}() blocks on I/O"
+    if attr == "send" and tokens & _CONN_TOKENS:
+        return ".send() blocks on a pipe/socket"
+    if attr in ("put", "get") and tokens & _QUEUE_TOKENS:
+        if _kwarg_is_false(call, "block"):
+            return None
+        return f"queue .{attr}() blocks until space/data"
+    if attr == "join" and tokens & _JOINABLE_TOKENS:
+        return ".join() blocks until the thread/process exits"
+    if attr == "poll" and tokens & _CONN_TOKENS and call.args:
+        return ".poll(timeout) blocks"
+    if attr in ("wait", "wait_for"):
+        # Waiting on the very condition you hold is the intended
+        # pattern; waiting on anything else while holding a lock is a
+        # latent deadlock.
+        if recv_dotted is not None and recv_dotted in held:
+            return None
+        if is_lock_like_name(receiver) or tokens & _CONN_TOKENS:
+            return f".{attr}() on {recv_dotted or 'an object'} not held"
+    return None
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    id = "LOCK202"
+    name = "blocking-under-lock"
+    family = "locks"
+    description = (
+        "blocking call (socket/pipe I/O, queue put/get, sleep, join, "
+        "foreign wait) inside a with-lock body; move the slow work "
+        "outside the critical section"
+    )
+
+    def check(self, module: SourceModule) -> List[Finding]:
+        known = module_lock_names(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            held = held_locks(node, module.parents, known)
+            if not held:
+                continue
+            reason = _blocking_reason(node, held)
+            if reason is None:
+                continue
+            findings.append(
+                self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{reason} while holding {', '.join(sorted(set(held)))}",
+                )
+            )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# LOCK203 — user-callback dispatch while a lock is held
+# ---------------------------------------------------------------------------
+
+_CALLBACK_NAMES = {"callback", "cb", "handler", "hook", "dispatch"}
+_CALLBACK_EXACT = {"_callback", "_deliver"}
+
+
+def _is_callback_ref(func: ast.AST) -> bool:
+    final = terminal_name(func)
+    if final is None:
+        return False
+    if final in _CALLBACK_EXACT:
+        return True
+    stripped = final.lstrip("_")
+    if stripped in _CALLBACK_NAMES:
+        return True
+    return stripped.startswith("on_")
+
+
+@register
+class CallbackUnderLockRule(Rule):
+    id = "LOCK203"
+    name = "callback-under-lock"
+    family = "locks"
+    description = (
+        "user-supplied callback/handler/hook invoked while a lock is "
+        "held; snapshot under the lock, call outside it (re-entrant "
+        "subscribers deadlock otherwise)"
+    )
+
+    def check(self, module: SourceModule) -> List[Finding]:
+        known = module_lock_names(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_callback_ref(node.func):
+                continue
+            held = held_locks(node, module.parents, known)
+            if not held:
+                continue
+            name = dotted_name(node.func) or terminal_name(node.func)
+            findings.append(
+                self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"callback {name}(...) invoked while holding "
+                    f"{', '.join(sorted(set(held)))}; dispatch outside "
+                    "the lock",
+                )
+            )
+        return findings

@@ -1,0 +1,326 @@
+"""Process-boundary rules (PROC3xx) for the sharded tier.
+
+Shard workers are spawned processes fed over duplex pipes; cycle
+payloads ride shared memory when numpy is available.  Three things go
+wrong at this boundary in practice: unpicklable objects in an RPC
+payload (lambdas, closures, local classes), leaked shared-memory
+segments (missing close/unlink on an exit path), and spawn-unsafe
+process targets.  All three fail only at runtime, on the *spawn* start
+method, on some platforms — exactly the kind of bug a static pass
+should catch instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.check.astutil import (
+    FUNCTION_NODES,
+    FunctionNode,
+    assigned_lambda_or_local,
+    call_keyword,
+    dotted_name,
+    name_tokens,
+    terminal_name,
+)
+from repro.analysis.check.registry import Rule, register
+from repro.analysis.check.report import Finding
+from repro.analysis.check.source import SourceModule
+
+_PIPE_TOKENS = {"conn", "conns", "connection", "connections", "pipe",
+                "pipes", "child", "parent"}
+
+
+def _is_multiprocessing_module(module: SourceModule) -> bool:
+    return (
+        module.imports_module("multiprocessing")
+        or module.imports_module("multiprocessing.connection")
+        or module.imports_module("multiprocessing.shared_memory")
+        or "multiprocessing" in module.text
+    )
+
+
+def _unpicklable_names(func: Optional[FunctionNode]) -> Tuple[Set[str], Set[str]]:
+    if func is None:
+        return set(), set()
+    return assigned_lambda_or_local(func)
+
+
+def _payload_violations(
+    payload: ast.AST,
+    lambda_names: Set[str],
+    local_defs: Set[str],
+) -> Iterator[Tuple[ast.AST, str]]:
+    for sub in ast.walk(payload):
+        if isinstance(sub, ast.Lambda):
+            yield sub, "lambda in an RPC payload is not picklable"
+        elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+            if sub.id in lambda_names:
+                yield (
+                    sub,
+                    f"'{sub.id}' is bound to a lambda; lambdas are not "
+                    "picklable across the worker pipe",
+                )
+            elif sub.id in local_defs:
+                yield (
+                    sub,
+                    f"'{sub.id}' is defined inside this function; local "
+                    "defs/classes are not picklable across the pipe",
+                )
+
+
+# ---------------------------------------------------------------------------
+# PROC301 — unpicklable objects in pipe payloads
+# ---------------------------------------------------------------------------
+
+
+@register
+class UnpicklablePayloadRule(Rule):
+    id = "PROC301"
+    name = "unpicklable-payload"
+    family = "process"
+    description = (
+        "pipe .send() payload contains a lambda, nested def, or local "
+        "class — none survive pickling to a worker process; ship a "
+        "module-level callable or plain data instead"
+    )
+
+    def check(self, module: SourceModule) -> List[Finding]:
+        if not _is_multiprocessing_module(module):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in ("send", "send_bytes"):
+                continue
+            if not name_tokens(node.func.value) & _PIPE_TOKENS:
+                continue
+            func = module.parents.enclosing_function(node)
+            lambda_names, local_defs = _unpicklable_names(func)
+            for arg in node.args:
+                for sub, message in _payload_violations(
+                    arg, lambda_names, local_defs
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            getattr(sub, "lineno", node.lineno),
+                            getattr(sub, "col_offset", node.col_offset),
+                            message,
+                        )
+                    )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# PROC302 — shared-memory lifecycle
+# ---------------------------------------------------------------------------
+
+
+def _is_shared_memory_call(node: ast.Call) -> bool:
+    return terminal_name(node.func) == "SharedMemory"
+
+
+def _bound_name(module: SourceModule, call: ast.Call) -> Optional[str]:
+    parent = module.parents.parent(call)
+    if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+        target = parent.targets[0]
+        if isinstance(target, ast.Name):
+            return target.id
+    return None
+
+
+def _escapes_enclosing(call: ast.Call, module: SourceModule) -> bool:
+    """Bare (unassigned) SharedMemory call: returned or passed along."""
+    parent = module.parents.parent(call)
+    if isinstance(parent, (ast.Return, ast.Yield)):
+        return True
+    if isinstance(parent, ast.Call):
+        return True
+    if isinstance(parent, (ast.Tuple, ast.List, ast.Dict)):
+        grand = module.parents.parent(parent)
+        return isinstance(grand, (ast.Return, ast.Yield, ast.Call))
+    return False
+
+
+def _name_usage(
+    func: FunctionNode,
+    var: str,
+    module: SourceModule,
+) -> Tuple[bool, Set[str]]:
+    """Scan ``func`` for what happens to binding ``var``.
+
+    Returns ``(escapes, lifecycle_methods_called)`` where lifecycle
+    methods are ``close``/``unlink`` invoked directly on the name.
+    """
+    escapes = False
+    lifecycle: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Name) or node.id != var:
+            continue
+        if not isinstance(node.ctx, ast.Load):
+            continue
+        parent = module.parents.parent(node)
+        if isinstance(parent, ast.Attribute):
+            grand = module.parents.parent(parent)
+            if (
+                isinstance(grand, ast.Call)
+                and grand.func is parent
+                and parent.attr in ("close", "unlink")
+            ):
+                lifecycle.add(parent.attr)
+            continue
+        if isinstance(parent, (ast.Return, ast.Yield)):
+            escapes = True
+        elif isinstance(parent, ast.Call):
+            escapes = True  # handed to another owner
+        elif isinstance(parent, (ast.Tuple, ast.List, ast.Dict)):
+            escapes = True
+        elif isinstance(parent, ast.Starred):
+            escapes = True
+    # Stored on an object attribute (self._shm = shm) also escapes.
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, (ast.Attribute, ast.Subscript))
+            for t in node.targets
+        ):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id == var:
+                escapes = True
+    return escapes, lifecycle
+
+
+@register
+class SharedMemoryLifecycleRule(Rule):
+    id = "PROC302"
+    name = "shm-lifecycle"
+    family = "process"
+    description = (
+        "SharedMemory segment neither escapes the function nor is "
+        "closed on every exit path (create=True additionally needs "
+        "unlink); leaked segments survive the process on /dev/shm"
+    )
+
+    def check(self, module: SourceModule) -> List[Finding]:
+        if not _is_multiprocessing_module(module):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_shared_memory_call(node):
+                continue
+            create_kw = call_keyword(node, "create")
+            creates = (
+                isinstance(create_kw, ast.Constant)
+                and create_kw.value is True
+            )
+            var = _bound_name(module, node)
+            if var is None:
+                if _escapes_enclosing(node, module):
+                    continue
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        "SharedMemory segment is dropped on the floor; "
+                        "bind it and close (and unlink, if created) it",
+                    )
+                )
+                continue
+            func = module.parents.enclosing_function(node)
+            if func is None:
+                continue  # module-level: assume deliberate singleton
+            escapes, lifecycle = _name_usage(func, var, module)
+            if escapes:
+                continue
+            if creates:
+                missing = {"close", "unlink"} - lifecycle
+                if missing:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            node.col_offset,
+                            f"created segment '{var}' is missing "
+                            f"{'/'.join(sorted(missing))}() before the "
+                            "function exits",
+                        )
+                    )
+            elif "close" not in lifecycle:
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"attached segment '{var}' is never closed; "
+                        "close() it in a finally block",
+                    )
+                )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# PROC303 — spawn-unsafe process targets
+# ---------------------------------------------------------------------------
+
+_SUBMIT_ATTRS = {"submit", "apply_async", "map_async"}
+
+
+@register
+class SpawnUnsafeTargetRule(Rule):
+    id = "PROC303"
+    name = "spawn-unsafe-target"
+    family = "process"
+    description = (
+        "Process target / pool submission is a lambda or a function "
+        "defined inside the caller; the spawn start method cannot "
+        "import it in the child — use a module-level function"
+    )
+
+    def check(self, module: SourceModule) -> List[Finding]:
+        if not _is_multiprocessing_module(module):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target: Optional[ast.expr] = None
+            if terminal_name(node.func) == "Process":
+                target = call_keyword(node, "target")
+            elif terminal_name(node.func) in _SUBMIT_ATTRS and node.args:
+                target = node.args[0]
+            if target is None:
+                continue
+            func = module.parents.enclosing_function(node)
+            lambda_names, local_defs = _unpicklable_names(func)
+            message: Optional[str] = None
+            if isinstance(target, ast.Lambda):
+                message = "process target is a lambda"
+            elif isinstance(target, ast.Name):
+                if target.id in lambda_names:
+                    message = (
+                        f"process target '{target.id}' is bound to a "
+                        "lambda"
+                    )
+                elif target.id in local_defs:
+                    message = (
+                        f"process target '{target.id}' is defined "
+                        "inside the calling function"
+                    )
+            if message is not None:
+                findings.append(
+                    self.finding(
+                        module,
+                        target.lineno,
+                        target.col_offset,
+                        f"{message}; spawn-based multiprocessing cannot "
+                        "pickle it",
+                    )
+                )
+        return findings

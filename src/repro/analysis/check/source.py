@@ -1,0 +1,137 @@
+"""Source loading: file collection, parsing, suppression comments.
+
+Suppression syntax (mirrors ``# type: ignore`` placement rules)::
+
+    risky_call()  # repro: ignore[LOCK202] -- send lock only guards this
+    # repro: ignore[DET101]
+    risky_line()
+
+A trailing comment suppresses its own line; a standalone comment line
+suppresses the next line.  Rule IDs are comma-separated and
+case-insensitive.  Suppressions never hide the finding entirely — the
+report lists them under ``suppressed`` so drift stays visible.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Set
+
+from repro.analysis.check.astutil import ParentMap
+
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_\-, ]+)\]")
+
+
+class CheckError(Exception):
+    """Raised when the analyzer cannot read or parse an input file."""
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus the metadata rules need."""
+
+    path: Path
+    display: str
+    text: str
+    lines: List[str]
+    tree: ast.Module
+    parents: ParentMap
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        return rule_id.upper() in self.suppressions.get(line, set())
+
+    def imports_module(self, dotted: str) -> bool:
+        """True when the module imports ``dotted`` (or from it)."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                if any(alias.name == dotted for alias in node.names):
+                    return True
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None:
+                    continue
+                if node.module == dotted:
+                    return True
+                prefix, _, leaf = dotted.rpartition(".")
+                if node.module == prefix and any(
+                    alias.name == leaf for alias in node.names
+                ):
+                    return True
+        return False
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed rule IDs.
+
+    Purely textual: a ``repro: ignore`` inside a string literal would
+    also register, which can only over-suppress on lines that look like
+    suppressions — acceptable for a linter that reports suppressions.
+    """
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = {
+            part.strip().upper()
+            for part in match.group(1).split(",")
+            if part.strip()
+        }
+        target = lineno + 1 if line.lstrip().startswith("#") else lineno
+        out.setdefault(target, set()).update(rules)
+    return out
+
+
+def load_module(path: Path, display: str) -> SourceModule:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CheckError(f"cannot read {display}: {exc}") from exc
+    try:
+        tree = ast.parse(text, filename=display)
+    except SyntaxError as exc:
+        raise CheckError(f"cannot parse {display}: {exc}") from exc
+    lines = text.splitlines()
+    return SourceModule(
+        path=path,
+        display=display,
+        text=text,
+        lines=lines,
+        tree=tree,
+        parents=ParentMap(tree),
+        suppressions=parse_suppressions(lines),
+    )
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise CheckError(f"no such file or directory: {raw}")
+        if root.is_file():
+            candidates = [root]
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            out.append(candidate)
+    return out
+
+
+def display_name(path: Path) -> str:
+    """Stable, portable display path (relative to cwd when possible)."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()

@@ -9,7 +9,7 @@ result, best-first in the canonical rank order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, NamedTuple, Sequence
+from typing import Dict, List, NamedTuple, Sequence, Tuple
 
 from repro.core.tuples import StreamRecord
 
@@ -25,7 +25,7 @@ class ResultEntry(NamedTuple):
         return self.record.rid
 
     @property
-    def key(self):
+    def key(self) -> Tuple[float, int]:
         return (self.score, self.record.rid)
 
 
@@ -114,7 +114,7 @@ def merge_changes(
         before[entry.rid] = entry
     return diff_results(
         older.qid,
-        entries_best_first(before.values()),
+        entries_best_first(list(before.values())),
         newer.top,
         cause="cancel" if newer.cause == "cancel" else "resync",
     )

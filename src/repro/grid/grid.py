@@ -277,7 +277,10 @@ class Grid:
         if batch.np is None or len(rows) < 8:
             return [self.get_cell(coords) for coords in self.coords_of_many(rows)]
         indices = self._index_matrix(rows)
-        flats = (indices @ batch.np.asarray(self._strides)).tolist()
+        # Integer matmul: cell indices x strides is exact int
+        # arithmetic, so accumulation order cannot change the result
+        # (the dual-backend hazard only exists for floats).
+        flats = (indices @ batch.np.asarray(self._strides)).tolist()  # repro: ignore[DET103]
         known = self._flat_cells
         cells: List[Cell] = []
         for position, flat in enumerate(flats):

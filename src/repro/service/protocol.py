@@ -42,7 +42,7 @@ are rejected with :class:`ProtocolError`. Supported query kinds:
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, NoReturn, Optional, Union
 
 from repro.core.errors import ReproError
 from repro.core.queries import ThresholdQuery, TopKQuery
@@ -63,14 +63,14 @@ class ProtocolError(ReproError):
 # ----------------------------------------------------------------------
 
 
-def encode_line(message: Dict) -> bytes:
+def encode_line(message: Dict[str, Any]) -> bytes:
     """One message → one ``\\n``-terminated JSON line."""
     return (
         json.dumps(message, separators=(",", ":"), allow_nan=False) + "\n"
     ).encode("utf-8")
 
 
-def decode_line(line: bytes) -> Dict:
+def decode_line(line: bytes) -> Dict[str, Any]:
     """One received line → message dict."""
     try:
         message = json.loads(line.decode("utf-8"))
@@ -88,7 +88,7 @@ def decode_line(line: bytes) -> Dict:
 # ----------------------------------------------------------------------
 
 
-def entry_to_wire(entry: ResultEntry) -> Dict:
+def entry_to_wire(entry: ResultEntry) -> Dict[str, Any]:
     return {
         "score": entry.score,
         "rid": entry.record.rid,
@@ -97,7 +97,7 @@ def entry_to_wire(entry: ResultEntry) -> Dict:
     }
 
 
-def entry_from_wire(payload: Dict) -> ResultEntry:
+def entry_from_wire(payload: Dict[str, Any]) -> ResultEntry:
     try:
         return ResultEntry(
             float(payload["score"]),
@@ -111,7 +111,7 @@ def entry_from_wire(payload: Dict) -> ResultEntry:
         raise ProtocolError(f"malformed wire entry: {exc}") from None
 
 
-def change_to_wire(change: ResultChange) -> Dict:
+def change_to_wire(change: ResultChange) -> Dict[str, Any]:
     return {
         "qid": change.qid,
         "cause": change.cause,
@@ -121,7 +121,7 @@ def change_to_wire(change: ResultChange) -> Dict:
     }
 
 
-def change_from_wire(payload: Dict) -> ResultChange:
+def change_from_wire(payload: Dict[str, Any]) -> ResultChange:
     try:
         return ResultChange(
             qid=int(payload["qid"]),
@@ -134,11 +134,11 @@ def change_from_wire(payload: Dict) -> ResultChange:
         raise ProtocolError(f"malformed wire change: {exc}") from None
 
 
-def entries_from_wire(payload: List[Dict]) -> List[ResultEntry]:
+def entries_from_wire(payload: List[Dict[str, Any]]) -> List[ResultEntry]:
     return [entry_from_wire(item) for item in payload]
 
 
-def entries_to_wire(entries: List[ResultEntry]) -> List[Dict]:
+def entries_to_wire(entries: List[ResultEntry]) -> List[Dict[str, Any]]:
     return [entry_to_wire(entry) for entry in entries]
 
 
@@ -147,7 +147,10 @@ def entries_to_wire(entries: List[ResultEntry]) -> List[Dict]:
 # ----------------------------------------------------------------------
 
 
-def _wire_weights(query) -> List[float]:
+WireQuery = Union[TopKQuery, ThresholdQuery]
+
+
+def _wire_weights(query: WireQuery) -> List[float]:
     function = query.function
     if not isinstance(function, LinearFunction):
         raise ProtocolError(
@@ -157,7 +160,7 @@ def _wire_weights(query) -> List[float]:
     return list(function.weights)
 
 
-def query_to_wire(query) -> Dict:
+def query_to_wire(query: object) -> Dict[str, Any]:
     if isinstance(query, ThresholdQuery):
         return {
             "kind": "threshold",
@@ -182,7 +185,7 @@ def query_to_wire(query) -> Dict:
     )
 
 
-def query_from_wire(payload: Dict):
+def query_from_wire(payload: Dict[str, Any]) -> WireQuery:
     try:
         kind = payload.get("kind", "topk")
         weights = [float(value) for value in payload["weights"]]
@@ -209,11 +212,11 @@ def query_from_wire(payload: Dict):
 # ----------------------------------------------------------------------
 
 
-def error_to_wire(exc: BaseException) -> Dict:
+def error_to_wire(exc: BaseException) -> Dict[str, str]:
     return {"type": type(exc).__name__, "message": str(exc)}
 
 
-def raise_from_wire(payload: Optional[Dict]) -> None:
+def raise_from_wire(payload: Optional[Dict[str, Any]]) -> NoReturn:
     """Re-raise a server-side error client-side, mapping the repro
     error taxonomy back onto the local exception classes."""
     from repro.core.errors import QueryError, StreamError

@@ -538,14 +538,27 @@ class MonitorServer:
         }
 
     async def _op_stats(self, conn, message) -> Dict:
-        engine = await self._engine(self.monitor.delivery_stats)
+        engine, queries, cycles = await self._engine(self._stats_snapshot)
         return {
             "connections": len(self._connections),
             "hub": self.hub.stats(),
             "engine": engine,
-            "queries": len(self.monitor.query_table),
-            "cycles": len(self.monitor.cycle_seconds),
+            "queries": queries,
+            "cycles": cycles,
         }
+
+    def _stats_snapshot(self):
+        """Engine-side stats, read atomically under the engine lock.
+
+        ``query_table`` and ``cycle_seconds`` mutate during cycles, so
+        sampling them from the event loop races the executor; one
+        locked snapshot keeps the three numbers mutually consistent.
+        """
+        return (
+            self.monitor.delivery_stats(),
+            len(self.monitor.query_table),
+            len(self.monitor.cycle_seconds),
+        )
 
     _OPS = {
         "hello": _op_hello,

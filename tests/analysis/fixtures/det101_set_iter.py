@@ -1,0 +1,21 @@
+"""DET101 fixture: set iteration feeding ordered output."""
+
+
+def build(values, table):
+    seen = {value for value in values}
+    out = []
+    for item in seen:  # expect: DET101
+        out.append(item)
+    ordered = []
+    for item in sorted(seen):
+        ordered.append(item)
+    listed = [x * 2 for x in {1, 2, 3}]  # expect: DET101
+    resorted = sorted(x for x in seen)
+    membership = {x for x in {1, 2, 3}}
+    for key in table.keys():  # expect: DET101
+        out.append(table[key])
+    for item in seen:  # repro: ignore[DET101] -- sink is order-free
+        out.append(item)
+    for item in seen:
+        del table[item]
+    return out, ordered, listed, resorted, membership

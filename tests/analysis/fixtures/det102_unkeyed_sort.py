@@ -1,0 +1,18 @@
+"""DET102 fixture: unkeyed sorts of float-tie-prone data."""
+
+
+def rank(entries, candidates, results):
+    worst = sorted(entries)  # expect: DET102
+    best = sorted(entries, key=lambda e: (-e[0], e[1]))
+    candidates.sort()  # expect: DET102
+    candidates.sort(key=lambda c: (c.score, c.rid))
+    by_value = sorted(results.values())  # expect: DET102
+    plain = sorted([3, 1, 2])
+    names = sorted(["b", "a"])
+    scores = sorted(entries)  # repro: ignore[DET102]
+    return worst, best, by_value, plain, names, scores
+
+
+def rank_ids(table):
+    # dict *keys* are record ids (ints) — exact, tie-free, not flagged.
+    return sorted(table)

@@ -1,0 +1,23 @@
+"""DET103 fixture: accumulation-order hazards in dual-backend code.
+
+The module references REPRO_BATCH_BACKEND, which marks it as
+dual-backend code subject to the bit-exactness contract.
+"""
+
+import math
+import os
+
+BACKEND = os.environ.get("REPRO_BATCH_BACKEND", "auto")
+
+
+def total(vector, matrix, np):
+    bad = np.sum(vector)  # expect: DET103
+    folded = vector.sum()  # expect: DET103
+    product = matrix @ vector  # expect: DET103
+    fused = math.fsum(vector)  # expect: DET103
+    good = 0.0
+    for value in vector:
+        good += value
+    builtin_ok = sum(range(10))
+    quiet = np.sum(vector)  # repro: ignore[DET103]
+    return bad, folded, product, fused, good, builtin_ok, quiet

@@ -1,0 +1,38 @@
+"""DET104 fixture: wire-path float formatting.
+
+The file name ends in ``protocol.py`` so the rule treats it as wire
+code; only functions matching encode/decode/to_wire/from_wire/_op_
+are in scope.
+"""
+
+import json
+
+
+def entry_to_wire(entry):
+    return {"rid": entry.rid, "score": round(entry.score, 6)}  # expect: DET104
+
+
+def encode_line(message):
+    return (json.dumps(message) + "\n").encode("utf-8")  # expect: DET104
+
+
+def encode_label(value):
+    return f"score={value:.3f}"  # expect: DET104
+
+
+def encode_percent(value):
+    return "score=%.6f" % value  # expect: DET104
+
+
+def encode_line_ok(message):
+    payload = json.dumps(message, separators=(",", ":"), allow_nan=False)
+    return (payload + "\n").encode("utf-8")
+
+
+def describe(value):
+    # Not a wire function: human-facing formatting is fine here.
+    return f"{value:.3f}"
+
+
+def decode_rounded(payload):
+    return round(payload["score"], 6)  # repro: ignore[DET104]

@@ -1,0 +1,55 @@
+"""LOCK201 fixture: engine access reachable from server ops.
+
+Mirrors the MonitorServer structure: an RLock, a monitor facade, an
+executor wrapper (``_locked``) and a forwarding wrapper (``_engine``).
+"""
+
+import threading
+
+
+class FakeServer:
+    def __init__(self, monitor):
+        self.monitor = monitor
+        self._lock = threading.RLock()
+
+    def _locked(self, fn, *args):
+        with self._lock:
+            return fn(*args)
+
+    def _engine(self, fn, *args):
+        return self._locked(fn, *args)
+
+    def _op_result(self, message):
+        # Funcref handed to the wrapper: runs under the lock.
+        return self._engine(self.monitor.result, message["qid"])
+
+    def _op_process(self, rows):
+        return self.monitor.process(rows)  # expect: LOCK201
+
+    def _op_stats(self, message):
+        return len(self.monitor.cycle_seconds)  # expect: LOCK201
+
+    def _op_helper(self, rows):
+        return self._mutate(rows)
+
+    def _mutate(self, rows):
+        # Reachable from _op_helper without the lock.
+        return self.monitor.process(rows)  # expect: LOCK201
+
+    def _op_locked_inline(self, rows):
+        with self._lock:
+            return self.monitor.process(rows)
+
+    def _op_forwarded(self, rows):
+        return self._engine(self._apply, rows)
+
+    def _apply(self, rows):
+        # Only ever invoked via the wrapper funcref: locked context.
+        return self.monitor.process(rows)
+
+    def _op_config(self, message):
+        # Immutable configuration reads need no lock.
+        return self.monitor.dims
+
+    def _op_suppressed(self, rows):
+        return self.monitor.process(rows)  # repro: ignore[LOCK201]

@@ -1,0 +1,43 @@
+"""LOCK202 fixture: blocking calls inside critical sections."""
+
+import threading
+import time
+
+
+class Sender:
+    def __init__(self, sock, out_queue):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._sock = sock
+        self._out_queue = out_queue
+
+    def flush(self, line):
+        with self._lock:
+            self._sock.sendall(line)  # expect: LOCK202
+
+    def flush_outside(self, line):
+        self._sock.sendall(line)
+
+    def nap(self):
+        with self._lock:
+            time.sleep(0.1)  # expect: LOCK202
+
+    def pump(self, item):
+        with self._lock:
+            self._out_queue.put(item)  # expect: LOCK202
+
+    def pump_nonblocking(self, item):
+        with self._lock:
+            self._out_queue.put(item, block=False)
+
+    def wait_own_condition(self):
+        with self._cond:
+            self._cond.wait(timeout=1.0)
+
+    def wait_foreign_condition(self):
+        with self._lock:
+            self._cond.wait(timeout=1.0)  # expect: LOCK202
+
+    def flush_allowed(self, line):
+        with self._lock:
+            self._sock.sendall(line)  # repro: ignore[LOCK202]

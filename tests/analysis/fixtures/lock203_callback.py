@@ -1,0 +1,32 @@
+"""LOCK203 fixture: user-callback dispatch while a lock is held."""
+
+import threading
+
+
+class Hub:
+    def __init__(self, callback):
+        self._lock = threading.Lock()
+        self._callback = callback
+        self._subscribers = []
+
+    def dispatch_bad(self, change):
+        with self._lock:
+            self._callback(change)  # expect: LOCK203
+
+    def dispatch_good(self, change):
+        with self._lock:
+            targets = list(self._subscribers)
+        for target in targets:
+            target.dispatch(change)
+
+    def run_hook(self, hook):
+        with self._lock:
+            hook()  # expect: LOCK203
+
+    def notify_change(self, subscriber, change):
+        with self._lock:
+            subscriber.on_change(change)  # expect: LOCK203
+
+    def dispatch_quiet(self, change):
+        with self._lock:
+            self._callback(change)  # repro: ignore[LOCK203]

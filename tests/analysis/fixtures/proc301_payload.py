@@ -1,0 +1,21 @@
+"""PROC301 fixture: unpicklable objects in worker-pipe payloads."""
+
+import multiprocessing  # noqa: F401  (marks this as process-boundary code)
+
+
+def module_level_transform(record):
+    return record.rid
+
+
+def ship(conn, records):
+    conn.send(("rows", records))
+    conn.send(("fn", module_level_transform))
+    conn.send(("map", lambda r: r.rid))  # expect: PROC301
+    transform = lambda r: r.rid  # noqa: E731
+    conn.send(("map", transform))  # expect: PROC301
+
+    def local_hook(record):
+        return record.rid
+
+    conn.send(("hook", local_hook))  # expect: PROC301
+    conn.send(("hook", local_hook))  # repro: ignore[PROC301]

@@ -1,0 +1,40 @@
+"""PROC302 fixture: shared-memory create/attach lifecycle."""
+
+from multiprocessing import shared_memory
+
+
+def leak_created(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)  # expect: PROC302
+    return shm.name
+
+
+def create_then_release(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return bytes(shm.buf)
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def create_and_hand_off(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    return shm  # ownership transfers to the caller
+
+
+def attach_leaky(name):
+    shm = shared_memory.SharedMemory(name=name)  # expect: PROC302
+    return bytes(shm.buf)
+
+
+def attach_then_close(name):
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(shm.buf)
+    finally:
+        shm.close()
+
+
+def attach_quiet(name):
+    shm = shared_memory.SharedMemory(name=name)  # repro: ignore[PROC302]
+    return bytes(shm.buf)

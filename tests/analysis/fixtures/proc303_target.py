@@ -1,0 +1,31 @@
+"""PROC303 fixture: spawn-unsafe process targets."""
+
+import multiprocessing  # noqa: F401
+
+
+def worker_entry():
+    return 1
+
+
+def spawn_lambda(ctx):
+    return ctx.Process(target=lambda: None)  # expect: PROC303
+
+
+def spawn_nested(ctx):
+    def run():
+        return 1
+
+    return ctx.Process(target=run)  # expect: PROC303
+
+
+def spawn_bound_lambda(ctx):
+    run = lambda: 1  # noqa: E731
+    return ctx.Process(target=run)  # expect: PROC303
+
+
+def spawn_module_level(ctx):
+    return ctx.Process(target=worker_entry)
+
+
+def spawn_quiet(ctx):
+    return ctx.Process(target=lambda: None)  # repro: ignore[PROC303]

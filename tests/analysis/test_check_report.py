@@ -1,0 +1,85 @@
+"""JSON report schema and CLI contract tests."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.check import SCHEMA, run_check
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+_FINDING_KEYS = {"rule", "file", "line", "col", "message"}
+
+
+def _cli(*args, cwd=REPO_ROOT):
+    env_src = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis.check", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_report_schema_shape():
+    payload = run_check([str(SRC)]).to_json()
+    assert payload["schema"] == SCHEMA
+    assert payload["files_scanned"] > 0
+    assert len(payload["rules"]) >= 8
+    for rule in payload["rules"]:
+        assert set(rule) == {"id", "name", "family", "description"}
+    for finding in payload["findings"] + payload["suppressed"]:
+        assert set(finding) == _FINDING_KEYS
+    summary = payload["summary"]
+    assert summary["clean"] is (not payload["findings"])
+    assert summary["findings"] == len(payload["findings"])
+    assert summary["suppressed"] == len(payload["suppressed"])
+    # Round-trips as plain JSON.
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_cli_json_clean_tree_exits_zero():
+    result = _cli("--json", "src/repro")
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["schema"] == SCHEMA
+    assert payload["summary"]["clean"] is True
+    rule_ids = {rule["id"] for rule in payload["rules"]}
+    assert len(rule_ids) >= 8
+
+
+def test_cli_violations_exit_one(tmp_path):
+    bad = tmp_path / "bad_protocol.py"
+    bad.write_text("def encode(v):\n    return round(v, 3)\n")
+    result = _cli(str(bad))
+    assert result.returncode == 1
+    assert "DET104" in result.stdout
+
+
+def test_cli_output_file(tmp_path):
+    out = tmp_path / "report.json"
+    result = _cli("--output", str(out), "src/repro")
+    assert result.returncode == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    assert payload["schema"] == SCHEMA
+
+
+def test_cli_usage_errors_exit_two(tmp_path):
+    missing = _cli(str(tmp_path / "nope"))
+    assert missing.returncode == 2
+    assert "error:" in missing.stderr
+    unknown = _cli("--select", "NOPE999", "src/repro")
+    assert unknown.returncode == 2
+    syntax = tmp_path / "broken.py"
+    syntax.write_text("def (:\n")
+    assert _cli(str(syntax)).returncode == 2
+
+
+def test_cli_list_rules():
+    result = _cli("--list-rules")
+    assert result.returncode == 0
+    for rule_id in ("DET101", "LOCK201", "PROC301"):
+        assert rule_id in result.stdout

@@ -1,0 +1,52 @@
+"""The analyzer's own acceptance gate: src/repro stays clean.
+
+These tests pin the ISSUE 7 acceptance criteria — a clean tree at
+merge, at least 8 distinct rule IDs across the three families, and the
+regressions fixed in this PR staying fixed (the server stats snapshot
+and the documented suppressions).
+"""
+
+from pathlib import Path
+
+from repro.analysis.check import all_rules, known_rule_ids, run_check
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_src_repro_is_clean():
+    report = run_check([str(SRC)])
+    assert report.findings == [], report.render_human()
+
+
+def test_rule_inventory_spans_three_families():
+    rules = all_rules()
+    assert len(known_rule_ids()) >= 8
+    families = {rule.family for rule in rules}
+    assert families == {"determinism", "locks", "process"}
+    for rule in rules:
+        assert rule.id and rule.name and rule.description
+
+
+def test_known_suppressions_are_visible():
+    """The deliberate suppressions stay on the books, not invisible."""
+    report = run_check([str(SRC)])
+    suppressed = {(Path(f.path).name, f.rule) for f in report.suppressed}
+    assert ("client.py", "LOCK202") in suppressed
+    assert ("grid.py", "DET103") in suppressed
+
+
+def test_server_stats_snapshot_is_locked():
+    """Regression: _op_stats used to read engine state off-lock."""
+    server_py = SRC / "service" / "server.py"
+    report = run_check([str(server_py)], select=["LOCK201"])
+    assert report.findings == [], report.render_human()
+    assert report.suppressed == []
+
+
+def test_parallel_tier_is_process_safe():
+    report = run_check(
+        [str(SRC / "parallel")],
+        select=["PROC301", "PROC302", "PROC303"],
+    )
+    assert report.findings == [], report.render_human()

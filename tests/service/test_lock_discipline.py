@@ -1,0 +1,67 @@
+"""Regression tests for the engine-lock discipline fixed in ISSUE 7.
+
+``_op_stats`` used to read ``monitor.query_table`` and
+``monitor.cycle_seconds`` directly from the event-loop thread while the
+engine executor could be mid-cycle — a data race the static analyzer
+(LOCK201) now flags.  The op takes one locked snapshot instead; these
+tests pin both the wire behaviour and the analyzer verdict.
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import StreamMonitor
+from repro.core.window import CountBasedWindow
+from repro.service import MonitorClient, MonitorServer
+
+
+@pytest.fixture
+def served():
+    monitor = StreamMonitor(
+        2, CountBasedWindow(60), algorithm="tma", cells_per_axis=4
+    )
+    server = MonitorServer(monitor, default_maxlen=64)
+    host, port = server.start()
+    client = MonitorClient(host, port)
+    yield monitor, server, client
+    client.close()
+    server.stop()
+    monitor.close()
+
+
+def rows(rng, count):
+    return [(rng.random(), rng.random()) for _ in range(count)]
+
+
+def test_stats_reports_consistent_engine_snapshot(served):
+    monitor, server, client = served
+    rng = random.Random(7)
+
+    stats = client.stats()
+    assert stats["queries"] == 0
+    assert stats["cycles"] == 0
+
+    client.add_query(weights=[1.0, 0.5], k=3)
+    client.add_query(weights=[0.2, 1.0], k=2)
+    client.process(rows(rng, 24), now=0.0)
+    client.process(rows(rng, 8), now=1.0)
+
+    stats = client.stats()
+    assert stats["queries"] == 2
+    assert stats["cycles"] == 2
+    assert stats["queries"] == len(monitor.query_table)
+    assert stats["cycles"] == len(monitor.cycle_seconds)
+    assert "engine" in stats and "hub" in stats
+
+
+def test_stats_while_engine_is_busy(served):
+    """stats() interleaved with ingestion never sees torn state."""
+    monitor, server, client = served
+    rng = random.Random(11)
+    client.add_query(weights=[1.0, 1.0], k=2)
+    for step in range(5):
+        client.process(rows(rng, 12), now=float(step))
+        stats = client.stats()
+        assert stats["cycles"] == step + 1
+        assert stats["queries"] == 1

@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test selfcheck bench-smoke bench-json examples serve-smoke check
+.PHONY: test selfcheck bench-smoke bench-json examples serve-smoke check cluster-smoke
 
 # Docs-facing smoke: every example must run end to end (CI mirrors
 # this on both batch backends with a hard per-script timeout).
@@ -53,6 +53,19 @@ serve-smoke:
 	PYTHONPATH=src timeout 120 python examples/service_client.py
 	PYTHONPATH=src timeout 300 python -m repro.bench run --n 2000 \
 		--rate 100 --queries 6 --cycles 10 --algorithms tma --serve
+
+# The multi-node gate: transport + remote-shard suites (loopback
+# subprocess hosts, bitwise parity against in-process and pipe-sharded
+# twins, failure modes) plus a TCP-sharded bench leg with
+# bytes-on-the-wire accounting. CI mirrors this on both batch backends
+# under hard timeouts.
+cluster-smoke:
+	PYTHONPATH=src timeout 360 python -m pytest -q \
+		tests/transport tests/cluster \
+		tests/integration/test_remote_parity.py
+	PYTHONPATH=src timeout 180 python -m repro.bench run --n 3000 \
+		--rate 30 --queries 10 --cycles 5 --shards tcp:2 \
+		--algorithms tma,sma
 
 # Capture a machine-readable baseline on the default workload
 # (the BENCH_PR1.json format's per-run payload).

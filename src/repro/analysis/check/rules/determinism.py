@@ -337,7 +337,12 @@ _PERCENT_FLOAT_RE = re.compile(r"%[-+ #0-9.]*[efgEFG]")
 
 def _in_wire_scope(module: SourceModule) -> bool:
     parts = module.path.as_posix()
-    return "/service/" in parts or module.path.name.endswith("protocol.py")
+    return (
+        "/service/" in parts
+        or "/transport/" in parts
+        or module.path.name.endswith("protocol.py")
+        or module.path.name.endswith("codec.py")
+    )
 
 
 def _in_wire_function(module: SourceModule, node: ast.AST) -> bool:

@@ -29,7 +29,7 @@ from repro.analysis.check.report import Finding
 from repro.analysis.check.source import SourceModule
 
 _PIPE_TOKENS = {"conn", "conns", "connection", "connections", "pipe",
-                "pipes", "child", "parent"}
+                "pipes", "child", "parent", "channel", "channels"}
 
 
 def _is_multiprocessing_module(module: SourceModule) -> bool:

@@ -92,12 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--shards",
-        type=int,
-        default=1,
-        metavar="N",
+        default="1",
+        metavar="N|tcp:N|HOST:PORT,...",
         help=(
-            "partition queries across N worker processes (default 1 = "
-            "in-process); results are bitwise-identical to --shards 1"
+            "partition queries across shards (default 1 = in-process): "
+            "an integer N spawns N local worker processes; 'tcp:N' "
+            "brings up N loopback remote shard hosts and drives them "
+            "over TCP; a comma-separated HOST:PORT list uses already-"
+            "running `python -m repro.cluster.shard` hosts. Results "
+            "are bitwise-identical in all modes; sharded runs record "
+            "bytes-on-the-wire per cycle"
         ),
     )
     run.add_argument(
@@ -150,14 +154,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def parse_shards_argument(text: str):
+    """``--shards`` value → ``(count, loopback_hosts, addresses)``.
+
+    Three spellings: ``"N"`` (local pipe workers), ``"tcp:N"`` (spawn
+    N loopback remote hosts for the run's duration), and
+    ``"host:port[,host:port...]"`` (already-running remote hosts).
+    Raises ValueError on anything else.
+    """
+    text = text.strip()
+    if text.lower().startswith("tcp:"):
+        count = int(text[4:])
+        if count < 1:
+            raise ValueError(f"tcp shard count must be >= 1, got {count}")
+        return count, count, None
+    if ":" in text:
+        addresses = [part.strip() for part in text.split(",") if part.strip()]
+        for address in addresses:
+            host, _, port = address.rpartition(":")
+            if not host:
+                raise ValueError(f"bad shard address {address!r}")
+            int(port)
+        return len(addresses), None, tuple(addresses)
+    count = int(text)
+    if count < 1:
+        raise ValueError(f"--shards must be >= 1, got {count}")
+    return count, None, None
+
+
 def command_run(args: argparse.Namespace) -> int:
     names = [name.strip() for name in args.algorithms.split(",") if name]
     unknown = [name for name in names if name not in ALGORITHMS]
     if unknown:
         print(f"unknown algorithms: {unknown}", file=sys.stderr)
         return 2
-    if args.shards < 1:
-        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+    try:
+        shard_count, loopback_hosts, shard_addresses = (
+            parse_shards_argument(args.shards)
+        )
+    except ValueError as exc:
+        print(f"bad --shards value: {exc}", file=sys.stderr)
         return 2
     if args.json not in (None, "-"):
         # Fail fast: a benchmark run can take minutes; discovering an
@@ -180,10 +216,18 @@ def command_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         cells_per_axis=args.cells_per_axis,
         query_similarity=args.similarity,
-        shards=args.shards,
+        shards=shard_count,
+        shard_hosts=shard_addresses,
         churn=args.churn,
     )
-    sharding = f" shards={spec.shards}" if spec.shards > 1 else ""
+    if spec.shard_hosts is not None:
+        sharding = f" shards=tcp[{','.join(spec.shard_hosts)}]"
+    elif loopback_hosts is not None:
+        sharding = f" shards=tcp:{loopback_hosts}"
+    elif spec.shards > 1:
+        sharding = f" shards={spec.shards}"
+    else:
+        sharding = ""
     if spec.churn:
         sharding += " churn"
     print(
@@ -192,11 +236,34 @@ def command_run(args: argparse.Namespace) -> int:
         f"{spec.function_family} x{spec.cycles} cycles "
         f"(grid {spec.grid_cells_per_axis()}/axis){sharding}"
     )
-    results = compare_algorithms(
-        spec, names, check_results=not args.no_check
-    )
+    if loopback_hosts is not None:
+        from repro.cluster import local_shard_hosts
+
+        # Hosts without --once serve one session per benchmarked
+        # algorithm in sequence, then tear down with the context.
+        with local_shard_hosts(loopback_hosts, once=False) as addresses:
+            spec = spec.with_(shard_hosts=tuple(addresses))
+            results = compare_algorithms(
+                spec, names, check_results=not args.no_check
+            )
+    else:
+        results = compare_algorithms(
+            spec, names, check_results=not args.no_check
+        )
+    sharded = spec.shards > 1 or spec.shard_hosts is not None
     rows = []
     for name, run in results.items():
+        if sharded and run.transport is not None:
+            cycles_seen = max(1, run.transport["cycles"])
+            wire_column = [
+                "{:.0f}".format(
+                    run.transport["cycle_wire_bytes_total"] / cycles_seen
+                )
+            ]
+        elif sharded:
+            wire_column = ["-"]
+        else:
+            wire_column = []
         rows.append(
             [
                 name.upper(),
@@ -208,6 +275,7 @@ def command_run(args: argparse.Namespace) -> int:
                 f"{run.mean_state_size:.1f}",
                 f"{run.space.total_mb:.2f}",
             ]
+            + wire_column
             + (
                 [
                     f"{run.mutation_seconds:.4f}",
@@ -231,6 +299,7 @@ def command_run(args: argparse.Namespace) -> int:
                 "state/query",
                 "space [MB]",
             ]
+            + (["wire B/cyc"] if sharded else [])
             + (["mutate [s]", "churn ops"] if spec.churn else []),
             rows,
         )
@@ -262,8 +331,11 @@ def command_run(args: argparse.Namespace) -> int:
             # /2 added workload.churn + per-run mutation_seconds and
             # churn_ops (the handle-API mutation account); /3 adds the
             # optional "serve" block (end-to-end delivery-latency
-            # percentiles, with and without a stalled co-subscriber).
-            "schema": "repro-bench-run/3",
+            # percentiles, with and without a stalled co-subscriber);
+            # /4 adds workload.shard_hosts and the per-run "transport"
+            # block (bytes-on-the-wire, per cycle and cumulative, for
+            # pipe- and TCP-sharded runs; null in-process).
+            "schema": "repro-bench-run/4",
             "batch_backend": BACKEND,
             "workload": workload_to_dict(spec),
             "algorithms": {

@@ -14,7 +14,7 @@ from __future__ import annotations
 import gc
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.algorithms import GRID_ALGORITHMS
 from repro.analysis.memory import SpaceBreakdown, estimate_space
@@ -52,6 +52,10 @@ class RunResult:
     churn_updates: int = 0
     churn_pauses: int = 0
     churn_resumes: int = 0
+    #: transport accounting of sharded runs (pipe or TCP): cumulative
+    #: and per-cycle bytes on the wire / in shared memory, as returned
+    #: by ``ShardedMonitorAlgorithm.transport_stats``. None in-process.
+    transport: Optional[Dict] = None
 
     @property
     def total_seconds(self) -> float:
@@ -170,6 +174,12 @@ def run_workload(
     driver = StreamDriver(distribution, spec.rate, seed=spec.seed)
     warmup = driver.warmup(spec.n)
 
+    if spec.shard_hosts is not None:
+        shards = list(spec.shard_hosts)
+    elif spec.shards > 1:
+        shards = spec.shards
+    else:
+        shards = None
     monitor = StreamMonitor(
         spec.dims,
         CountBasedWindow(spec.n),
@@ -179,7 +189,7 @@ def run_workload(
             if algorithm in GRID_ALGORITHMS
             else None
         ),
-        shards=spec.shards if spec.shards > 1 else None,
+        shards=shards,
     )
 
     try:
@@ -225,6 +235,9 @@ def run_workload(
             qid: [entry.rid for entry in monitor.result(qid)]
             for qid in qids
         }
+        transport_stats = getattr(
+            monitor.algorithm, "transport_stats", None
+        )
         return RunResult(
             algorithm=algorithm,
             spec=spec,
@@ -241,6 +254,9 @@ def run_workload(
             churn_updates=churn.updates if churn else 0,
             churn_pauses=churn.pauses if churn else 0,
             churn_resumes=churn.resumes if churn else 0,
+            transport=(
+                transport_stats() if transport_stats is not None else None
+            ),
         )
     finally:
         monitor.close()

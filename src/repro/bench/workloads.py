@@ -70,6 +70,12 @@ class WorkloadSpec:
     #: queries across N worker processes (bitwise-identical results;
     #: see :mod:`repro.parallel`).
     shards: int = 1
+    #: None = local execution per ``shards``. A tuple of
+    #: ``"host:port"`` addresses = run the shards on those remote
+    #: shard hosts over TCP instead (:mod:`repro.cluster`); ``shards``
+    #: is ignored when set. Results stay bitwise-identical; the run
+    #: additionally records bytes-on-the-wire per cycle.
+    shard_hosts: Optional[tuple] = None
     #: True = exercise the handle API mid-run: a deterministic
     #: schedule of ``handle.update(k=…)`` mutations and
     #: ``pause()``/``resume()`` churn runs between measured cycles

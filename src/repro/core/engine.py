@@ -103,8 +103,12 @@ class StreamMonitor:
             ``N > 1`` partitions queries across N worker processes
             (:class:`~repro.parallel.sharded.ShardedMonitorAlgorithm`)
             — results are bitwise identical, maintenance parallelises.
-            Requires an algorithm *name* (workers build their own
-            instances).
+            A ``"host:port"`` string or a sequence of them partitions
+            queries across that many *remote* shard hosts
+            (``python -m repro.cluster.shard``) over TCP — same
+            bitwise-parity contract, columnar cycle deltas on the
+            wire (see :meth:`stats`). Either form requires an
+            algorithm *name* (workers build their own instances).
         stream_model: ``"window"`` (the paper's sliding window — FIFO
             expiry) or ``"update"`` (Section 7's explicit-deletion
             streams: :meth:`process` takes a ``deletions`` batch, no
@@ -133,7 +137,7 @@ class StreamMonitor:
         window: Optional[SlidingWindow] = None,
         algorithm: Union[str, "MonitorAlgorithm"] = "sma",
         cells_per_axis: Optional[int] = None,
-        shards: Optional[int] = None,
+        shards: Union[int, str, Sequence[str], None] = None,
         stream_model: str = "window",
         **algorithm_options,
     ) -> None:
@@ -161,24 +165,41 @@ class StreamMonitor:
                 "leaves via explicit deletions, not expiry"
             )
         self.window = window
-        self.shards = 1 if shards is None else int(shards)
+        shard_hosts: Optional[List[str]] = None
+        if isinstance(shards, str):
+            shard_hosts = [shards]
+        elif shards is not None and not isinstance(shards, int):
+            shard_hosts = [str(address) for address in shards]
+            if not shard_hosts:
+                raise ValueError(
+                    "shards address list must name at least one "
+                    "'host:port' shard host"
+                )
+        self.shards = (
+            len(shard_hosts)
+            if shard_hosts is not None
+            else 1 if shards is None else int(shards)
+        )
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        sharded = self.shards > 1 or shard_hosts is not None
         if isinstance(algorithm, MonitorAlgorithm):
-            if self.shards > 1:
+            if sharded:
                 raise ValueError(
-                    "shards > 1 requires an algorithm name (worker "
-                    "processes build their own instances), not a "
-                    "pre-built algorithm object"
+                    "sharded execution requires an algorithm name "
+                    "(worker processes build their own instances), "
+                    "not a pre-built algorithm object"
                 )
             self.algorithm = algorithm
-        elif self.shards > 1:
+        elif sharded:
             from repro.parallel import ShardedMonitorAlgorithm
 
             self.algorithm = ShardedMonitorAlgorithm(
                 algorithm,
                 dims,
-                shards=self.shards,
+                shards=(
+                    shard_hosts if shard_hosts is not None else self.shards
+                ),
                 cells_per_axis=cells_per_axis,
                 **algorithm_options,
             )
@@ -887,3 +908,33 @@ class StreamMonitor:
     def counters(self):
         """The algorithm's operation counters (additive, resettable)."""
         return self.algorithm.counters
+
+    def stats(self) -> Dict[str, object]:
+        """One JSON-serialisable snapshot of the monitor's accounting.
+
+        Always present: the algorithm name, query/cycle counts, the
+        three timing accounts, and the operation counters. Sharded
+        monitors additionally report a ``"transport"`` block
+        (:meth:`~repro.parallel.sharded.ShardedMonitorAlgorithm.transport_stats`)
+        with cumulative and per-cycle bytes-on-the-wire — the remote
+        tier's communication-cost hook.
+        """
+        data: Dict[str, object] = {
+            "algorithm": getattr(
+                self.algorithm, "name", type(self.algorithm).__name__
+            ),
+            "stream_model": self.stream_model,
+            "shards": self.shards,
+            "queries": len(self.query_table),
+            "cycles": len(self.cycle_seconds),
+            "cycle_seconds": self.total_cpu_seconds,
+            "setup_seconds": self.total_setup_seconds,
+            "mutation_seconds": self.total_mutation_seconds,
+            "counters": self.algorithm.counters.as_dict(),
+        }
+        transport_stats = getattr(
+            self.algorithm, "transport_stats", None
+        )
+        if transport_stats is not None:
+            data["transport"] = transport_stats()
+        return data

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core import batch
 from repro.core.regions import Rectangle
@@ -517,6 +517,43 @@ def compute_top_k_group(
                 f"directions; got {function.directions} vs "
                 f"{functions[0].directions}"
             )
+    # Near-identical members: duplicate ``(weights, k)`` specs would
+    # drive identical candidate heaps through the whole sweep — their
+    # solo processed sets coincide by construction. Collapse each
+    # duplicate set to one representative, sweep the unique members,
+    # and alias the representative's outcome per member (outcomes are
+    # read-only to every consumer). Each aliased member still counts
+    # as a served query / top-k computation, so merged counter totals
+    # match a run that never deduplicated.
+    specs = [
+        (tuple(function.weights), k)
+        for function, k in zip(functions, ks)
+    ]
+    if len(set(specs)) < len(specs):
+        first_at: Dict[Tuple[Tuple[float, ...], int], int] = {}
+        unique_indices: List[int] = []
+        alias_of: List[int] = []
+        for index, spec in enumerate(specs):
+            found = first_at.get(spec)
+            if found is None:
+                first_at[spec] = index
+                unique_indices.append(index)
+                alias_of.append(index)
+            else:
+                alias_of.append(found)
+        unique_outcomes = compute_top_k_group(
+            grid,
+            [functions[index] for index in unique_indices],
+            [ks[index] for index in unique_indices],
+            counters=counters,
+        )
+        outcome_at = dict(zip(unique_indices, unique_outcomes))
+        if counters is not None:
+            duplicates = len(specs) - len(unique_indices)
+            counters.topk_computations += duplicates
+            counters.grouped_queries_served += duplicates
+        return [outcome_at[alias_of[index]] for index in range(len(specs))]
+
     if len(functions) == 1:
         # Zero-overhead degenerate case: the solo path is the contract.
         return [compute_top_k(grid, functions[0], ks[0], counters=counters)]

@@ -2,11 +2,11 @@
 
 :class:`ShardedMonitorAlgorithm` implements the
 :class:`~repro.algorithms.base.MonitorAlgorithm` interface by fanning
-work out to N worker processes (:mod:`repro.parallel.worker`). The
-decomposition follows the paper's additive per-query cost model
-(Section 6):
+work out to N shards behind :class:`~repro.transport.base.ShardChannel`
+links (:mod:`repro.transport`). The decomposition follows the paper's
+additive per-query cost model (Section 6):
 
-- **stream state is replicated** — every worker ingests every cycle's
+- **stream state is replicated** — every shard ingests every cycle's
   arrivals/expirations into its own grid, exactly as a single-process
   run would (grid ingestion is the cheap, batched part of a cycle);
 - **query state is partitioned** — each registered query lives on
@@ -21,15 +21,28 @@ decomposition follows the paper's additive per-query cost model
   every shard and adopted from shard 0 alone — merged counters match
   a single-process run's.
 
+**Transports.** ``shards=N`` spawns N worker processes on pipe
+channels (:class:`~repro.transport.pipe.PipeChannel`, the
+shared-memory snapshot fast path intact); ``shards=["host:port",
+...]`` dials that many remote shard hosts
+(:mod:`repro.cluster.shard`) over TCP channels carrying the same
+messages as length-delimited JSON with columnar cycle deltas. The
+coordinator sees only the channel API — no pipes, sockets, or
+shared-memory names — and one pool may mix transports. Per-cycle
+bytes on the wire (and bytes placed in shared memory) are recorded
+and surfaced via :meth:`transport_stats`.
+
 **Exactness.** A query's maintenance depends only on the stream (same
-records, rebuilt bit-for-bit from the columnar snapshot — see
-:mod:`repro.parallel.snapshot`) and on its own state — never on other
-queries. Sharding therefore yields *bitwise-identical* results and
-influence lists to a single-process run; the parity suite
-(``tests/integration/test_sharded_parity.py``) pins this across
-shard counts, algorithms, grouping, churn, and both batch backends.
-Grouped variants keep their sweeps intact because the planner routes
-whole similarity buckets to one shard.
+records, rebuilt bit-for-bit from the columnar snapshot — shared
+memory and JSON wire floats are both lossless float64 round trips)
+and on its own state — never on other queries. Sharding therefore
+yields *bitwise-identical* results and influence lists to a
+single-process run regardless of transport; the parity suites
+(``tests/integration/test_sharded_parity.py``,
+``tests/integration/test_remote_parity.py``) pin this across shard
+counts, algorithms, grouping, churn, transports, and both batch
+backends. Grouped variants keep their sweeps intact because the
+planner routes whole similarity buckets to one shard.
 
 **Pipelined broadcast.** :meth:`ShardedMonitorAlgorithm.process_cycle`
 is strict lockstep (encode → send-all → recv-all → merge). The same
@@ -39,13 +52,15 @@ only), :meth:`begin_cycle` (send, don't wait) and :meth:`finish_cycle`
 :meth:`~repro.core.engine.StreamMonitor.process_many` can build cycle
 *t+1*'s snapshot while the shards still compute cycle *t*. Replies are
 always collected in completion order
-(:func:`multiprocessing.connection.wait`), so a fast shard's report is
-unpickled and merged while slow shards still work. Results stay
-bitwise identical: workers serve requests strictly in pipe order, and
-at most one cycle is ever in flight.
+(:func:`repro.transport.base.wait_ready` multiplexes pipe and socket
+channels in one wait), so a fast shard's report is decoded and merged
+while slow shards still work. Results stay bitwise identical: workers
+serve requests strictly in channel order, and at most one cycle is
+ever in flight.
 
-Worker processes are daemons; :meth:`close` shuts them down
-gracefully, and abandoning the object terminates them. Set
+Worker processes are daemons; :meth:`close` shuts the pool down
+gracefully (remote hosts end their session and re-listen), and
+abandoning the object terminates local workers. Set
 ``REPRO_SHARD_START_METHOD`` (``fork``/``spawn``/``forkserver``) and
 ``REPRO_SHARD_TIMEOUT`` (seconds per round trip) to override the
 defaults.
@@ -56,8 +71,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from multiprocessing import connection as mp_connection
-from typing import Dict, Iterable, List, Optional
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.algorithms.base import MonitorAlgorithm
 from repro.core.errors import DimensionalityError, StreamError
@@ -65,8 +80,19 @@ from repro.core.queries import TopKQuery
 from repro.core.results import ResultChange, ResultEntry
 from repro.core.tuples import StreamRecord
 from repro.parallel.sharding import ShardPlanner
-from repro.parallel.snapshot import encode_cycle
 from repro.parallel.worker import worker_main
+from repro.transport.base import (
+    ChannelClosed,
+    ChannelError,
+    ChannelTimeout,
+    PreparedCycle,
+    ShardChannel,
+    WorkerFailure,
+    prepare_cycle as encode_prepared_cycle,
+    wait_ready,
+)
+from repro.transport.pipe import PipeChannel
+from repro.transport.tcp import TcpChannel
 
 #: counters driven purely by stream ingestion, which every worker
 #: performs on its full replica: summing them across shards would
@@ -77,6 +103,9 @@ from repro.parallel.worker import worker_main
 _REPLICATED_COUNTERS = frozenset(
     {"arrivals", "expirations", "sorted_list_updates"}
 )
+
+#: per-cycle transport samples retained for stats() (oldest evicted).
+_CYCLE_LOG_LIMIT = 1024
 
 
 def _default_start_method() -> str:
@@ -99,11 +128,16 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
             ``"sma"``, grouped variants, ``"tsl"``, ``"brute"`` — any
             :func:`~repro.algorithms.make_algorithm` name).
         dims: data dimensionality.
-        shards: number of worker processes (>= 1).
+        shards: number of worker processes (>= 1), or a sequence of
+            ``"host:port"`` addresses of running
+            ``python -m repro.cluster.shard`` hosts — one remote
+            shard per address.
         cells_per_axis: grid granularity forwarded to grid-based
             algorithms (workers resolve the same default when None).
         **options: forwarded to the per-shard algorithm factory
-            (e.g. ``grouped=True``).
+            (e.g. ``grouped=True``). Must be JSON-serialisable when
+            remote addresses are used (they cross the configure
+            handshake).
     """
 
     name = "sharded"
@@ -112,7 +146,7 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
         self,
         algorithm: str,
         dims: int,
-        shards: int,
+        shards: Union[int, Sequence[str]],
         cells_per_axis: Optional[int] = None,
         **options,
     ) -> None:
@@ -130,85 +164,136 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
                 f"unknown algorithm {algorithm!r}; "
                 f"choose from {sorted(ALGORITHMS)}"
             )
-        if shards < 1:
-            raise ValueError(f"shards must be >= 1, got {shards}")
+        addresses: Optional[List[str]] = None
+        if isinstance(shards, str):
+            addresses = [shards]
+        elif not isinstance(shards, int) and shards is not None:
+            addresses = [str(address) for address in shards]
+            if not addresses:
+                raise ValueError(
+                    "shards address list must name at least one "
+                    "'host:port' shard host"
+                )
+        if addresses is None:
+            if shards < 1:
+                raise ValueError(f"shards must be >= 1, got {shards}")
+            count = shards
+        else:
+            count = len(addresses)
         self.base_algorithm = key
-        self.shards = shards
-        self.name = f"{key}x{shards}"
-        self.planner = ShardPlanner(shards)
+        self.shards = count
+        self.transport = "pipe" if addresses is None else "tcp"
+        self.name = f"{key}x{count}"
+        self.planner = ShardPlanner(count)
         self._queries: Dict[int, TopKQuery] = {}
         self._results: Dict[int, List[ResultEntry]] = {}
         self._last_counters: List[Dict[str, int]] = [
-            {} for _ in range(shards)
+            {} for _ in range(count)
         ]
         self._timeout = _rpc_timeout()
-        self._conns: List = []
-        self._procs: List = []
-        #: shared-memory handle of the one in-flight pipelined cycle
-        #: (None when no cycle is pending).
+        self._channels: List[ShardChannel] = []
+        #: the one in-flight pipelined cycle:
+        #: (PreparedCycle, wire-bytes baseline) or None.
         self._pending = None
-        context = multiprocessing.get_context(_default_start_method())
+        self._cycle_log: deque = deque(maxlen=_CYCLE_LOG_LIMIT)
+        self._cycles_recorded = 0
+        self._cycle_wire_total = 0
+        self._cycle_shared_total = 0
         try:
-            for shard in range(shards):
-                parent, child = context.Pipe(duplex=True)
-                process = context.Process(
-                    target=worker_main,
-                    args=(child, key, dims, cells_per_axis, options),
-                    name=f"repro-shard-{shard}",
-                    daemon=True,
+            if addresses is None:
+                context = multiprocessing.get_context(
+                    _default_start_method()
                 )
-                process.start()
-                child.close()
-                self._conns.append(parent)
-                self._procs.append(process)
+                for shard in range(count):
+                    self._channels.append(
+                        PipeChannel.spawn(
+                            context,
+                            worker_main,
+                            (key, dims, cells_per_axis, options),
+                            name=f"repro-shard-{shard}",
+                        )
+                    )
+            else:
+                for shard, address in enumerate(addresses):
+                    try:
+                        self._channels.append(
+                            TcpChannel.connect(
+                                address,
+                                algorithm=key,
+                                dims=dims,
+                                cells_per_axis=cells_per_axis,
+                                options=options,
+                                timeout=self._timeout,
+                            )
+                        )
+                    except WorkerFailure as exc:
+                        raise StreamError(
+                            f"shard host {address!r} rejected the "
+                            f"configure handshake:\n{exc}"
+                        ) from None
+                    except ChannelError as exc:
+                        raise StreamError(
+                            f"cannot bring up remote shard {shard} at "
+                            f"{address!r}: {exc}"
+                        ) from None
         except BaseException:
             self._terminate()
             raise
 
     # ------------------------------------------------------------------
-    # Worker RPC plumbing
+    # Shard RPC plumbing (transport-agnostic: channels only)
     # ------------------------------------------------------------------
 
     def _recv(self, shard: int):
-        connection = self._conns[shard]
-        if not connection.poll(self._timeout):
+        channel = self._channels[shard]
+        try:
+            return channel.response(self._timeout)
+        except ChannelTimeout:
             self._terminate()
             raise StreamError(
                 f"shard {shard} ({self.name}) did not reply within "
                 f"{self._timeout:.0f}s; worker pool terminated"
-            )
-        try:
-            status, payload = connection.recv()
-        except EOFError:
-            self._terminate()
-            raise StreamError(
-                f"shard {shard} ({self.name}) died mid-request"
             ) from None
-        if status != "ok":
+        except ChannelClosed as exc:
             self._terminate()
             raise StreamError(
-                f"shard {shard} ({self.name}) failed:\n{payload}"
-            )
-        return payload
+                f"shard {shard} ({self.name}) died mid-request "
+                f"[{channel.describe()}: {exc}]"
+            ) from None
+        except WorkerFailure as exc:
+            self._terminate()
+            raise StreamError(
+                f"shard {shard} ({self.name}) failed:\n{exc}"
+            ) from None
 
     def _ensure_open(self) -> None:
-        if not self._conns:
+        if not self._channels:
             raise StreamError(
                 f"worker pool of {self.name} is closed; create a new "
                 "monitor (close() tears the shards down for good)"
             )
 
+    def _send(self, shard: int, command: str, payload=None) -> None:
+        try:
+            self._channels[shard].request(command, payload)
+        except ChannelClosed as exc:
+            self._terminate()
+            raise StreamError(
+                f"shard {shard} ({self.name}) died mid-request "
+                f"[{exc}]"
+            ) from None
+
     def _call(self, shard: int, command: str, payload=None):
         self._ensure_open()
         self._require_no_pending(command)
-        self._conns[shard].send((command, payload))
+        self._send(shard, command, payload)
         return self._recv(shard)
 
     def _broadcast(self, command: str, payload=None) -> List:
         self._ensure_open()
         self._require_no_pending(command)
-        for connection in self._conns:
-            connection.send((command, payload))
+        for shard in range(self.shards):
+            self._send(shard, command, payload)
         return self._recv_all()
 
     def _recv_all(self) -> List:
@@ -216,24 +301,24 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
 
         ``send-all/recv-all`` in shard order would idle the
         coordinator on shard 0 while faster shards sit with finished
-        replies; waiting on whichever pipe is readable lets the
-        coordinator unpickle (and later merge) each reply while the
-        stragglers still compute. Replies are returned indexed by
-        shard, so callers stay order-deterministic.
+        replies; waiting on whichever channel is readable
+        (:func:`~repro.transport.base.wait_ready` — pipes and sockets
+        in one wait set) lets the coordinator decode (and later merge)
+        each reply while the stragglers still compute. Replies are
+        returned indexed by shard, so callers stay
+        order-deterministic.
         """
-        pending = {
-            self._conns[shard]: shard for shard in range(self.shards)
+        pending: Dict[ShardChannel, int] = {
+            self._channels[shard]: shard for shard in range(self.shards)
         }
         replies: List = [None] * self.shards
         deadline = time.monotonic() + self._timeout
         while pending:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                ready = []
+                ready: List[ShardChannel] = []
             else:
-                ready = mp_connection.wait(
-                    list(pending), timeout=remaining
-                )
+                ready = wait_ready(list(pending), remaining)
             if not ready:
                 stuck = sorted(pending.values())
                 self._terminate()
@@ -241,21 +326,30 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
                     f"shards {stuck} ({self.name}) did not reply within "
                     f"{self._timeout:.0f}s; worker pool terminated"
                 )
-            for connection in ready:
-                shard = pending.pop(connection)
+            for channel in ready:
+                shard = pending.pop(channel)
                 try:
-                    status, payload = connection.recv()
-                except EOFError:
-                    self._terminate()
-                    raise StreamError(
-                        f"shard {shard} ({self.name}) died mid-request"
-                    ) from None
-                if status != "ok":
-                    self._terminate()
-                    raise StreamError(
-                        f"shard {shard} ({self.name}) failed:\n{payload}"
+                    replies[shard] = channel.response(
+                        max(0.001, deadline - time.monotonic())
                     )
-                replies[shard] = payload
+                except ChannelTimeout:
+                    self._terminate()
+                    raise StreamError(
+                        f"shards [{shard}] ({self.name}) did not reply "
+                        f"within {self._timeout:.0f}s; worker pool "
+                        "terminated"
+                    ) from None
+                except ChannelClosed as exc:
+                    self._terminate()
+                    raise StreamError(
+                        f"shard {shard} ({self.name}) died mid-request "
+                        f"[{channel.describe()}: {exc}]"
+                    ) from None
+                except WorkerFailure as exc:
+                    self._terminate()
+                    raise StreamError(
+                        f"shard {shard} ({self.name}) failed:\n{exc}"
+                    ) from None
         return replies
 
     def _merge_counters(self, shard: int, snapshot: Dict[str, int]) -> None:
@@ -315,7 +409,7 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
                 query
             )
         for shard, batch_ in per_shard.items():
-            self._conns[shard].send(("register_many", batch_))
+            self._send(shard, "register_many", batch_)
         results: Dict[int, List[ResultEntry]] = {}
         for shard, batch_ in per_shard.items():
             entries_by_qid, counters = self._recv(shard)
@@ -417,18 +511,19 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
         self,
         arrivals: List[StreamRecord],
         expirations: List[StreamRecord],
-    ):
-        """Encode one cycle's columnar snapshot without sending it.
+    ) -> PreparedCycle:
+        """Encode one cycle's broadcast without sending it.
 
-        Pure coordinator-side CPU (NumPy pack + shared-memory fill) —
-        the portion of a cycle that pipelining hides under the shards'
-        in-flight work. The returned token is consumed by exactly one
-        :meth:`begin_cycle`.
+        Pure coordinator-side CPU (per-transport snapshot encode:
+        NumPy pack + shared-memory fill for pipes, JSON columnar
+        deltas for TCP) — the portion of a cycle that pipelining hides
+        under the shards' in-flight work. The returned token is
+        consumed by exactly one :meth:`begin_cycle`.
         """
-        payload, handle = encode_cycle(arrivals, expirations)
-        return (payload, handle)
+        self._ensure_open()
+        return encode_prepared_cycle(self._channels, arrivals, expirations)
 
-    def begin_cycle(self, prepared) -> None:
+    def begin_cycle(self, prepared: PreparedCycle) -> None:
         """Send a prepared snapshot to every shard and return without
         waiting. Exactly one cycle may be in flight; interleaving
         registration/mutation RPCs with an in-flight cycle would
@@ -440,28 +535,36 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
                 f"{self.name} already has a cycle in flight; call "
                 "finish_cycle() before beginning the next"
             )
-        payload, handle = prepared
+        baseline = self._wire_totals()
         try:
-            for connection in self._conns:
-                connection.send(("cycle", payload))
+            for channel in self._channels:
+                channel.send_cycle(prepared.payload_for(channel.kind))
+        except ChannelClosed as exc:
+            prepared.close()
+            self._terminate()
+            raise StreamError(
+                f"shard channel died mid-broadcast on {self.name} "
+                f"[{exc}]"
+            ) from None
         except BaseException:
-            handle.close()
+            prepared.close()
             raise
-        self._pending = handle
+        self._pending = (prepared, baseline)
 
     def finish_cycle(self) -> Dict[int, ResultChange]:
         """Wait for the in-flight cycle's replies (completion order)
         and merge them into one change report."""
         if self._pending is None:
             raise StreamError(f"{self.name} has no cycle in flight")
-        handle, self._pending = self._pending, None
+        (prepared, baseline), self._pending = self._pending, None
         try:
             replies = self._recv_all()
         finally:
             # Workers copy out of the shared segment before replying,
             # so the segment is release-safe once every reply (or the
             # terminating error) is in.
-            handle.close()
+            prepared.close()
+        self._record_cycle(prepared, baseline)
         changes: Dict[int, ResultChange] = {}
         for shard, (shard_changes, counters) in enumerate(replies):
             self._merge_counters(shard, counters)
@@ -483,6 +586,64 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
         expirations: List[StreamRecord],
     ) -> None:  # pragma: no cover - process_cycle is overridden
         raise NotImplementedError("sharded cycles run in workers")
+
+    # ------------------------------------------------------------------
+    # Transport accounting
+    # ------------------------------------------------------------------
+
+    def _wire_totals(self) -> Dict[str, int]:
+        sent = 0
+        received = 0
+        for channel in self._channels:
+            sent += channel.bytes_sent
+            received += channel.bytes_received
+        return {"sent": sent, "received": received}
+
+    def _record_cycle(
+        self, prepared: PreparedCycle, baseline: Dict[str, int]
+    ) -> None:
+        totals = self._wire_totals()
+        sample = {
+            "wire_sent_bytes": totals["sent"] - baseline["sent"],
+            "wire_received_bytes": totals["received"]
+            - baseline["received"],
+            "shared_bytes": prepared.shared_bytes,
+        }
+        sample["wire_bytes"] = (
+            sample["wire_sent_bytes"] + sample["wire_received_bytes"]
+        )
+        self._cycle_log.append(sample)
+        self._cycles_recorded += 1
+        self._cycle_wire_total += sample["wire_bytes"]
+        self._cycle_shared_total += sample["shared_bytes"]
+
+    def transport_stats(self) -> Dict:
+        """Bytes-on-the-wire accounting, merged across the pool.
+
+        Cumulative totals cover every RPC; the per-cycle figures cover
+        cycle broadcasts plus their replies (``shared_bytes`` counts
+        attribute blocks that rode shared memory instead of a pipe —
+        always 0 for TCP shards). ``recent_cycles`` holds the last
+        :data:`_CYCLE_LOG_LIMIT` per-cycle samples, oldest first. The
+        returned structure is JSON-serialisable (bench and the engine
+        facade embed it verbatim).
+        """
+        totals = self._wire_totals()
+        last = self._cycle_log[-1] if self._cycle_log else None
+        return {
+            "transport": self.transport,
+            "shards": self.shards,
+            "endpoints": [
+                channel.describe() for channel in self._channels
+            ],
+            "bytes_sent": totals["sent"],
+            "bytes_received": totals["received"],
+            "cycles": self._cycles_recorded,
+            "cycle_wire_bytes_total": self._cycle_wire_total,
+            "cycle_shared_bytes_total": self._cycle_shared_total,
+            "last_cycle": dict(last) if last else None,
+            "recent_cycles": [dict(sample) for sample in self._cycle_log],
+        }
 
     # ------------------------------------------------------------------
     # Introspection (merged across shards)
@@ -515,7 +676,7 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
     def ping(self) -> bool:
         """Round-trip every worker (health check / pipeline barrier).
 
-        Workers answer strictly in pipe order, so a successful ping
+        Workers answer strictly in channel order, so a successful ping
         proves every previously submitted cycle has been processed.
         """
         return all(
@@ -535,38 +696,39 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down gracefully (terminate stragglers)."""
-        if self._pending is not None and self._conns:
+        """Shut the shard pool down gracefully (terminate stragglers).
+
+        Idempotent, for pipes and remote hosts alike: a second call
+        finds no channels and returns.
+        """
+        if self._pending is not None and self._channels:
             # Drain the in-flight cycle so workers reach their recv
             # loop (and the shared segment is released) before stop.
             try:
                 self.finish_cycle()
             except StreamError:
                 pass
-        for connection in self._conns:
+        for channel in self._channels:
+            channel.begin_shutdown()
+        for channel in self._channels:
             try:
-                connection.send(("stop", None))
-            except (BrokenPipeError, OSError):
-                pass
-        for process in self._procs:
-            process.join(timeout=5)
-        self._terminate()
+                channel.finish_shutdown(timeout=5)
+            except ChannelError:  # pragma: no cover - defensive
+                channel.terminate()
+        self._channels = []
+        self._drop_pending()
+
+    def _drop_pending(self) -> None:
+        if self._pending is not None:
+            prepared, _ = self._pending
+            prepared.close()
+            self._pending = None
 
     def _terminate(self) -> None:
-        if self._pending is not None:
-            self._pending.close()
-            self._pending = None
-        for process in self._procs:
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=5)
-        for connection in self._conns:
-            try:
-                connection.close()
-            except OSError:  # pragma: no cover - defensive
-                pass
-        self._conns = []
-        self._procs = []
+        self._drop_pending()
+        for channel in self._channels:
+            channel.terminate()
+        self._channels = []
 
     def __enter__(self) -> "ShardedMonitorAlgorithm":
         """Context-manager entry: returns the algorithm itself."""

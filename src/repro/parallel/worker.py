@@ -1,11 +1,12 @@
-"""Shard worker: one process, one algorithm instance, one pipe.
+"""Shard worker: one algorithm instance behind one server channel.
 
 A worker owns a full replica of the *stream* state (its own grid /
 sorted lists, fed the same arrivals and expirations as every other
 shard) and a disjoint subset of the *query* state. It answers a tiny
-request/response protocol over a duplex pipe; every data-bearing reply
-carries a fresh :class:`~repro.core.stats.OpCounters` snapshot so the
-coordinator can merge machine-independent work counts additively.
+request/response protocol over a shard channel; every data-bearing
+reply carries a fresh :class:`~repro.core.stats.OpCounters` snapshot
+so the coordinator can merge machine-independent work counts
+additively.
 
 Protocol (``(command, payload)`` in, ``(status, payload)`` out)::
 
@@ -19,19 +20,25 @@ Protocol (``(command, payload)`` in, ``(status, payload)`` out)::
     stop          None          -> ok None, then the loop exits
 
 ``ping`` is a pure round trip: because a worker serves requests
-strictly in pipe order, a ``pong`` proves every previously sent cycle
-has been fully processed — the barrier the pipelined-broadcast tests
-and the serving runtime's health checks rely on.
+strictly in channel order, a ``pong`` proves every previously sent
+cycle has been fully processed — the barrier the pipelined-broadcast
+tests and the serving runtime's health checks rely on.
 
-Any exception is caught and returned as ``("error", traceback)`` — the
-coordinator re-raises; a worker only dies on pipe EOF or ``stop``.
+The serve loop (:func:`serve_shard`) is transport-agnostic: the same
+loop runs behind a pipe (:func:`worker_main`, the spawned-process
+entry point) and behind a TCP session (:mod:`repro.cluster.shard`, the
+remote host). Any exception is caught and returned as
+``("error", traceback)`` — the coordinator re-raises; a worker only
+dies on channel EOF or ``stop``.
 """
 
 from __future__ import annotations
 
 import traceback
 
-from repro.parallel.snapshot import decode_cycle
+from repro.transport.base import ChannelClosed
+from repro.transport.pipe import PipeServerChannel
+from repro.transport.snapshot import decode_cycle
 
 
 def worker_main(
@@ -45,25 +52,42 @@ def worker_main(
     from repro.algorithms import make_algorithm
 
     algo = make_algorithm(algorithm, dims, cells_per_axis, **options)
+    channel = PipeServerChannel(conn)
+    try:
+        serve_shard(channel, algo)
+    finally:
+        channel.close()
+
+
+def serve_shard(channel, algo) -> None:
+    """Serve shard requests off ``channel`` until ``stop`` or EOF.
+
+    ``channel`` is any server-side half of a shard channel
+    (:class:`~repro.transport.pipe.PipeServerChannel` in a worker
+    process, :class:`~repro.transport.tcp.TcpServerChannel` in a
+    remote host session) — the loop itself never sees the transport.
+    """
     while True:
         try:
-            command, payload = conn.recv()
-        except (EOFError, OSError):
+            command, payload = channel.receive()
+        except ChannelClosed:
             break
         try:
             if command == "stop":
-                conn.send(("ok", None))
+                channel.reply_ok(None)
                 break
-            conn.send(("ok", _dispatch(algo, command, payload)))
+            channel.reply_ok(dispatch_command(algo, command, payload))
+        except ChannelClosed:  # pragma: no cover - reply raced a close
+            break
         except Exception:
             try:
-                conn.send(("error", traceback.format_exc()))
-            except (BrokenPipeError, OSError):  # pragma: no cover
+                channel.reply_error(traceback.format_exc())
+            except ChannelClosed:  # pragma: no cover
                 break
-    conn.close()
 
 
-def _dispatch(algo, command: str, payload):
+def dispatch_command(algo, command: str, payload):
+    """Execute one shard command against the local algorithm."""
     if command == "cycle":
         arrivals, expirations = decode_cycle(payload)
         changes = algo.process_cycle(arrivals, expirations)
@@ -91,3 +115,7 @@ def _dispatch(algo, command: str, payload):
     if command == "ping":
         return "pong"
     raise ValueError(f"unknown shard command {command!r}")
+
+
+#: backwards-compatible alias (pre-channel name).
+_dispatch = dispatch_command

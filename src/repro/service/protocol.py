@@ -63,11 +63,24 @@ class ProtocolError(ReproError):
 # ----------------------------------------------------------------------
 
 
+def encode_body(message: Dict[str, Any]) -> bytes:
+    """One message → compact UTF-8 JSON bytes, repr-faithful floats.
+
+    The un-framed encoder both framings build on: :func:`encode_line`
+    appends the newline delimiter of the serving protocol, and the
+    shard transport (:mod:`repro.transport.codec`) prefixes a binary
+    length header instead. Floats pass through Python's ``repr``-based
+    JSON encoder, so every IEEE-754 double survives the round trip
+    bit-for-bit; NaN/Inf are rejected (they have no JSON spelling).
+    """
+    return json.dumps(
+        message, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
 def encode_line(message: Dict[str, Any]) -> bytes:
     """One message → one ``\\n``-terminated JSON line."""
-    return (
-        json.dumps(message, separators=(",", ":"), allow_nan=False) + "\n"
-    ).encode("utf-8")
+    return encode_body(message) + b"\n"
 
 
 def decode_line(line: bytes) -> Dict[str, Any]:

@@ -1,0 +1,430 @@
+"""Length-delimited JSON wire format of the TCP shard channel.
+
+Every message is one frame: a 4-byte big-endian unsigned length
+followed by that many bytes of compact UTF-8 JSON. The JSON body is
+produced by :func:`repro.service.protocol.encode_body` — the same
+repr-faithful float encoder the serving protocol uses — so IEEE-754
+doubles cross the wire bit-for-bit and a remote shard rebuilds records
+and entries identical to the coordinator's (the precondition for
+bitwise parity between remote-sharded and single-process runs).
+
+One frame per request, one per reply, matched by order (at most one
+request is outstanding per channel). Requests carry ``{"op": ...}``;
+replies carry ``{"ok": true, ...}`` or ``{"ok": false, "error": txt}``
+where ``txt`` is the remote traceback. Reply payload shapes depend on
+the request's op, so decoding takes the pending command.
+
+**Cycle deltas.** The ``cycle`` request ships only the cycle's *new*
+and *expired* records as columns (ids / timestamps / attribute rows) —
+never the full window — mirroring the columnar pipe snapshot
+(:mod:`repro.transport.snapshot`) in JSON instead of shared memory.
+
+Only wire-serialisable queries cross this codec: plain linear top-k
+and threshold specs, exactly the kinds
+:func:`repro.service.protocol.query_to_wire` supports, extended with
+the coordinator-assigned ``qid``. Anything else raises
+:class:`~repro.service.protocol.ProtocolError` locally, before any
+bytes move.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.core.results import ResultChange, ResultEntry
+from repro.core.scoring import LinearFunction
+from repro.core.tuples import StreamRecord
+from repro.service.protocol import (
+    ProtocolError,
+    change_from_wire,
+    change_to_wire,
+    decode_line,
+    encode_body,
+    entries_from_wire,
+    entries_to_wire,
+    query_from_wire,
+    query_to_wire,
+)
+
+#: shard wire-protocol revision, exchanged in the ``configure``
+#: handshake; a host refuses a coordinator with a different revision.
+SHARD_PROTOCOL_VERSION = 1
+
+#: hard per-frame ceiling — a length header beyond this is treated as
+#: stream corruption, not an allocation request.
+MAX_FRAME_BYTES = 512 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+HEADER_BYTES = _HEADER.size
+
+#: requests that carry no payload at all.
+_BARE_OPS = ("stats", "space", "ping", "stop")
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+def frame_body(body: bytes) -> bytes:
+    """JSON body → one length-prefixed frame."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame ceiling"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def frame_message(message: Dict[str, Any]) -> bytes:
+    """One message dict → one length-prefixed frame."""
+    return frame_body(encode_body(message))
+
+
+def body_length(header: bytes) -> int:
+    """Decode a 4-byte frame header into the body length."""
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame header announces {length} bytes (> "
+            f"{MAX_FRAME_BYTES}); stream is corrupt"
+        )
+    return length
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """One frame body → message dict (shares the serving protocol's
+    JSON decoding and error taxonomy)."""
+    return decode_line(body)
+
+
+# ----------------------------------------------------------------------
+# Columnar record batches (cycle deltas)
+# ----------------------------------------------------------------------
+
+
+def _records_to_wire(
+    records: Sequence[StreamRecord],
+) -> Dict[str, List[Any]]:
+    return {
+        "rids": [record.rid for record in records],
+        "times": [record.time for record in records],
+        "rows": [list(record.attrs) for record in records],
+    }
+
+
+def _columns_from_wire(
+    payload: Dict[str, Any],
+) -> Tuple[List[int], List[float], List[List[float]]]:
+    try:
+        rids = [int(rid) for rid in payload["rids"]]
+        times = [float(stamp) for stamp in payload["times"]]
+        rows = [
+            [float(value) for value in row] for row in payload["rows"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed record columns: {exc}") from None
+    if not (len(rids) == len(times) == len(rows)):
+        raise ProtocolError(
+            f"ragged record columns: {len(rids)} rids, "
+            f"{len(times)} times, {len(rows)} rows"
+        )
+    return rids, times, rows
+
+
+def encode_cycle_request(
+    arrivals: Sequence[StreamRecord],
+    expirations: Sequence[StreamRecord],
+) -> bytes:
+    """One cycle's deltas → a ready-to-send ``cycle`` request frame.
+
+    Encoded once per cycle regardless of how many TCP channels will
+    broadcast it (the TCP transport's :meth:`encode_cycle`).
+    """
+    return frame_message(
+        {
+            "op": "cycle",
+            "ins": _records_to_wire(arrivals),
+            "del": _records_to_wire(expirations),
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# Queries (serving-protocol specs + the coordinator-assigned qid)
+# ----------------------------------------------------------------------
+
+
+def shard_query_to_wire(query: object) -> Dict[str, Any]:
+    spec = query_to_wire(query)
+    spec["qid"] = getattr(query, "qid", -1)
+    return spec
+
+
+def shard_query_from_wire(payload: Dict[str, Any]) -> object:
+    query = query_from_wire(payload)
+    try:
+        query.qid = int(payload.get("qid", -1))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed wire qid: {exc}") from None
+    return query
+
+
+def _weights_of(function: object) -> List[float]:
+    if not isinstance(function, LinearFunction):
+        raise ProtocolError(
+            "only LinearFunction preferences are wire-serialisable; "
+            f"{type(function).__name__} is not"
+        )
+    return list(function.weights)
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+
+def encode_request(command: str, payload: Any) -> Dict[str, Any]:
+    """One coordinator request → message dict.
+
+    ``payload`` is the exact object the in-process worker protocol
+    carries for ``command`` (see :mod:`repro.parallel.worker`); for
+    ``cycle`` it is the ``("cols", ...)`` snapshot triple.
+    """
+    if command == "cycle":
+        kind = payload[0]
+        if kind != "cols":  # shm payloads never cross a socket
+            raise ProtocolError(
+                f"cycle payload kind {kind!r} is not wire-serialisable"
+            )
+        _, arrivals_cols, expirations_cols = payload
+        rids_a, times_a, rows_a = arrivals_cols
+        rids_e, times_e, rows_e = expirations_cols
+        return {
+            "op": "cycle",
+            "ins": {
+                "rids": list(rids_a),
+                "times": list(times_a),
+                "rows": [list(row) for row in rows_a],
+            },
+            "del": {
+                "rids": list(rids_e),
+                "times": list(times_e),
+                "rows": [list(row) for row in rows_e],
+            },
+        }
+    if command == "register_many":
+        return {
+            "op": "register_many",
+            "queries": [shard_query_to_wire(query) for query in payload],
+        }
+    if command == "unregister":
+        return {"op": "unregister", "qid": int(payload)}
+    if command == "update":
+        qid, k, function = payload
+        return {
+            "op": "update",
+            "qid": int(qid),
+            "k": None if k is None else int(k),
+            "weights": None if function is None else _weights_of(function),
+        }
+    if command == "configure":
+        return {"op": "configure", **payload}
+    if command in _BARE_OPS:
+        return {"op": command}
+    raise ProtocolError(f"unknown shard command {command!r}")
+
+
+def decode_request(message: Dict[str, Any]) -> Tuple[str, Any]:
+    """Message dict → ``(command, payload)`` in the worker protocol's
+    internal shapes (cycle payloads come back as ``("cols", ...)``
+    triples, ready for :func:`repro.transport.snapshot.decode_cycle`)."""
+    op = message.get("op")
+    try:
+        if op == "cycle":
+            return "cycle", (
+                "cols",
+                _columns_from_wire(message["ins"]),
+                _columns_from_wire(message["del"]),
+            )
+        if op == "register_many":
+            return "register_many", [
+                shard_query_from_wire(spec) for spec in message["queries"]
+            ]
+        if op == "unregister":
+            return "unregister", int(message["qid"])
+        if op == "update":
+            weights = message.get("weights")
+            function = (
+                None
+                if weights is None
+                else LinearFunction([float(w) for w in weights])
+            )
+            k = message.get("k")
+            return "update", (
+                int(message["qid"]),
+                None if k is None else int(k),
+                function,
+            )
+        if op == "configure":
+            return "configure", {
+                key: value
+                for key, value in message.items()
+                if key != "op"
+            }
+        if op in _BARE_OPS:
+            return str(op), None
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"malformed {op!r} request: {exc}"
+        ) from None
+    raise ProtocolError(f"unknown shard op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Replies (shape keyed by the request's op)
+# ----------------------------------------------------------------------
+
+
+def _counters_to_wire(counters: Dict[str, int]) -> Dict[str, int]:
+    return dict(counters)
+
+
+def _counters_from_wire(payload: Any) -> Dict[str, int]:
+    try:
+        return {str(key): int(value) for key, value in payload.items()}
+    except (AttributeError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed wire counters: {exc}") from None
+
+
+def encode_reply(command: str, payload: Any) -> Dict[str, Any]:
+    """One successful worker reply → message dict.
+
+    ``payload`` is exactly what
+    :func:`repro.parallel.worker.dispatch_command` returned for
+    ``command``.
+    """
+    if command == "cycle":
+        changes_by_qid, counters = payload
+        return {
+            "ok": True,
+            "changes": [
+                change_to_wire(change)
+                for _, change in sorted(changes_by_qid.items())
+            ],
+            "counters": _counters_to_wire(counters),
+        }
+    if command == "register_many":
+        per_qid, counters = payload
+        return {
+            "ok": True,
+            "results": [
+                {"qid": qid, "entries": entries_to_wire(per_qid[qid])}
+                for qid in sorted(per_qid)
+            ],
+            "counters": _counters_to_wire(counters),
+        }
+    if command == "unregister":
+        _, counters = payload
+        return {"ok": True, "counters": _counters_to_wire(counters)}
+    if command == "update":
+        wire_entries, counters = payload
+        return {
+            "ok": True,
+            "entries": entries_to_wire(wire_entries),
+            "counters": _counters_to_wire(counters),
+        }
+    if command == "stats":
+        (sizes, il_entries), counters = payload
+        return {
+            "ok": True,
+            "sizes": [[qid, sizes[qid]] for qid in sorted(sizes)],
+            "il_entries": int(il_entries),
+            "counters": _counters_to_wire(counters),
+        }
+    if command == "space":
+        return {"ok": True, "space": _space_to_wire(payload)}
+    if command == "ping":
+        return {"ok": True}
+    if command == "stop":
+        return {"ok": True}
+    if command == "configure":
+        return {"ok": True, **payload}
+    raise ProtocolError(f"unknown shard command {command!r}")
+
+
+def encode_error_reply(traceback_text: str) -> Dict[str, Any]:
+    return {"ok": False, "error": str(traceback_text)}
+
+
+def decode_reply(
+    command: str, message: Dict[str, Any]
+) -> Tuple[str, Any]:
+    """Message dict → ``(status, payload)`` in the worker protocol's
+    internal shapes, matched to the pending ``command``."""
+    if not message.get("ok", False):
+        return "error", str(message.get("error", "unknown shard error"))
+    try:
+        if command == "cycle":
+            changes: Dict[int, ResultChange] = {}
+            for spec in message["changes"]:
+                change = change_from_wire(spec)
+                changes[change.qid] = change
+            return "ok", (changes, _counters_from_wire(message["counters"]))
+        if command == "register_many":
+            per_qid: Dict[int, List[ResultEntry]] = {}
+            for item in message["results"]:
+                per_qid[int(item["qid"])] = entries_from_wire(
+                    item["entries"]
+                )
+            return "ok", (per_qid, _counters_from_wire(message["counters"]))
+        if command == "unregister":
+            return "ok", (None, _counters_from_wire(message["counters"]))
+        if command == "update":
+            return "ok", (
+                entries_from_wire(message["entries"]),
+                _counters_from_wire(message["counters"]),
+            )
+        if command == "stats":
+            sizes = {int(qid): int(size) for qid, size in message["sizes"]}
+            return "ok", (
+                (sizes, int(message["il_entries"])),
+                _counters_from_wire(message["counters"]),
+            )
+        if command == "space":
+            return "ok", _space_from_wire(message["space"])
+        if command == "ping":
+            return "ok", "pong"
+        if command == "stop":
+            return "ok", None
+        if command == "configure":
+            return "ok", {
+                key: value
+                for key, value in message.items()
+                if key != "ok"
+            }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"malformed {command!r} reply: {exc}"
+        ) from None
+    raise ProtocolError(f"unknown shard command {command!r}")
+
+
+def _space_to_wire(breakdown: object) -> Dict[str, int]:
+    fields = breakdown.as_dict()  # type: ignore[attr-defined]
+    fields.pop("total", None)  # recomputed property, not state
+    return {str(key): int(value) for key, value in fields.items()}
+
+
+def _space_from_wire(payload: Dict[str, Any]):
+    from repro.analysis.memory import SpaceBreakdown
+
+    try:
+        return SpaceBreakdown(
+            **{str(key): int(value) for key, value in payload.items()}
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"malformed wire space breakdown: {exc}"
+        ) from None

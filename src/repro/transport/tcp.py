@@ -1,0 +1,321 @@
+"""TCP transport: a remote shard host on a length-delimited socket.
+
+:class:`TcpChannel` is the coordinator-side channel to one
+:mod:`repro.cluster.shard` host. It speaks the framing and message
+shapes of :mod:`repro.transport.codec` — 4-byte length header plus
+repr-faithful JSON — and opens every session with a ``configure``
+handshake that tells the host which per-shard algorithm to build
+(protocol revision, algorithm name, dims, grid granularity, factory
+options). ``TCP_NODELAY`` is set on both ends: shard RPCs are strict
+request/reply, so Nagle batching would only add latency.
+
+Cycle broadcasts are columnar *deltas* — the cycle's new and expired
+records only, never the full window — encoded once per cycle
+(:meth:`TcpChannel.encode_cycle`) and reused by every TCP channel in
+the pool. Bytes are counted in both directions; the coordinator
+surfaces them per cycle through ``stats()``.
+
+The raw socket doubles as the channel's waitable
+(:func:`multiprocessing.connection.wait` accepts sockets, and mixes
+them with pipe ``Connection`` objects in one call), so completion-
+order reply collection works across transports. Reads are buffered;
+``has_buffered()`` keeps a partially read frame from stalling the
+wait loop.
+
+:class:`TcpServerChannel` is the host-side half: it decodes request
+frames into the worker protocol's ``(command, payload)`` shapes and
+encodes replies per the pending command, giving the shard serve loop
+the same surface as the pipe's worker side.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.tuples import StreamRecord
+from repro.transport import codec
+from repro.transport.base import (
+    ChannelClosed,
+    ChannelError,
+    ChannelTimeout,
+    ShardChannel,
+    WorkerFailure,
+    parse_address,
+)
+
+
+class _NullHandle:
+    """Nothing to release: TCP cycles are wholly wire-borne."""
+
+    __slots__ = ()
+
+    def close(self) -> None:
+        pass
+
+
+def _set_nodelay(sock: socket.socket) -> None:
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:  # pragma: no cover - AF_UNIX etc.
+        pass
+
+
+class TcpChannel(ShardChannel):
+    """Coordinator-side channel to one remote shard host."""
+
+    kind = "tcp"
+
+    def __init__(self, sock: socket.socket, address: str) -> None:
+        self._sock: Optional[socket.socket] = sock
+        self._address = address
+        self._buffer = bytearray()
+        self._pending_commands: List[str] = []
+        self._bytes_sent = 0
+        self._bytes_received = 0
+
+    @classmethod
+    def connect(
+        cls,
+        address: str,
+        *,
+        algorithm: str,
+        dims: int,
+        cells_per_axis: Optional[int],
+        options: Dict[str, Any],
+        timeout: float,
+    ) -> "TcpChannel":
+        """Dial one shard host and run the ``configure`` handshake.
+
+        The host builds its algorithm instance before replying, so a
+        successful connect returns a shard that is ready to register
+        queries; an unknown algorithm or option set surfaces here as
+        :class:`~repro.transport.base.WorkerFailure` with the remote
+        traceback.
+        """
+        host, port = parse_address(address)
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ChannelError(
+                f"cannot connect to shard host {address!r}: {exc}"
+            ) from None
+        sock.settimeout(None)
+        _set_nodelay(sock)
+        channel = cls(sock, address)
+        try:
+            channel.request(
+                "configure",
+                {
+                    "protocol": codec.SHARD_PROTOCOL_VERSION,
+                    "algorithm": algorithm,
+                    "dims": dims,
+                    "cells_per_axis": cells_per_axis,
+                    "options": dict(options),
+                },
+            )
+            channel.response(timeout)
+        except BaseException:
+            channel.terminate()
+            raise
+        return channel
+
+    # -- request/reply ------------------------------------------------
+
+    def request(self, command: str, payload: Any = None) -> None:
+        frame = codec.frame_message(codec.encode_request(command, payload))
+        self._send_frame(frame)
+        self._pending_commands.append(command)
+
+    def send_cycle(self, payload: Any) -> None:
+        self._send_frame(payload)
+        self._pending_commands.append("cycle")
+
+    @classmethod
+    def encode_cycle(
+        cls,
+        arrivals: Sequence[StreamRecord],
+        expirations: Sequence[StreamRecord],
+    ) -> Tuple[Any, Any, int]:
+        frame = codec.encode_cycle_request(arrivals, expirations)
+        return frame, _NullHandle(), 0
+
+    def _send_frame(self, frame: bytes) -> None:
+        if self._sock is None:
+            raise ChannelClosed(
+                f"channel to {self._address} is already closed"
+            )
+        try:
+            self._sock.sendall(frame)
+        except OSError as exc:
+            raise ChannelClosed(
+                f"send to shard host {self._address} failed ({exc})"
+            ) from None
+        self._bytes_sent += len(frame)
+
+    def response(self, timeout: float) -> Any:
+        if not self._pending_commands:
+            raise ChannelError(
+                f"no outstanding request on channel to {self._address}"
+            )
+        deadline = time.monotonic() + timeout
+        header = self._read_exact(codec.HEADER_BYTES, deadline)
+        body = self._read_exact(codec.body_length(header), deadline)
+        command = self._pending_commands.pop(0)
+        status, payload = codec.decode_reply(
+            command, codec.decode_body(body)
+        )
+        if status != "ok":
+            raise WorkerFailure(payload)
+        return payload
+
+    def _read_exact(self, count: int, deadline: float) -> bytes:
+        if self._sock is None:
+            raise ChannelClosed(
+                f"channel to {self._address} is already closed"
+            )
+        while len(self._buffer) < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ChannelTimeout(
+                    f"no reply from shard host {self._address} in time"
+                )
+            self._sock.settimeout(remaining)
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                raise ChannelTimeout(
+                    f"no reply from shard host {self._address} in time"
+                ) from None
+            except OSError as exc:
+                raise ChannelClosed(
+                    f"connection to shard host {self._address} broke "
+                    f"({exc})"
+                ) from None
+            finally:
+                if self._sock is not None:
+                    self._sock.settimeout(None)
+            if not chunk:
+                raise ChannelClosed(
+                    f"shard host {self._address} closed the connection"
+                )
+            self._buffer.extend(chunk)
+            self._bytes_received += len(chunk)
+        data = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        return data
+
+    # -- readiness ----------------------------------------------------
+
+    def waitable(self) -> Any:
+        return self._sock
+
+    def has_buffered(self) -> bool:
+        return bool(self._buffer)
+
+    def is_alive(self) -> bool:
+        return self._sock is not None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def begin_shutdown(self) -> None:
+        try:
+            self.request("stop")
+        except ChannelError:
+            pass
+
+    def finish_shutdown(self, timeout: float) -> None:
+        try:
+            if self._pending_commands:
+                self.response(timeout)
+        except ChannelError:
+            pass
+        self.terminate()
+
+    def terminate(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._buffer.clear()
+        self._pending_commands.clear()
+
+    def describe(self) -> str:
+        return f"tcp shard host {self._address}"
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        return self._bytes_received
+
+
+class TcpServerChannel:
+    """Host-side half of a TCP channel (lives in the shard host)."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock: Optional[socket.socket] = sock
+        self._buffer = bytearray()
+        self._last_command: Optional[str] = None
+        _set_nodelay(sock)
+
+    def receive(self) -> Tuple[str, Any]:
+        header = self._read_exact(codec.HEADER_BYTES)
+        body = self._read_exact(codec.body_length(header))
+        command, payload = codec.decode_request(codec.decode_body(body))
+        self._last_command = command
+        return command, payload
+
+    def reply_ok(self, payload: Any) -> None:
+        if self._last_command is None:
+            raise ChannelError("reply without a received request")
+        self._send_frame(
+            codec.frame_message(
+                codec.encode_reply(self._last_command, payload)
+            )
+        )
+
+    def reply_error(self, traceback_text: str) -> None:
+        self._send_frame(
+            codec.frame_message(codec.encode_error_reply(traceback_text))
+        )
+
+    def _read_exact(self, count: int) -> bytes:
+        if self._sock is None:
+            raise ChannelClosed("server channel is closed")
+        while len(self._buffer) < count:
+            try:
+                chunk = self._sock.recv(65536)
+            except OSError as exc:
+                raise ChannelClosed(
+                    f"coordinator connection broke ({exc})"
+                ) from None
+            if not chunk:
+                raise ChannelClosed("coordinator closed the connection")
+            self._buffer.extend(chunk)
+        data = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        return data
+
+    def _send_frame(self, frame: bytes) -> None:
+        if self._sock is None:
+            raise ChannelClosed("server channel is closed")
+        try:
+            self._sock.sendall(frame)
+        except OSError as exc:
+            raise ChannelClosed(
+                f"coordinator connection broke ({exc})"
+            ) from None
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass

@@ -1,0 +1,35 @@
+"""DET104 fixture: transport-codec float formatting.
+
+The file name ends in ``codec.py`` so the widened wire scope (added
+with the transport layer) treats it as wire code, exactly like the
+``protocol.py`` suffix; only functions matching
+encode/decode/to_wire/from_wire/_op_ are in scope.
+"""
+
+import json
+
+
+def _records_to_wire(rows):
+    return [round(value, 6) for value in rows]  # expect: DET104
+
+
+def encode_cycle_request(arrivals):
+    return json.dumps({"op": "cycle", "ins": arrivals}).encode()  # expect: DET104
+
+
+def frame_to_wire(value):
+    return f"wire={value:.3f}"  # expect: DET104
+
+
+def encode_request_ok(message):
+    body = json.dumps(message, separators=(",", ":"), allow_nan=False)
+    return body.encode("utf-8")
+
+
+def describe_channel(value):
+    # Not a wire function: log/debug formatting stays out of scope.
+    return f"{value:.3f}"
+
+
+def decode_reply(payload):
+    return round(payload["total"], 6)  # repro: ignore[DET104]

@@ -19,3 +19,15 @@ def ship(conn, records):
 
     conn.send(("hook", local_hook))  # expect: PROC301
     conn.send(("hook", local_hook))  # repro: ignore[PROC301]
+
+
+def ship_channel(channel, records):
+    # Shard channels are pipe-like senders: same payload rules apply.
+    channel.send(("rows", records))
+    channel.send(("fn", module_level_transform))
+    channel.send(("map", lambda r: r.rid))  # expect: PROC301
+
+    def local_merge(rows):
+        return rows
+
+    channel.send_bytes(local_merge)  # expect: PROC301

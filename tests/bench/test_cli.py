@@ -89,3 +89,63 @@ class TestSelfcheck:
         assert code == 0
         out = capsys.readouterr().out
         assert "selfcheck OK" in out
+
+
+class TestShardsArgument:
+    def test_integer_spelling(self):
+        from repro.bench.cli import parse_shards_argument
+
+        assert parse_shards_argument("1") == (1, None, None)
+        assert parse_shards_argument("4") == (4, None, None)
+
+    def test_tcp_spelling_requests_loopback_hosts(self):
+        from repro.bench.cli import parse_shards_argument
+
+        assert parse_shards_argument("tcp:2") == (2, 2, None)
+
+    def test_address_list_spelling(self):
+        from repro.bench.cli import parse_shards_argument
+
+        count, loopback, addresses = parse_shards_argument(
+            "10.0.0.7:7071, 10.0.0.8:7071"
+        )
+        assert count == 2
+        assert loopback is None
+        assert addresses == ("10.0.0.7:7071", "10.0.0.8:7071")
+
+    def test_bad_spellings_rejected(self):
+        from repro.bench.cli import parse_shards_argument
+
+        for bad in ("0", "tcp:0", "-2", "host:", ":7071", "nonsense"):
+            with pytest.raises(ValueError):
+                parse_shards_argument(bad)
+
+    def test_cli_rejects_bad_shards(self, capsys):
+        code = main(["run", "--shards", "tcp:0"])
+        assert code == 2
+        assert "bad --shards" in capsys.readouterr().err
+
+    def test_pipe_sharded_run_reports_wire_bytes(self, capsys):
+        code = main(
+            [
+                "run",
+                "--n",
+                "300",
+                "--rate",
+                "15",
+                "--queries",
+                "4",
+                "--cycles",
+                "2",
+                "--dims",
+                "2",
+                "--algorithms",
+                "tma",
+                "--shards",
+                "2",
+                "--no-check",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wire B/cyc" in out

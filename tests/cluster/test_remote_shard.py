@@ -1,0 +1,199 @@
+"""The remote shard host end to end: real subprocesses, real sockets.
+
+``python -m repro.cluster.shard`` hosts brought up on loopback via
+:func:`repro.cluster.local_shard_hosts`, driven by a
+``StreamMonitor(shards=[...])`` coordinator — the full distributed
+stack, including the failure path where the host *process* is killed
+mid-stream.
+"""
+
+import contextlib
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cluster import local_shard_hosts
+from repro.core.engine import StreamMonitor
+from repro.core.errors import StreamError
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction, QuadraticFunction
+from repro.core.window import CountBasedWindow
+from repro.service.protocol import ProtocolError
+
+
+def make_query(weights, k=2):
+    return TopKQuery(LinearFunction(weights), k=k)
+
+
+class TestLocalShardHosts:
+    def test_zero_hosts_rejected(self):
+        with pytest.raises(ValueError):
+            with local_shard_hosts(0):
+                pass
+
+    def test_hosts_come_up_and_tear_down(self):
+        with local_shard_hosts(2) as addresses:
+            assert len(addresses) == 2
+            for address in addresses:
+                host, port = address.rsplit(":", 1)
+                with socket.create_connection(
+                    (host, int(port)), timeout=10
+                ):
+                    pass
+        # teardown: the ports are free again (hosts exited)
+        for address in addresses:
+            host, port = address.rsplit(":", 1)
+            with pytest.raises(OSError):
+                socket.create_connection((host, int(port)), timeout=1)
+
+
+class TestRemoteMonitor:
+    def test_end_to_end_with_byte_accounting(self):
+        with local_shard_hosts(2) as addresses:
+            with StreamMonitor(
+                2,
+                CountBasedWindow(8),
+                algorithm="tma",
+                cells_per_axis=4,
+                shards=addresses,
+            ) as monitor:
+                qids = monitor.add_queries(
+                    [make_query([1.0, 1.0]), make_query([0.9, 0.1])]
+                )
+                monitor.process(
+                    monitor.make_records([[0.5, 0.5], [0.9, 0.2]])
+                )
+                assert [e.rid for e in monitor.result(qids[0])] == [1, 0]
+                stats = monitor.stats()
+                transport = stats["transport"]
+                assert transport["transport"] == "tcp"
+                assert transport["shards"] == 2
+                assert transport["cycles"] == 1
+                assert transport["bytes_sent"] > 0
+                assert transport["bytes_received"] > 0
+                assert transport["last_cycle"]["wire_bytes"] > 0
+                # TCP cycles are wholly wire-borne, never shared memory
+                assert transport["last_cycle"]["shared_bytes"] == 0
+                assert transport["cycle_shared_bytes_total"] == 0
+
+    def test_single_address_shorthand(self):
+        with local_shard_hosts(1) as addresses:
+            with StreamMonitor(
+                2,
+                CountBasedWindow(4),
+                algorithm="sma",
+                cells_per_axis=4,
+                shards=addresses[0],
+            ) as monitor:
+                assert monitor.algorithm.shards == 1
+                assert monitor.algorithm.transport == "tcp"
+                qid = monitor.add_query(make_query([0.5, 0.5]))
+                monitor.process(monitor.make_records([[0.3, 0.8]]))
+                assert [e.rid for e in monitor.result(qid)] == [0]
+
+    def test_non_wire_serialisable_query_rejected_before_send(self):
+        with local_shard_hosts(1) as addresses:
+            with StreamMonitor(
+                2,
+                CountBasedWindow(4),
+                algorithm="tma",
+                cells_per_axis=4,
+                shards=addresses,
+            ) as monitor:
+                with pytest.raises(ProtocolError, match="LinearFunction"):
+                    monitor.add_query(
+                        TopKQuery(QuadraticFunction([0.5, 0.5]), k=2)
+                    )
+
+    def test_host_killed_mid_stream_is_descriptive_not_a_hang(self):
+        """SIGKILL the shard host between cycles: the next cycle must
+        raise a StreamError naming the endpoint, promptly."""
+        with _one_observable_host() as (proc, address):
+            monitor = StreamMonitor(
+                2,
+                CountBasedWindow(8),
+                algorithm="tma",
+                cells_per_axis=4,
+                shards=[address],
+            )
+            try:
+                monitor.add_query(make_query([0.5, 0.5]))
+                monitor.process(monitor.make_records([[0.5, 0.5]]))
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=10)
+                started = time.monotonic()
+                with pytest.raises(StreamError, match="died mid-request"):
+                    for cycle in range(3):
+                        monitor.process(
+                            monitor.make_records(
+                                [[0.4, 0.6]], time_=float(cycle + 1)
+                            )
+                        )
+                assert time.monotonic() - started < 30
+            finally:
+                monitor.close()
+                monitor.close()  # idempotent even after shard death
+
+
+class TestHostProcess:
+    def test_once_host_exits_after_first_session(self):
+        with _one_observable_host() as (proc, address):
+            with StreamMonitor(
+                2,
+                CountBasedWindow(4),
+                algorithm="tma",
+                cells_per_axis=4,
+                shards=[address],
+            ) as monitor:
+                monitor.process(monitor.make_records([[0.5, 0.5]]))
+            assert proc.wait(timeout=10) == 0
+
+    def test_bad_listen_address_rejected(self):
+        from repro.cluster.shard import main
+
+        with pytest.raises(Exception):
+            main(["--listen", "no-port-here"])
+
+
+@contextlib.contextmanager
+def _one_observable_host():
+    """One loopback host whose Popen handle the test can signal."""
+    from repro.cluster import _read_banner, _repro_src_root
+
+    env = dict(os.environ)
+    src_root = _repro_src_root()
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + existing if existing else src_root
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cluster.shard",
+            "--listen",
+            "127.0.0.1:0",
+            "--once",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        yield proc, _read_banner(proc)
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
+        if proc.stdout is not None:
+            proc.stdout.close()

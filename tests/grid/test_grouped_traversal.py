@@ -172,3 +172,79 @@ class TestGroupValidation:
 
     def test_empty_group_is_empty(self):
         assert compute_top_k_group(Grid(2, 4), [], []) == []
+
+
+class TestDuplicateMemberMerge:
+    """Near-identical members collapse to one shared, aliased result."""
+
+    def test_duplicates_alias_one_outcome(self):
+        rng = random.Random(91)
+        grid = Grid(2, 6)
+        fill_grid(grid, random_rows(rng, 150, 2))
+        shared = LinearFunction([0.6, 0.4])
+        functions = [
+            shared,
+            LinearFunction([0.3, 0.8]),
+            LinearFunction([0.6, 0.4]),  # equal weights, equal k
+            shared,
+        ]
+        ks = [4, 3, 4, 4]
+        outcomes = compute_top_k_group(grid, functions, ks)
+        assert len(outcomes) == 4
+        # Members 0, 2, 3 share one (weights, k) spec: one sweep
+        # result, aliased per member.
+        assert outcomes[0] is outcomes[2]
+        assert outcomes[0] is outcomes[3]
+        assert outcomes[1] is not outcomes[0]
+
+    def test_deduplicated_group_matches_solo(self):
+        rng = random.Random(92)
+        grid = Grid(2, 5)
+        fill_grid(grid, random_rows(rng, 120, 2))
+        functions = [
+            LinearFunction([0.7, 0.4]),
+            LinearFunction([0.7, 0.4]),
+            LinearFunction([0.65, 0.45]),
+            LinearFunction([0.7, 0.4]),
+        ]
+        assert_group_matches_solo(grid, functions, [5, 5, 3, 5])
+
+    def test_same_weights_different_k_not_merged(self):
+        rng = random.Random(93)
+        grid = Grid(2, 5)
+        fill_grid(grid, random_rows(rng, 100, 2))
+        functions = [LinearFunction([0.5, 0.5]), LinearFunction([0.5, 0.5])]
+        outcomes = assert_group_matches_solo(grid, functions, [2, 6])
+        assert outcomes[0] is not outcomes[1]
+        assert len(outcomes[0].entries) == 2
+        assert len(outcomes[1].entries) == 6
+
+    def test_all_duplicates_collapse_to_solo_path(self):
+        rng = random.Random(94)
+        grid = Grid(2, 5)
+        fill_grid(grid, random_rows(rng, 110, 2))
+        functions = [LinearFunction([0.4, 0.7])] * 3
+        counters = OpCounters()
+        outcomes = compute_top_k_group(grid, functions, [4] * 3, counters)
+        solo = compute_top_k(grid, functions[0], 4)
+        assert outcomes[0] is outcomes[1] is outcomes[2]
+        assert [
+            (entry.score, entry.record.rid) for entry in outcomes[0].entries
+        ] == [(entry.score, entry.record.rid) for entry in solo.entries]
+        # Every member still counts as one served top-k computation.
+        assert counters.topk_computations == 3
+
+    def test_counter_parity_with_duplicates(self):
+        rng = random.Random(95)
+        grid = Grid(2, 6)
+        fill_grid(grid, random_rows(rng, 130, 2))
+        functions = [
+            LinearFunction([0.8, 0.3]),
+            LinearFunction([0.8, 0.3]),
+            LinearFunction([0.75, 0.35]),
+        ]
+        counters = OpCounters()
+        compute_top_k_group(grid, functions, [3, 3, 3], counters)
+        assert counters.topk_computations == 3
+        assert counters.grouped_queries_served == 3
+        assert counters.grouped_traversals == 1

@@ -166,8 +166,10 @@ class TestEngineIntegration:
             qid = monitor.add_query(make_query([1.0, 1.0]))
             monitor.process(monitor.make_records([[0.5, 0.5]]))
             assert [entry.rid for entry in monitor.result(qid)] == [0]
-            procs = list(monitor.algorithm._procs)
-        assert all(not proc.is_alive() for proc in procs)
+            channels = list(monitor.algorithm._channels)
+            assert all(channel.is_alive() for channel in channels)
+        assert monitor.algorithm._channels == []
+        assert all(not channel.is_alive() for channel in channels)
 
     def test_state_sizes_merge_across_shards(self):
         with StreamMonitor(

@@ -1,0 +1,241 @@
+"""Round trips and corruption guards for the TCP shard codec.
+
+The codec must carry the worker RPC protocol's exact internal shapes
+across a socket with repr-faithful floats (the precondition for
+bitwise remote-shard parity) and treat malformed frames as protocol
+errors, never as allocation requests or silent truncation.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.memory import SpaceBreakdown
+from repro.core.results import ResultChange, ResultEntry
+from repro.core.scoring import LinearFunction, QuadraticFunction
+from repro.core.tuples import StreamRecord
+from repro.service.protocol import ProtocolError
+from repro.transport import codec
+from repro.transport.snapshot import decode_cycle
+
+
+def make_records(rows, start_rid=0, start_time=0.0):
+    return [
+        StreamRecord(start_rid + index, tuple(row), start_time + index)
+        for index, row in enumerate(rows)
+    ]
+
+
+def roundtrip_request(command, payload):
+    frame = codec.frame_message(codec.encode_request(command, payload))
+    body = frame[codec.HEADER_BYTES:]
+    assert codec.body_length(frame[: codec.HEADER_BYTES]) == len(body)
+    return codec.decode_request(codec.decode_body(body))
+
+
+def roundtrip_reply(command, payload):
+    frame = codec.frame_message(codec.encode_reply(command, payload))
+    body = frame[codec.HEADER_BYTES:]
+    return codec.decode_reply(command, codec.decode_body(body))
+
+
+class TestFraming:
+    def test_header_roundtrip(self):
+        frame = codec.frame_body(b'{"op":"ping"}')
+        assert len(frame) == codec.HEADER_BYTES + 13
+        assert codec.body_length(frame[: codec.HEADER_BYTES]) == 13
+
+    def test_oversized_body_rejected_on_encode(self):
+        big = b"x" * 8
+        real_limit = codec.MAX_FRAME_BYTES
+        try:
+            codec.MAX_FRAME_BYTES = 4
+            with pytest.raises(ProtocolError):
+                codec.frame_body(big)
+        finally:
+            codec.MAX_FRAME_BYTES = real_limit
+
+    def test_corrupt_header_rejected_on_decode(self):
+        huge = (codec.MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError):
+            codec.body_length(huge)
+
+
+class TestCycleRequests:
+    def test_cycle_deltas_roundtrip_bitwise(self):
+        arrivals = make_records(
+            [[0.1, 0.2], [0.7071067811865476, 1e-300], [0.0, 1.0]]
+        )
+        expirations = make_records([[0.5, 0.5]], start_rid=100)
+        frame = codec.encode_cycle_request(arrivals, expirations)
+        body = frame[codec.HEADER_BYTES:]
+        command, payload = codec.decode_request(codec.decode_body(body))
+        assert command == "cycle"
+        got_arrivals, got_expirations = decode_cycle(payload)
+        for got, want in zip(got_arrivals, arrivals):
+            assert got.rid == want.rid
+            assert got.time == want.time
+            for a, b in zip(got.attrs, want.attrs):
+                assert a.hex() == b.hex()
+        assert [r.rid for r in got_expirations] == [100]
+
+    def test_cols_snapshot_payload_accepted(self):
+        payload = (
+            "cols",
+            ([0, 1], [0.0, 1.0], [[0.25, 0.75], [1.0, 0.0]]),
+            ([], [], []),
+        )
+        command, decoded = roundtrip_request("cycle", payload)
+        assert command == "cycle"
+        assert decoded[0] == "cols"
+        arrivals, expirations = decode_cycle(decoded)
+        assert [r.rid for r in arrivals] == [0, 1]
+        assert expirations == []
+
+    def test_shm_snapshot_payload_never_crosses_the_wire(self):
+        with pytest.raises(ProtocolError):
+            codec.encode_request(
+                "cycle", ("shm", "psm_name", (2, 2), [0, 1], [0.0, 1.0],
+                          [], [])
+            )
+
+    def test_ragged_columns_rejected(self):
+        message = {
+            "op": "cycle",
+            "ins": {"rids": [1, 2], "times": [0.0], "rows": [[0.5]]},
+            "del": {"rids": [], "times": [], "rows": []},
+        }
+        with pytest.raises(ProtocolError):
+            codec.decode_request(message)
+
+
+class TestQueryRequests:
+    def test_register_many_roundtrip(self):
+        from repro.core.queries import TopKQuery
+
+        queries = []
+        for qid, weights in enumerate([[0.6, 0.4], [1.0, 1e-17]]):
+            query = TopKQuery(LinearFunction(weights), k=qid + 1)
+            query.qid = qid + 10
+            queries.append(query)
+        command, decoded = roundtrip_request("register_many", queries)
+        assert command == "register_many"
+        assert [q.qid for q in decoded] == [10, 11]
+        assert [q.k for q in decoded] == [1, 2]
+        for got, want in zip(decoded, queries):
+            for a, b in zip(got.function.weights, want.function.weights):
+                assert a.hex() == b.hex()
+
+    def test_quadratic_function_rejected_locally(self):
+        from repro.core.queries import TopKQuery
+
+        query = TopKQuery(QuadraticFunction([0.5, 0.5]), k=2)
+        query.qid = 3
+        with pytest.raises(ProtocolError):
+            codec.encode_request("register_many", [query])
+
+    def test_update_roundtrip(self):
+        command, decoded = roundtrip_request(
+            "update", (7, 4, LinearFunction([0.3, 0.7]))
+        )
+        assert command == "update"
+        qid, k, function = decoded
+        assert (qid, k) == (7, 4)
+        assert isinstance(function, LinearFunction)
+        assert function.weights[1].hex() == (0.7).hex()
+
+    def test_update_spec_only_changes(self):
+        _, decoded = roundtrip_request("update", (7, None, None))
+        assert decoded == (7, None, None)
+
+    def test_update_quadratic_rejected(self):
+        with pytest.raises(ProtocolError):
+            codec.encode_request(
+                "update", (7, None, QuadraticFunction([0.5, 0.5]))
+            )
+
+    def test_unregister_and_bare_ops(self):
+        assert roundtrip_request("unregister", 9) == ("unregister", 9)
+        for op in ("stats", "space", "ping", "stop"):
+            assert roundtrip_request(op, None) == (op, None)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ProtocolError):
+            codec.encode_request("fork_bomb", None)
+        with pytest.raises(ProtocolError):
+            codec.decode_request({"op": "fork_bomb"})
+
+
+def make_entry(rid, score):
+    return ResultEntry(score, StreamRecord(rid, (score, 1.0 - score), 0.0))
+
+
+class TestReplies:
+    def test_cycle_reply_roundtrip(self):
+        entry = make_entry(5, 0.123456789012345678)
+        change = ResultChange(
+            qid=2, added=[entry], removed=[], top=[entry]
+        )
+        status, payload = roundtrip_reply(
+            "cycle", ({2: change}, {"arrivals": 4})
+        )
+        assert status == "ok"
+        changes, counters = payload
+        assert counters == {"arrivals": 4}
+        got = changes[2].top[0]
+        assert got.rid == 5
+        assert got.score.hex() == entry.score.hex()
+        assert got.record.attrs == entry.record.attrs
+
+    def test_register_many_reply_roundtrip(self):
+        per_qid = {
+            3: [make_entry(1, 0.25)],
+            1: [make_entry(2, 1e-300), make_entry(4, 0.5)],
+        }
+        status, payload = roundtrip_reply(
+            "register_many", (per_qid, {"topk_computations": 2})
+        )
+        assert status == "ok"
+        decoded, counters = payload
+        assert set(decoded) == {1, 3}
+        assert decoded[1][0].score.hex() == (1e-300).hex()
+        assert counters == {"topk_computations": 2}
+
+    def test_stats_reply_roundtrip(self):
+        status, payload = roundtrip_reply(
+            "stats", (({4: 2, 1: 5}, 17), {"influence_checks": 3})
+        )
+        assert status == "ok"
+        (sizes, il_entries), counters = payload
+        assert sizes == {1: 5, 4: 2}
+        assert il_entries == 17
+        assert counters == {"influence_checks": 3}
+
+    def test_space_reply_roundtrip(self):
+        breakdown = SpaceBreakdown(
+            records=1024, point_lists=96, influence_lists=256
+        )
+        status, payload = roundtrip_reply("space", breakdown)
+        assert status == "ok"
+        assert isinstance(payload, SpaceBreakdown)
+        assert payload.records == 1024
+        assert payload.influence_lists == 256
+        assert payload.total == breakdown.total
+
+    def test_ping_and_stop_replies(self):
+        assert roundtrip_reply("ping", "pong") == ("ok", "pong")
+        assert roundtrip_reply("stop", None) == ("ok", None)
+
+    def test_error_reply_carries_traceback_text(self):
+        message = codec.encode_error_reply("Traceback ...\nBoom")
+        status, payload = codec.decode_reply("cycle", message)
+        assert status == "error"
+        assert "Boom" in payload
+
+    def test_nan_never_crosses_the_wire(self):
+        entry = make_entry(5, math.nan)
+        change = ResultChange(qid=2, added=[], removed=[], top=[entry])
+        with pytest.raises(ValueError):  # json's allow_nan=False guard
+            codec.frame_message(
+                codec.encode_reply("cycle", ({2: change}, {}))
+            )

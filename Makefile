@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test selfcheck bench-smoke bench-json examples serve-smoke check cluster-smoke
+.PHONY: test selfcheck bench-smoke bench-json examples serve-smoke check cluster-smoke approx-smoke
 
 # Docs-facing smoke: every example must run end to end (CI mirrors
 # this on both batch backends with a hard per-script timeout).
@@ -66,6 +66,17 @@ cluster-smoke:
 	PYTHONPATH=src timeout 180 python -m repro.bench run --n 3000 \
 		--rate 30 --queries 10 --cycles 5 --shards tcp:2 \
 		--algorithms tma,sma
+
+# The approximate-tier gate: the contract property tests and the
+# sharded (pipe + TCP) sketch-parity suite, then an --approx bench leg
+# that sweeps ε against an in-process exact baseline and exits
+# non-zero if any report violates its certified bound. CI mirrors
+# this on both batch backends under hard timeouts.
+approx-smoke:
+	PYTHONPATH=src timeout 360 python -m pytest -q tests/approx
+	PYTHONPATH=src timeout 180 python -m repro.bench run --n 4000 \
+		--rate 200 --queries 30 --cycles 5 --algorithms tma \
+		--approx 0.05,0.1
 
 # Capture a machine-readable baseline on the default workload
 # (the BENCH_PR1.json format's per-run payload).

@@ -42,6 +42,7 @@ from repro.algorithms import (
     TopKMonitoringAlgorithm,
     make_algorithm,
 )
+from repro.approx import Accuracy, ApproxTopKAlgorithm
 from repro.service import (
     Delivery,
     DeliveryHub,
@@ -79,6 +80,8 @@ from repro.core import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "Accuracy",
+    "ApproxTopKAlgorithm",
     "BruteForceAlgorithm",
     "CallableFunction",
     "ChangeStream",

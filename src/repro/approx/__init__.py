@@ -1,0 +1,30 @@
+"""Sketch-backed approximate top-k monitoring with certified bounds.
+
+Public surface:
+
+- :class:`~repro.approx.accuracy.Accuracy` — the per-query (ε,δ)
+  contract passed to ``StreamMonitor.add_query(..., accuracy=...)``.
+- :class:`~repro.approx.algorithm.ApproxTopKAlgorithm` — TMA plus the
+  opt-in approximate tier (registry name ``"approx"``).
+- :mod:`~repro.approx.sketch` — the sliding-window cell-population
+  sketch and its columnar delta format.
+- :func:`~repro.approx.traversal.compute_top_k_relaxed` — the relaxed
+  Figure-6 sweep that anchors each certificate.
+
+See ``docs/APPROX.md`` for the design and the bound derivation.
+"""
+
+from repro.approx.accuracy import Accuracy
+from repro.approx.algorithm import ApproxTopKAlgorithm
+from repro.approx.sketch import CellMapper, CellSketch, cycle_delta
+from repro.approx.traversal import ApproxOutcome, compute_top_k_relaxed
+
+__all__ = [
+    "Accuracy",
+    "ApproxOutcome",
+    "ApproxTopKAlgorithm",
+    "CellMapper",
+    "CellSketch",
+    "compute_top_k_relaxed",
+    "cycle_delta",
+]

@@ -1,0 +1,58 @@
+"""The per-query accuracy contract of the approximate tier.
+
+An :class:`Accuracy` attached to a query opts it into the sketch-backed
+approximate maintenance path (``algorithm="approx"``): the engine may
+report a top-k whose kth score is below the exact kth score, but every
+report carries a machine-checkable certified ``bound`` such that
+
+    exact_kth_score <= reported_kth_score * (1 + bound),   bound <= epsilon.
+
+``delta`` is the confidence budget of the (ε,δ) contract: the observed
+error may exceed ε with probability at most δ. The maintenance scheme
+in :mod:`repro.approx.algorithm` is deterministic — its certified bound
+*always* holds — so any ``delta`` in [0, 1) is honoured outright; the
+field exists so the contract is stated in the standard sketch
+vocabulary and survives wire round trips unchanged.
+
+See ``docs/APPROX.md`` for the bound derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True, slots=True)
+class Accuracy:
+    """An (ε,δ) accuracy contract for one approximate query.
+
+    Args:
+        epsilon: maximum relative rank-score error of any report.
+        delta: probability budget for exceeding ``epsilon`` (the
+            deterministic maintenance scheme never spends it).
+    """
+
+    epsilon: float
+    delta: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon:
+            raise ValueError(
+                f"accuracy epsilon must be positive: {self.epsilon}"
+            )
+        if not 0.0 <= self.delta < 1.0:
+            raise ValueError(
+                f"accuracy delta must be in [0, 1): {self.delta}"
+            )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Wire-friendly view (repr-faithful floats, see protocol)."""
+        return {"epsilon": self.epsilon, "delta": self.delta}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "Accuracy":
+        return cls(
+            epsilon=float(payload["epsilon"]),
+            delta=float(payload.get("delta", 0.01)),
+        )

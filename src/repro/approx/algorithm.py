@@ -1,0 +1,382 @@
+"""The sketch-backed approximate monitoring algorithm.
+
+:class:`ApproxTopKAlgorithm` extends TMA with a second, opt-in
+maintenance tier for queries that carry an
+:class:`~repro.approx.accuracy.Accuracy` contract. Queries *without* a
+contract are handled by the inherited exact TMA machinery, bitwise
+unchanged — approximate and exact queries coexist on one algorithm
+instance, share the grid and each cycle's ingestion, and emit through
+the same change-report pipeline. Changes of contracted queries are
+annotated ``cause="approx"`` and carry the certified ``bound``.
+
+Per contracted query the tier keeps a **buffer**: every in-window
+record scoring at least the query's admission ``floor``, anchored by
+the last relaxed sweep (:func:`repro.approx.traversal
+.compute_top_k_relaxed`) together with a frozen certificate threshold
+``g``. Between sweeps, maintenance is O(arrivals + expirations):
+
+- arrivals scoring at least ``floor`` are admitted (one vector kernel
+  call per query over the cycle's arrival block);
+- expired buffer members are dropped;
+- the report is the buffer's top k; its certified bound is
+  ``max(0, g / s_k - 1)`` where ``s_k`` is the buffer's kth score —
+  valid because every record outside the buffer scores below ``g``
+  (invariant (I) of :mod:`repro.approx.traversal`);
+- because every buffer member scores at least ``floor = g / (1 + ε)``,
+  a full buffer's bound can never exceed ε; only when the buffer
+  underfills (or a mutation invalidates it) does a fresh relaxed sweep
+  re-anchor the certificate.
+
+This is the approximate analogue of TMA's from-scratch recomputation
+policy: instead of recomputing whenever a *result member* expires, the
+tier recomputes only when the certificate decays — the slack band
+absorbs result-member churn, which is where the throughput win comes
+from. Refreshes are counted as ``approx_refreshes``, not
+``recomputations``, so exact-tier statistics keep their meaning.
+
+The grid's cell population is mirrored into a
+:class:`~repro.approx.sketch.CellSketch` fed one columnar delta per
+cycle — locally derived, or staged by a shard coordinator via
+:meth:`stage_sketch_delta` (the wire-shipped delta is authoritative so
+worker sketches are byte-identical to the coordinator's). The sketch
+carries the per-cell occupancy summaries that size refresh work,
+back the space accounting of :mod:`repro.analysis.memory`, and give
+the sharded parity suite a transport-independent state to compare.
+
+Everything on this path is deterministic: given the same stream and
+query set, results, bounds, buffers, and sketch states are identical
+across batch backends, shard counts, and transports.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.algorithms.tma import TopKMonitoringAlgorithm
+from repro.algorithms.topk_computation import query_region
+from repro.approx.accuracy import Accuracy
+from repro.approx.sketch import CellMapper, CellSketch, SketchDelta, cycle_delta
+from repro.approx.traversal import (
+    BufferEntry,
+    certificate,
+    certified_bound,
+    compute_top_k_relaxed,
+)
+from repro.core.batch import ArrivalScorer
+from repro.core.errors import QueryError
+from repro.core.queries import TopKQuery
+from repro.core.results import ResultEntry
+from repro.core.tuples import StreamRecord
+
+
+class _ApproxQueryState:
+    """Per-query approximate state: contract, buffer, certificate."""
+
+    __slots__ = (
+        "query", "accuracy", "buffer", "rids", "g", "floor", "bound",
+        "_report",
+    )
+
+    def __init__(self, query: TopKQuery, accuracy: Accuracy) -> None:
+        self.query = query
+        self.accuracy = accuracy
+        #: ascending (score, rid, record); last k entries = the report.
+        self.buffer: List[BufferEntry] = []
+        self.rids: Set[int] = set()
+        self.g = float("-inf")
+        self.floor = float("-inf")
+        self.bound = 0.0
+        #: memoised report; None after any top-k-visible mutation.
+        self._report: Optional[List[ResultEntry]] = None
+
+    def invalidate(self) -> None:
+        self._report = None
+
+    def kth_score(self) -> Optional[float]:
+        if len(self.buffer) < self.query.k:
+            return None
+        return self.buffer[-self.query.k][0]
+
+    def result_entries(self) -> List[ResultEntry]:
+        if self._report is None:
+            self._report = [
+                ResultEntry(score, record)
+                for score, _, record in reversed(
+                    self.buffer[-self.query.k:]
+                )
+            ]
+        return list(self._report)
+
+
+class ApproxTopKAlgorithm(TopKMonitoringAlgorithm):
+    """TMA plus a sketch-backed (ε,δ)-contracted approximate tier."""
+
+    name = "approx"
+    #: the engine routes ``accuracy=`` contracts only to algorithms
+    #: that declare support (see StreamMonitor.add_query).
+    supports_accuracy = True
+
+    def __init__(
+        self,
+        dims: int,
+        cells_per_axis: int,
+        eager_cleanup: bool = False,
+        grouped: bool = False,
+        sketch_epsilon: float = 0.25,
+    ) -> None:
+        super().__init__(
+            dims, cells_per_axis, eager_cleanup=eager_cleanup, grouped=grouped
+        )
+        self.sketch = CellSketch(sketch_epsilon)
+        self._mapper = CellMapper(dims, cells_per_axis)
+        self._approx: Dict[int, _ApproxQueryState] = {}
+        self._staged_delta: Optional[SketchDelta] = None
+
+    # ------------------------------------------------------------------
+    # Sketch plumbing
+    # ------------------------------------------------------------------
+
+    def bind_window(self, capacity: int) -> None:
+        """Bind the sketch to a count window (engine calls this once)."""
+        self.sketch.bind_window(capacity)
+
+    def stage_sketch_delta(self, delta: Optional[SketchDelta]) -> None:
+        """Stage a coordinator-shipped delta for the next cycle.
+
+        A staged delta is authoritative: the next cycle applies it
+        instead of deriving one locally, so sharded sketches match the
+        coordinator's byte for byte regardless of transport.
+        """
+        self._staged_delta = delta
+
+    def sketch_state(self) -> Dict[str, object]:
+        """Canonical sketch snapshot (parity tests, introspection)."""
+        return self.sketch.state()
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+
+    def register(self, query: TopKQuery) -> List[ResultEntry]:
+        accuracy = getattr(query, "accuracy", None)
+        if accuracy is None:
+            return super().register(query)
+        if not isinstance(query, TopKQuery):
+            raise QueryError(
+                "accuracy contracts apply to top-k queries only; "
+                f"got {type(query).__name__}"
+            )
+        if query.dims != self.dims:
+            raise self._unknown_dimensionality(query)
+        if query_region(query) is not None:
+            raise QueryError(
+                "accuracy contracts require unconstrained top-k queries; "
+                f"query {query.qid} has a constraint region"
+            )
+        state = _ApproxQueryState(query, accuracy)
+        self._refresh(state)
+        self._approx[query.qid] = state
+        return state.result_entries()
+
+    def register_many(
+        self, queries: List[TopKQuery]
+    ) -> Dict[int, List[ResultEntry]]:
+        exact = [
+            query
+            for query in queries
+            if getattr(query, "accuracy", None) is None
+        ]
+        results = super().register_many(exact) if exact else {}
+        for query in queries:
+            if getattr(query, "accuracy", None) is not None:
+                results[query.qid] = self.register(query)
+        return results
+
+    def unregister(self, qid: int) -> None:
+        if qid in self._approx:
+            del self._approx[qid]
+            return
+        super().unregister(qid)
+
+    def current_result(self, qid: int) -> List[ResultEntry]:
+        state = self._approx.get(qid)
+        if state is not None:
+            return state.result_entries()
+        return super().current_result(qid)
+
+    def queries(self) -> Iterable[TopKQuery]:
+        return list(super().queries()) + [
+            state.query for state in self._approx.values()
+        ]
+
+    def update_query(
+        self,
+        qid: int,
+        k: Optional[int] = None,
+        function=None,
+    ) -> List[ResultEntry]:
+        state = self._approx.get(qid)
+        if state is None:
+            return super().update_query(qid, k=k, function=function)
+        if k is None and function is None:
+            return state.result_entries()
+        if k is not None and k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        query = state.query
+        old_k, old_function = query.k, query.function
+        if k is not None:
+            query.k = k
+        if function is not None:
+            query.function = function
+        try:
+            # Any mutation re-anchors the certificate: the buffer was
+            # maintained under the old query's floor, which neither a
+            # larger k nor a new function can reuse safely.
+            self._refresh(state)
+        except BaseException:
+            query.k, query.function = old_k, old_function
+            self._refresh(state)
+            raise
+        return state.result_entries()
+
+    # ------------------------------------------------------------------
+    # Cycle maintenance
+    # ------------------------------------------------------------------
+
+    def _apply_cycle(
+        self,
+        arrivals: List[StreamRecord],
+        expirations: List[StreamRecord],
+    ) -> None:
+        delta = self._staged_delta
+        self._staged_delta = None
+        if delta is None:
+            delta = cycle_delta(self._mapper, arrivals, expirations)
+        self.counters.sketch_updates += self.sketch.apply_delta(delta)
+
+        super()._apply_cycle(arrivals, expirations)
+        if not self._approx:
+            return
+
+        expired = (
+            {record.rid for record in expirations} if expirations else None
+        )
+        scorer = ArrivalScorer(arrivals) if arrivals else None
+        for qid in sorted(self._approx):
+            state = self._approx[qid]
+            # Pre-cycle report for the change diff (a copy of the
+            # memoised list — no entry construction on the fast path).
+            before = state.result_entries()
+            # Track whether the *report* (buffer's top k) can have
+            # changed: churn confined below the kth entry keeps the
+            # memoised report and its bound valid, so those queries
+            # skip touch, settle, and the change-diff pipeline.
+            changed = False
+            if expired is not None and state.rids & expired:
+                k = state.query.k
+                gate = (
+                    state.buffer[-k][:2]
+                    if len(state.buffer) >= k
+                    else None
+                )
+                kept: List[BufferEntry] = []
+                for entry in state.buffer:
+                    if entry[1] in expired:
+                        if gate is None or entry[:2] >= gate:
+                            changed = True
+                    else:
+                        kept.append(entry)
+                state.buffer = kept
+                state.rids.difference_update(expired)
+            if scorer is not None:
+                survivors, values = scorer.take_survivors(
+                    state.query.function, state.floor
+                )
+                if len(values):
+                    k = state.query.k
+                    for index, value in zip(survivors, values):
+                        record = arrivals[index]
+                        entry = (value, record.rid, record)
+                        if not changed and (
+                            len(state.buffer) < k
+                            or entry[:2] > state.buffer[-k][:2]
+                        ):
+                            changed = True
+                        insort(state.buffer, entry)
+                        state.rids.add(record.rid)
+                        self.counters.approx_admissions += 1
+            if changed:
+                if qid not in self._snapshots:
+                    self._snapshots[qid] = before
+                state.invalidate()
+                self._settle(qid, state)
+
+    def _settle(self, qid: int, state: _ApproxQueryState) -> None:
+        """Re-certify a state after the cycle's buffer mutations.
+
+        Cheap path: the buffer's kth score still supports the frozen
+        certificate (``s_k * (1 + ε) >= g``), so only the reported
+        bound is recomputed. Otherwise the certificate has decayed —
+        or the buffer underfilled — and a fresh relaxed sweep
+        re-anchors it.
+        """
+        kth = state.kth_score()
+        epsilon = state.accuracy.epsilon
+        if kth is not None and state.floor != float("-inf"):
+            if kth > 0.0:
+                decayed = kth * (1.0 + epsilon) < state.g
+            else:
+                # Non-positive kth: only an exact certificate (g == s_k
+                # from the degraded-to-exact sweep) is representable.
+                decayed = state.g > kth
+            if not decayed:
+                state.bound = certified_bound(kth, state.g)
+                return
+        elif kth is None and state.floor == float("-inf"):
+            # Vacuously certified: the buffer holds the whole window.
+            state.bound = 0.0
+            return
+        self._touch(qid)
+        self._refresh(state)
+
+    def _refresh(self, state: _ApproxQueryState) -> None:
+        outcome = compute_top_k_relaxed(
+            self.grid,
+            state.query.function,
+            state.query.k,
+            state.accuracy.epsilon,
+            self.counters,
+        )
+        state.buffer = outcome.buffer
+        state.rids = {rid for _, rid, _ in outcome.buffer}
+        state.g = outcome.g
+        state.floor = outcome.floor
+        state.bound = outcome.bound
+        state.invalidate()
+
+    # ------------------------------------------------------------------
+    # Change annotations / introspection
+    # ------------------------------------------------------------------
+
+    def _change_annotations(self, qid: int):
+        state = self._approx.get(qid)
+        if state is None:
+            return super()._change_annotations(qid)
+        return "approx", state.bound
+
+    def result_bounds(self) -> Dict[int, float]:
+        """Current certified bound per contracted query."""
+        return {qid: state.bound for qid, state in self._approx.items()}
+
+    def accuracies(self) -> Dict[int, Accuracy]:
+        """The accuracy contract per contracted query."""
+        return {
+            qid: state.accuracy for qid, state in self._approx.items()
+        }
+
+    def result_state_sizes(self) -> Dict[int, int]:
+        sizes = super().result_state_sizes()
+        for qid, state in self._approx.items():
+            sizes[qid] = len(state.buffer)
+        return sizes

@@ -1,0 +1,352 @@
+"""Sliding-window cell-population sketch (exponential histograms).
+
+The approximate tier summarises the grid's cell population with one
+ECM-style structure: per grid cell, an exponential histogram (Datar et
+al.) over that cell's arrival stream, expired against the *global*
+arrival sequence so each histogram estimates the cell's in-window
+record count within a relative error ``epsilon``. Because the key
+space (flat cell ids) is exact — there is no hash dimension to
+collide — the ECM sketch degenerates to a dictionary of exponential
+histograms, which keeps every estimate one-sided and deterministic.
+
+The sketch is *delta-driven*: each cycle is reduced to one columnar
+:func:`cycle_delta` (sorted flat cell ids + per-cell arrival counts,
+plus per-cell drop counts for windowless stream models) and applied
+with :meth:`CellSketch.apply_delta`. The same delta format ships to
+remote shards over pipe and TCP channels (see
+:mod:`repro.transport.codec`), so a worker's sketch is byte-identical
+to the coordinator's whether it derives the delta locally or receives
+it on the wire — the sharded sketch-parity suite pins this.
+
+Everything here is integer arithmetic, so both batch backends agree
+bit for bit by construction; the DET103 analyzer rule still covers
+these modules so future reductions stay loop-shaped.
+
+Two modes:
+
+- **window mode** (after :meth:`CellSketch.bind_window`): exponential
+  histograms against a count-based window of ``capacity`` global
+  arrivals. Expirations ride the arrival clock — drop columns are
+  ignored. All arrivals of one cycle share the cycle's closing tick,
+  which can only delay expiry by less than one cycle (a conservative,
+  deterministic over-estimate on top of the EH bound).
+- **exact mode** (no window bound): plain per-cell counters, adds and
+  drops both applied. This serves time-based windows and the
+  explicit-deletion update model, where no arrival-count window
+  exists to expire against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import batch
+
+#: columnar cycle delta: tick advance + sorted add/drop cell columns.
+SketchDelta = Dict[str, object]
+
+
+class CellMapper:
+    """Maps attribute vectors to flat grid cell ids.
+
+    Reproduces :meth:`repro.grid.grid.Grid.coords_of` (clamped
+    ``int(value * cells_per_axis)`` per axis) plus the grid's
+    row-major flat index — without materialising a grid. The sharded
+    coordinator uses one of these to derive sketch deltas for shipping;
+    workers derive the same ids through their real grids, and the two
+    agree by construction.
+    """
+
+    __slots__ = ("dims", "cells_per_axis")
+
+    def __init__(self, dims: int, cells_per_axis: int) -> None:
+        self.dims = dims
+        self.cells_per_axis = cells_per_axis
+
+    def flat_of(self, attrs: Sequence[float]) -> int:
+        g = self.cells_per_axis
+        top = g - 1
+        flat = 0
+        for value in attrs:
+            index = int(value * g)
+            if index < 0:
+                index = 0
+            elif index > top:
+                index = top
+            flat = flat * g + index
+        return flat
+
+    def columns_of(self, records: Sequence) -> Tuple[List[int], List[int]]:
+        """Sorted ``(cells, counts)`` columns of one record batch.
+
+        The columnar reduction both delta directions share. The NumPy
+        path computes the same clamped truncation as :meth:`flat_of`
+        (``int(value * g)`` truncates toward zero exactly like
+        ``astype(int64)``) in integer arithmetic, so both batch
+        backends produce identical columns — the DET103 discipline.
+        """
+        if not records:
+            return [], []
+        if batch.np is not None:
+            np = batch.np
+            g = self.cells_per_axis
+            matrix = np.asarray(
+                [record.attrs for record in records], dtype=np.float64
+            )
+            indices = np.clip(
+                (matrix * g).astype(np.int64), 0, g - 1
+            )
+            # Horner accumulation column by column — the same integer
+            # operation order as flat_of, one axis at a time.
+            flats = indices[:, 0]
+            for axis in range(1, self.dims):
+                flats = flats * g + indices[:, axis]
+            cells, counts = np.unique(flats, return_counts=True)
+            return cells.tolist(), counts.tolist()
+        tally: Dict[int, int] = {}
+        for record in records:
+            flat = self.flat_of(record.attrs)
+            tally[flat] = tally.get(flat, 0) + 1
+        items = sorted(tally.items())
+        return [cell for cell, _ in items], [count for _, count in items]
+
+
+def cycle_delta(
+    mapper: CellMapper,
+    arrivals: Sequence,
+    expirations: Sequence,
+) -> Optional[SketchDelta]:
+    """Reduce one cycle to the canonical columnar sketch delta.
+
+    Returns ``None`` for an empty cycle. Cell columns are sorted by
+    flat id, so the delta — and therefore every sketch state derived
+    from a given stream — is deterministic.
+    """
+    if not arrivals and not expirations:
+        return None
+    add_cells, add_counts = mapper.columns_of(arrivals)
+    drop_cells, drop_counts = mapper.columns_of(expirations)
+    return {
+        "tick": len(arrivals),
+        "add_cells": add_cells,
+        "add_counts": add_counts,
+        "drop_cells": drop_cells,
+        "drop_counts": drop_counts,
+    }
+
+
+class ExponentialHistogram:
+    """Count of 1-bits in a sliding count window, within ``1/(2*cap)``.
+
+    Buckets are ``[timestamp, size]`` pairs, oldest first, sizes
+    non-increasing powers of two toward the newest end. At most
+    ``cap`` buckets of each size are kept; on overflow the two oldest
+    of that size merge (keeping the newer timestamp), which is what
+    bounds both space — O(cap · log(window)) buckets — and the
+    estimate's relative error: only the oldest bucket can straddle the
+    window boundary, and its size is at most ``2 · eps · count``.
+    """
+
+    __slots__ = ("cap", "buckets", "total")
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self.buckets: List[List[int]] = []
+        self.total = 0
+
+    def insert(self, timestamp: int, count: int = 1) -> None:
+        """Record ``count`` unit arrivals stamped ``timestamp``.
+
+        The whole batch is appended first and canonicalised with one
+        cascade — merging pairs-of-oldest level by level until every
+        size's run is back within ``cap``. One batched cascade instead
+        of ``count`` unit ones changes which of the many valid EH
+        bucket lists results, but the outcome is a pure function of
+        the applied deltas (what shard parity needs) and keeps the
+        cap-per-size invariant (what the error bound needs).
+        """
+        buckets = self.buckets
+        for _ in range(count):
+            buckets.append([timestamp, 1])
+        self.total += count
+        self._cascade()
+
+    def _cascade(self) -> None:
+        buckets = self.buckets
+        cap = self.cap
+        size = 1
+        end = len(buckets)  # exclusive end of the current size's run
+        while True:
+            start = end
+            while start > 0 and buckets[start - 1][1] == size:
+                start -= 1
+            run = end - start
+            merges = 0
+            while run > cap:
+                # Merge the two oldest buckets of this size; the
+                # merged bucket keeps the newer timestamp (standard
+                # EH rule) and joins the next size's run.
+                newer = buckets[start + 1]
+                buckets[start:start + 2] = [[newer[0], size + size]]
+                start += 1
+                run -= 2
+                merges += 1
+            if merges == 0:
+                return
+            size += size
+            end = start
+
+    def expire(self, horizon: int) -> None:
+        """Drop buckets wholly outside the window (timestamp <= horizon)."""
+        dropped = 0
+        while self.buckets and self.buckets[0][0] <= horizon:
+            dropped += self.buckets.pop(0)[1]
+        self.total -= dropped
+
+    def estimate(self) -> int:
+        """Window count estimate: total minus half the oldest bucket."""
+        if not self.buckets:
+            return 0
+        return self.total - self.buckets[0][1] // 2
+
+
+class CellSketch:
+    """Per-cell sliding-window population summaries for one grid.
+
+    One :class:`ExponentialHistogram` per non-empty flat cell id in
+    window mode; plain integer counters in exact mode (see module
+    docstring). Fed exclusively through :meth:`apply_delta`, which is
+    also the unit that ships to shards.
+    """
+
+    __slots__ = ("epsilon", "window", "tick", "_cells", "_cap")
+
+    def __init__(self, epsilon: float = 0.25) -> None:
+        if not 0.0 < epsilon <= 1.0:
+            raise ValueError(
+                f"sketch epsilon must be in (0, 1]: {epsilon}"
+            )
+        self.epsilon = epsilon
+        #: arrival-count window capacity; None = exact mode.
+        self.window: Optional[int] = None
+        #: global arrival counter (the EH timestamp clock).
+        self.tick = 0
+        self._cells: Dict[int, object] = {}
+        # ceil(1/(2*eps)) + 1 buckets per size bounds the straddling
+        # bucket at 2*eps*count, i.e. estimate error <= eps relative.
+        self._cap = -(-1 // (2.0 * epsilon)).__trunc__() + 1
+        if self._cap < 2:
+            self._cap = 2
+
+    def bind_window(self, capacity: int) -> None:
+        """Switch to window mode before any data has been applied."""
+        if capacity < 1:
+            raise ValueError(f"window capacity must be >= 1: {capacity}")
+        if self.tick or self._cells:
+            raise ValueError(
+                "bind_window must run before the sketch sees data"
+            )
+        self.window = capacity
+
+    def apply_delta(self, delta: Optional[SketchDelta]) -> int:
+        """Apply one columnar cycle delta; return cells updated."""
+        if not delta:
+            return 0
+        self.tick += int(delta["tick"])
+        updated = 0
+        if self.window is None:
+            counts = self._cells
+            for cell, count in zip(delta["add_cells"], delta["add_counts"]):
+                counts[cell] = counts.get(cell, 0) + count
+                updated += 1
+            for cell, count in zip(
+                delta["drop_cells"], delta["drop_counts"]
+            ):
+                remaining = counts.get(cell, 0) - count
+                if remaining > 0:
+                    counts[cell] = remaining
+                else:
+                    counts.pop(cell, None)
+                updated += 1
+            return updated
+        horizon = self.tick - self.window
+        for cell, count in zip(delta["add_cells"], delta["add_counts"]):
+            histogram = self._cells.get(cell)
+            if histogram is None:
+                histogram = ExponentialHistogram(self._cap)
+                self._cells[cell] = histogram
+            histogram.expire(horizon)
+            histogram.insert(self.tick, count)
+            updated += 1
+        return updated
+
+    def estimate(self, cell: int) -> int:
+        """Estimated in-window record count of one flat cell id."""
+        entry = self._cells.get(cell)
+        if entry is None:
+            return 0
+        if self.window is None:
+            return entry
+        entry.expire(self.tick - self.window)
+        if not entry.buckets:
+            del self._cells[cell]
+            return 0
+        return entry.estimate()
+
+    def estimated_population(self) -> int:
+        """Estimated total in-window records across all cells."""
+        return sum(
+            self.estimate(cell) for cell in sorted(self._cells)
+        )
+
+    def tracked_cells(self) -> int:
+        return len(self._cells)
+
+    def bucket_count(self) -> int:
+        """Live EH buckets across cells (0 in exact mode)."""
+        if self.window is None:
+            return 0
+        total = 0
+        for cell in sorted(self._cells):
+            entry = self._cells.get(cell)
+            if entry is not None:
+                total += len(entry.buckets)
+        return total
+
+    def space_words(self) -> int:
+        """Machine-independent space: words of sketch state.
+
+        Two words per tracked cell (key + slot) plus, in window mode,
+        two words per live bucket (timestamp + size) — the C-style
+        accounting :mod:`repro.analysis.memory` prices structures in.
+        """
+        return 2 * len(self._cells) + 2 * self.bucket_count()
+
+    def state(self) -> Dict[str, object]:
+        """Canonical JSON-able snapshot (sharded parity tests).
+
+        Expires lazily first, so two sketches fed identical deltas
+        report identical states regardless of read patterns.
+        """
+        if self.window is None:
+            cells: List[List[object]] = [
+                [cell, self._cells[cell]] for cell in sorted(self._cells)
+            ]
+        else:
+            horizon = self.tick - self.window
+            cells = []
+            for cell in sorted(self._cells):
+                histogram = self._cells[cell]
+                histogram.expire(horizon)
+                if histogram.buckets:
+                    cells.append(
+                        [cell, [list(b) for b in histogram.buckets]]
+                    )
+                else:
+                    del self._cells[cell]
+        return {
+            "mode": "exact" if self.window is None else "window",
+            "tick": self.tick,
+            "window": self.window,
+            "cells": cells,
+        }

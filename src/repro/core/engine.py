@@ -74,7 +74,7 @@ from repro.core.subscriptions import (
     SubscriptionHub,
 )
 from repro.core.tuples import RecordFactory, StreamRecord
-from repro.core.window import SlidingWindow
+from repro.core.window import CountBasedWindow, SlidingWindow
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.algorithms import MonitorAlgorithm
@@ -94,8 +94,10 @@ class StreamMonitor:
             ``stream_model="update"`` (explicit deletions define the
             valid set there).
         algorithm: algorithm name (``"tma"``, ``"sma"``, ``"tsl"``,
-            ``"brute"``, or the similarity-grouped variants
-            ``"tma-grouped"`` / ``"sma-grouped"``) or a pre-built
+            ``"brute"``, the similarity-grouped variants
+            ``"tma-grouped"`` / ``"sma-grouped"``, or ``"approx"`` —
+            TMA plus the sketch-backed approximate tier for queries
+            registered with an ``accuracy`` contract) or a pre-built
             :class:`~repro.algorithms.base.MonitorAlgorithm`.
         cells_per_axis: grid granularity for grid-based algorithms.
         shards: ``None``/``1`` runs the algorithm in-process (the
@@ -209,6 +211,13 @@ class StreamMonitor:
             )
         if stream_model == "update":
             self._refuse_unordered_expiry()
+        if isinstance(window, CountBasedWindow):
+            # The approximate tier's sketch expires against the global
+            # arrival count; algorithms that keep one learn the window
+            # capacity here (others simply lack the hook).
+            bind = getattr(self.algorithm, "bind_window", None)
+            if bind is not None:
+                bind(window.capacity)
         self.query_table = QueryTable()
         self.cycle_seconds: List[float] = []
         #: per-registration wall-clock of the initial top-k computation
@@ -283,7 +292,7 @@ class StreamMonitor:
     # Queries
     # ------------------------------------------------------------------
 
-    def add_query(self, query) -> QueryHandle:
+    def add_query(self, query, accuracy=None) -> QueryHandle:
         """Register a query; its initial result is computed immediately.
 
         Accepts every query kind — :class:`~repro.core.queries.TopKQuery`,
@@ -292,8 +301,18 @@ class StreamMonitor:
         int-like :class:`~repro.core.handles.QueryHandle` owning the
         query's lifecycle. Monitor-wide subscribers receive the initial
         result as a ``cause="register"`` delta.
+
+        ``accuracy`` (an :class:`~repro.approx.Accuracy`, or one
+        already attached to the query) opts the query into the
+        sketch-backed approximate tier: its maintenance honours the
+        (ε,δ) contract instead of exactness, and its change reports
+        carry ``cause="approx"`` plus the certified ``bound``.
+        Requires an algorithm that declares ``supports_accuracy``
+        (``algorithm="approx"``); exact algorithms refuse the contract
+        instead of silently ignoring it.
         """
         self._ensure_open("add_query")
+        self._apply_accuracy(query, accuracy)
         qid = self.query_table.register(query)
         started = time.perf_counter()
         try:
@@ -304,7 +323,9 @@ class StreamMonitor:
         self.setup_seconds.append(time.perf_counter() - started)
         return self._adopt(query, entries)
 
-    def add_queries(self, queries: Sequence) -> List[QueryHandle]:
+    def add_queries(
+        self, queries: Sequence, accuracy=None
+    ) -> List[QueryHandle]:
         """Register a burst of queries in one batch; return handles.
 
         The whole burst is handed to the algorithm at once
@@ -313,8 +334,14 @@ class StreamMonitor:
         computations through shared grid sweeps, and a sharded engine
         issues one round trip per shard instead of one per query.
         Results are identical to registering one by one.
+
+        ``accuracy`` applies one (ε,δ) contract to the whole burst
+        (see :meth:`add_query`); queries carrying their own contract
+        keep it either way.
         """
         self._ensure_open("add_queries")
+        for query in queries:
+            self._apply_accuracy(query, accuracy)
         qids = [self.query_table.register(query) for query in queries]
         started = time.perf_counter()
         try:
@@ -327,6 +354,28 @@ class StreamMonitor:
         return [
             self._adopt(query, results[query.qid]) for query in queries
         ]
+
+    def _apply_accuracy(self, query, accuracy) -> None:
+        """Attach an accuracy contract and vet algorithm support.
+
+        A contract passed here wins over one already on the query; a
+        contract from either source against an algorithm that cannot
+        honour it is an error — silently running such a query exactly
+        would misreport its cost model, silently dropping the contract
+        would misreport its accuracy.
+        """
+        if accuracy is not None:
+            query.accuracy = accuracy
+        if getattr(query, "accuracy", None) is None:
+            return
+        if not getattr(self.algorithm, "supports_accuracy", False):
+            name = getattr(
+                self.algorithm, "name", type(self.algorithm).__name__
+            )
+            raise QueryError(
+                f"algorithm {name!r} does not support accuracy "
+                "contracts; build the monitor with algorithm='approx'"
+            )
 
     def _adopt(self, query, entries: List[ResultEntry]) -> QueryHandle:
         handle = QueryHandle(self, query)

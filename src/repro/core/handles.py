@@ -119,6 +119,12 @@ class QueryHandle:
         """The monitor this handle belongs to."""
         return self._monitor
 
+    @property
+    def accuracy(self):
+        """The query's (ε,δ) accuracy contract, or ``None`` when it
+        runs on an exact maintenance path (see :mod:`repro.approx`)."""
+        return getattr(self.query, "accuracy", None)
+
     # ------------------------------------------------------------------
     # Lifecycle operations (all delegate to the monitor)
     # ------------------------------------------------------------------

@@ -42,12 +42,16 @@ class TopKQuery:
         k: number of results to maintain (>= 1).
         label: optional human-readable name for reports.
         qid: assigned by :class:`QueryTable` at registration; -1 before.
+        accuracy: optional (ε,δ) contract opting the query into the
+            approximate tier (:mod:`repro.approx`); ``None`` — the
+            default — keeps the exact maintenance path.
     """
 
     function: PreferenceFunction
     k: int
     label: str = ""
     qid: int = -1
+    accuracy: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.k < 1:

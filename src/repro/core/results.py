@@ -9,7 +9,7 @@ result, best-first in the canonical rank order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, NamedTuple, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.tuples import StreamRecord
 
@@ -43,11 +43,17 @@ class ResultChange:
     ``"register"`` for the initial result delivered at registration,
     ``"update"`` after an in-flight :meth:`~repro.core.handles.QueryHandle.update`,
     ``"resume"`` for the re-sync delta after a pause, ``"cancel"``
-    for the final clear-out when a query terminates, and ``"resync"``
+    for the final clear-out when a query terminates, ``"resync"``
     for a backlog collapsed by a ``coalesce``-policy delivery
-    (:func:`merge_changes`). Replaying the ``added``/``removed``
-    sequence of *every* cause reconstructs the pull API's result
-    exactly (see ``tests/integration/test_subscription_parity.py``).
+    (:func:`merge_changes`), and ``"approx"`` for cycle maintenance of
+    a query running under an accuracy contract (:mod:`repro.approx`).
+    Replaying the ``added``/``removed`` sequence of *every* cause
+    reconstructs the pull API's result exactly (see
+    ``tests/integration/test_subscription_parity.py``).
+
+    ``bound`` accompanies ``cause="approx"``: the certified relative
+    error of this report (``exact_kth_score <= reported_kth_score *
+    (1 + bound)``). Exact causes carry ``None``.
     """
 
     qid: int
@@ -55,6 +61,7 @@ class ResultChange:
     removed: List[ResultEntry] = field(default_factory=list)
     top: List[ResultEntry] = field(default_factory=list)
     cause: str = "cycle"
+    bound: Optional[float] = None
 
     @property
     def changed(self) -> bool:
@@ -69,6 +76,7 @@ def diff_results(
     old: Sequence[ResultEntry],
     new: Sequence[ResultEntry],
     cause: str = "cycle",
+    bound: Optional[float] = None,
 ) -> ResultChange:
     """Compute the change report between two result snapshots."""
     old_ids = {entry.rid for entry in old}
@@ -81,6 +89,7 @@ def diff_results(
         removed=entries_best_first(removed),
         top=list(new),
         cause=cause,
+        bound=bound,
     )
 
 
@@ -117,6 +126,9 @@ def merge_changes(
         entries_best_first(list(before.values())),
         newer.top,
         cause="cancel" if newer.cause == "cancel" else "resync",
+        # The merged delta lands the consumer on ``newer.top``, so the
+        # newest certificate is the one that describes it.
+        bound=newer.bound,
     )
 
 

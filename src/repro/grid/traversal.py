@@ -454,6 +454,47 @@ class _GroupScorer:
         return out
 
 
+def _trim_shared_outcome(
+    grid: Grid,
+    function: LinearFunction,
+    k: int,
+    outcome: TraversalOutcome,
+) -> TraversalOutcome:
+    """A k-member's outcome derived from its weight class's shared sweep.
+
+    The shared sweep ran the *same* preference function at a k at
+    least as large, so its best-first entries prefix to this member's
+    exact top-k, and its processed set is a superset of this member's:
+    re-classifying against the member's own kth score (the grouped
+    post-pass rule) recovers the solo processed set, with the below-
+    threshold leftovers joining the cleanup seeds — the same split
+    ``compute_top_k_group`` performs per member.
+    """
+    entries = outcome.entries[:k]
+    if len(entries) >= k:
+        kth_score = entries[-1].score
+    else:
+        kth_score = float("-inf")
+    if type(function) is LinearFunction and _has_constant_maxscore_decrements(
+        grid, function
+    ):
+        maxscore_of = _linear_maxscore_fn(grid, function)
+    else:
+        maxscore_of = lambda coords: grid.maxscore(coords, function)  # noqa: E731
+    processed: List[Coords] = []
+    stale_seeds: List[Coords] = []
+    for coords in outcome.processed:
+        if maxscore_of(coords) >= kth_score:
+            processed.append(coords)
+        else:
+            stale_seeds.append(coords)
+    return TraversalOutcome(
+        entries=entries,
+        processed=processed,
+        remaining=outcome.remaining + stale_seeds,
+    )
+
+
 def compute_top_k_group(
     grid: Grid,
     functions: Sequence[LinearFunction],
@@ -517,42 +558,49 @@ def compute_top_k_group(
                 f"directions; got {function.directions} vs "
                 f"{functions[0].directions}"
             )
-    # Near-identical members: duplicate ``(weights, k)`` specs would
-    # drive identical candidate heaps through the whole sweep — their
-    # solo processed sets coincide by construction. Collapse each
-    # duplicate set to one representative, sweep the unique members,
-    # and alias the representative's outcome per member (outcomes are
-    # read-only to every consumer). Each aliased member still counts
-    # as a served query / top-k computation, so merged counter totals
-    # match a run that never deduplicated.
-    specs = [
-        (tuple(function.weights), k)
-        for function, k in zip(functions, ks)
-    ]
-    if len(set(specs)) < len(specs):
-        first_at: Dict[Tuple[Tuple[float, ...], int], int] = {}
-        unique_indices: List[int] = []
-        alias_of: List[int] = []
-        for index, spec in enumerate(specs):
-            found = first_at.get(spec)
-            if found is None:
-                first_at[spec] = index
-                unique_indices.append(index)
-                alias_of.append(index)
-            else:
-                alias_of.append(found)
-        unique_outcomes = compute_top_k_group(
+    # Near-identical members: queries sharing one weight vector drive
+    # the same candidate ordering through the sweep, so the top-k of a
+    # smaller k is a prefix of a larger one's. Collapse each weight
+    # class to a single representative swept at the class's largest k
+    # and serve every member from that shared outcome — aliased
+    # outright when the member's k equals the swept k (the PR 8
+    # duplicate-spec case), otherwise derived by trimming the shared
+    # entries to the member's k and re-classifying the swept cells
+    # against the member's own kth score, exactly the classification
+    # the grouped post-pass performs (a cell is in the solo processed
+    # set iff its maxscore reaches the kth score, and every such cell
+    # is in the representative's processed set because the shared
+    # sweep's kth threshold is lower). Each merged member still counts
+    # as a served query / top-k computation, so counter totals match a
+    # run that never deduplicated.
+    class_members: Dict[Tuple[float, ...], List[int]] = {}
+    for index, function in enumerate(functions):
+        class_members.setdefault(tuple(function.weights), []).append(index)
+    if len(class_members) < len(functions):
+        order = list(class_members)
+        rep_outcomes = compute_top_k_group(
             grid,
-            [functions[index] for index in unique_indices],
-            [ks[index] for index in unique_indices],
+            [functions[class_members[w][0]] for w in order],
+            [max(ks[index] for index in class_members[w]) for w in order],
             counters=counters,
         )
-        outcome_at = dict(zip(unique_indices, unique_outcomes))
         if counters is not None:
-            duplicates = len(specs) - len(unique_indices)
-            counters.topk_computations += duplicates
-            counters.grouped_queries_served += duplicates
-        return [outcome_at[alias_of[index]] for index in range(len(specs))]
+            merged = len(functions) - len(order)
+            counters.topk_computations += merged
+            counters.grouped_queries_served += merged
+        shared = dict(zip(order, rep_outcomes))
+        results: List[Optional[TraversalOutcome]] = [None] * len(functions)
+        for weights, members in class_members.items():
+            outcome = shared[weights]
+            swept_k = max(ks[index] for index in members)
+            for index in members:
+                if ks[index] == swept_k:
+                    results[index] = outcome
+                else:
+                    results[index] = _trim_shared_outcome(
+                        grid, functions[index], ks[index], outcome
+                    )
+        return results
 
     if len(functions) == 1:
         # Zero-overhead degenerate case: the solo path is the contract.

@@ -337,13 +337,17 @@ class MonitorClient:
         k: Optional[int] = None,
         threshold: Optional[float] = None,
         label: str = "",
+        accuracy=None,
     ) -> RemoteQueryHandle:
         """Register a query; returns its remote handle.
 
         Pass a :class:`~repro.core.queries.TopKQuery` /
         :class:`~repro.core.queries.ThresholdQuery` (linear
         preferences only), or build one in place from ``weights`` +
-        (``k`` | ``threshold``).
+        (``k`` | ``threshold``). ``accuracy`` attaches an
+        :class:`~repro.approx.Accuracy` contract to a top-k query —
+        the server must run the ``approx`` algorithm, and deltas
+        arrive ``cause="approx"`` with a certified ``bound``.
         """
         if query is not None:
             wire = protocol.query_to_wire(query)
@@ -365,6 +369,15 @@ class MonitorClient:
                 "weights": list(weights),
                 "threshold": float(threshold),
                 "label": label,
+            }
+        if accuracy is not None:
+            if wire.get("kind") != "topk":
+                raise ValueError(
+                    "accuracy contracts apply to top-k queries only"
+                )
+            wire["accuracy"] = {
+                "epsilon": float(accuracy.epsilon),
+                "delta": float(accuracy.delta),
             }
         reply = self.request("add_query", query=wire)
         return RemoteQueryHandle(

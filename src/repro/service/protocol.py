@@ -36,7 +36,11 @@ contract the in-process subscription layer pins.
 Only :class:`~repro.core.scoring.LinearFunction` preferences cross the
 wire (a weights list); arbitrary callables are not serialisable and
 are rejected with :class:`ProtocolError`. Supported query kinds:
-``topk`` and ``threshold``.
+``topk`` and ``threshold``. A top-k spec may carry an optional
+``"accuracy": {"epsilon", "delta"}`` contract (the approximate tier,
+:mod:`repro.approx`), and a change event an optional ``"bound"`` — the
+certified relative rank error of that delta; both keys are simply
+absent for exact queries, keeping their wire shapes unchanged.
 """
 
 from __future__ import annotations
@@ -125,23 +129,30 @@ def entry_from_wire(payload: Dict[str, Any]) -> ResultEntry:
 
 
 def change_to_wire(change: ResultChange) -> Dict[str, Any]:
-    return {
+    spec = {
         "qid": change.qid,
         "cause": change.cause,
         "added": [entry_to_wire(entry) for entry in change.added],
         "removed": [entry_to_wire(entry) for entry in change.removed],
         "top": [entry_to_wire(entry) for entry in change.top],
     }
+    if change.bound is not None:
+        # Approximate-tier deltas certify their rank error; exact
+        # deltas omit the key so their wire shape is unchanged.
+        spec["bound"] = change.bound
+    return spec
 
 
 def change_from_wire(payload: Dict[str, Any]) -> ResultChange:
     try:
+        bound = payload.get("bound")
         return ResultChange(
             qid=int(payload["qid"]),
             added=[entry_from_wire(e) for e in payload["added"]],
             removed=[entry_from_wire(e) for e in payload["removed"]],
             top=[entry_from_wire(e) for e in payload["top"]],
             cause=str(payload["cause"]),
+            bound=None if bound is None else float(bound),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed wire change: {exc}") from None
@@ -187,12 +198,19 @@ def query_to_wire(query: object) -> Dict[str, Any]:
                 f"{type(query).__name__} is not wire-serialisable "
                 "(supported kinds: topk, threshold)"
             )
-        return {
+        spec = {
             "kind": "topk",
             "weights": _wire_weights(query),
             "k": query.k,
             "label": query.label,
         }
+        accuracy = getattr(query, "accuracy", None)
+        if accuracy is not None:
+            spec["accuracy"] = {
+                "epsilon": float(accuracy.epsilon),
+                "delta": float(accuracy.delta),
+            }
+        return spec
     raise ProtocolError(
         f"unsupported query type {type(query).__name__}"
     )
@@ -204,11 +222,20 @@ def query_from_wire(payload: Dict[str, Any]) -> WireQuery:
         weights = [float(value) for value in payload["weights"]]
         label = str(payload.get("label", ""))
         if kind == "topk":
-            return TopKQuery(
+            query = TopKQuery(
                 LinearFunction(weights),
                 k=int(payload["k"]),
                 label=label,
             )
+            accuracy = payload.get("accuracy")
+            if accuracy is not None:
+                from repro.approx.accuracy import Accuracy
+
+                query.accuracy = Accuracy(
+                    float(accuracy["epsilon"]),
+                    float(accuracy.get("delta", 0.01)),
+                )
+            return query
         if kind == "threshold":
             return ThresholdQuery(
                 LinearFunction(weights),

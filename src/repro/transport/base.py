@@ -101,6 +101,7 @@ class ShardChannel(abc.ABC):
         cls,
         arrivals: Sequence[StreamRecord],
         expirations: Sequence[StreamRecord],
+        sketch_delta: Any = None,
     ) -> Tuple[Any, Any, int]:
         """Encode one cycle for this transport.
 
@@ -108,7 +109,10 @@ class ShardChannel(abc.ABC):
         channel of this kind can :meth:`send_cycle`, a release handle
         (``handle.close()`` after all replies are in), and the number
         of bytes placed in shared memory rather than on the wire
-        (zero for purely wire-borne transports).
+        (zero for purely wire-borne transports). ``sketch_delta``
+        (the approximate tier's columnar cell-population delta, None
+        for exact pools) rides inside the payload so every worker's
+        sketch applies coordinator-derived columns.
         """
 
     @abc.abstractmethod
@@ -205,6 +209,7 @@ def prepare_cycle(
     channels: Sequence[ShardChannel],
     arrivals: Sequence[StreamRecord],
     expirations: Sequence[StreamRecord],
+    sketch_delta: Any = None,
 ) -> PreparedCycle:
     """Encode one cycle for every transport kind present in the pool."""
     encoders = {}
@@ -214,9 +219,14 @@ def prepare_cycle(
     handles: List[Any] = []
     shared_bytes = 0
     for kind in sorted(encoders):
-        payload, handle, nbytes = encoders[kind].encode_cycle(
-            arrivals, expirations
-        )
+        if sketch_delta is None:
+            payload, handle, nbytes = encoders[kind].encode_cycle(
+                arrivals, expirations
+            )
+        else:
+            payload, handle, nbytes = encoders[kind].encode_cycle(
+                arrivals, expirations, sketch_delta
+            )
         payloads[kind] = payload
         handles.append(handle)
         shared_bytes += nbytes

@@ -49,7 +49,9 @@ from repro.service.protocol import (
 
 #: shard wire-protocol revision, exchanged in the ``configure``
 #: handshake; a host refuses a coordinator with a different revision.
-SHARD_PROTOCOL_VERSION = 1
+#: Revision 2 added the optional columnar sketch delta on ``cycle``
+#: requests and the ``sketch`` introspection op (approximate tier).
+SHARD_PROTOCOL_VERSION = 2
 
 #: hard per-frame ceiling — a length header beyond this is treated as
 #: stream corruption, not an allocation request.
@@ -59,7 +61,7 @@ _HEADER = struct.Struct(">I")
 HEADER_BYTES = _HEADER.size
 
 #: requests that carry no payload at all.
-_BARE_OPS = ("stats", "space", "ping", "stop")
+_BARE_OPS = ("stats", "space", "ping", "stop", "sketch")
 
 
 # ----------------------------------------------------------------------
@@ -136,19 +138,52 @@ def _columns_from_wire(
 def encode_cycle_request(
     arrivals: Sequence[StreamRecord],
     expirations: Sequence[StreamRecord],
+    sketch_delta=None,
 ) -> bytes:
     """One cycle's deltas → a ready-to-send ``cycle`` request frame.
 
     Encoded once per cycle regardless of how many TCP channels will
     broadcast it (the TCP transport's :meth:`encode_cycle`).
+    ``sketch_delta`` — the approximate tier's columnar cell-population
+    delta — rides as an optional ``"sketch"`` key; exact pools omit it
+    and keep the revision-1 frame shape.
     """
-    return frame_message(
-        {
-            "op": "cycle",
-            "ins": _records_to_wire(arrivals),
-            "del": _records_to_wire(expirations),
+    message = {
+        "op": "cycle",
+        "ins": _records_to_wire(arrivals),
+        "del": _records_to_wire(expirations),
+    }
+    if sketch_delta is not None:
+        message["sketch"] = _sketch_to_wire(sketch_delta)
+    return frame_message(message)
+
+
+def _sketch_to_wire(delta) -> Dict[str, Any]:
+    return {
+        "tick": int(delta["tick"]),
+        "add_cells": list(delta["add_cells"]),
+        "add_counts": list(delta["add_counts"]),
+        "drop_cells": list(delta["drop_cells"]),
+        "drop_counts": list(delta["drop_counts"]),
+    }
+
+
+def _sketch_from_wire(payload: Dict[str, Any]) -> Dict[str, Any]:
+    try:
+        delta = {
+            "tick": int(payload["tick"]),
+            "add_cells": [int(cell) for cell in payload["add_cells"]],
+            "add_counts": [int(n) for n in payload["add_counts"]],
+            "drop_cells": [int(cell) for cell in payload["drop_cells"]],
+            "drop_counts": [int(n) for n in payload["drop_counts"]],
         }
-    )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed sketch delta: {exc}") from None
+    if len(delta["add_cells"]) != len(delta["add_counts"]) or len(
+        delta["drop_cells"]
+    ) != len(delta["drop_counts"]):
+        raise ProtocolError("ragged sketch delta columns")
+    return delta
 
 
 # ----------------------------------------------------------------------
@@ -198,10 +233,10 @@ def encode_request(command: str, payload: Any) -> Dict[str, Any]:
             raise ProtocolError(
                 f"cycle payload kind {kind!r} is not wire-serialisable"
             )
-        _, arrivals_cols, expirations_cols = payload
+        _, arrivals_cols, expirations_cols = payload[:3]
         rids_a, times_a, rows_a = arrivals_cols
         rids_e, times_e, rows_e = expirations_cols
-        return {
+        message = {
             "op": "cycle",
             "ins": {
                 "rids": list(rids_a),
@@ -214,6 +249,9 @@ def encode_request(command: str, payload: Any) -> Dict[str, Any]:
                 "rows": [list(row) for row in rows_e],
             },
         }
+        if len(payload) > 3 and payload[3] is not None:
+            message["sketch"] = _sketch_to_wire(payload[3])
+        return message
     if command == "register_many":
         return {
             "op": "register_many",
@@ -243,11 +281,16 @@ def decode_request(message: Dict[str, Any]) -> Tuple[str, Any]:
     op = message.get("op")
     try:
         if op == "cycle":
-            return "cycle", (
+            payload = (
                 "cols",
                 _columns_from_wire(message["ins"]),
                 _columns_from_wire(message["del"]),
             )
+            if "sketch" in message:
+                payload = payload + (
+                    _sketch_from_wire(message["sketch"]),
+                )
+            return "cycle", payload
         if op == "register_many":
             return "register_many", [
                 shard_query_from_wire(spec) for spec in message["queries"]
@@ -345,6 +388,10 @@ def encode_reply(command: str, payload: Any) -> Dict[str, Any]:
         }
     if command == "space":
         return {"ok": True, "space": _space_to_wire(payload)}
+    if command == "sketch":
+        # The sketch snapshot is already canonical JSON-able state
+        # (ints, lists, strings) — see CellSketch.state().
+        return {"ok": True, "sketch": payload}
     if command == "ping":
         return {"ok": True}
     if command == "stop":
@@ -394,6 +441,8 @@ def decode_reply(
             )
         if command == "space":
             return "ok", _space_from_wire(message["space"])
+        if command == "sketch":
+            return "ok", message.get("sketch")
         if command == "ping":
             return "ok", "pong"
         if command == "stop":

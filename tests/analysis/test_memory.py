@@ -103,6 +103,7 @@ class TestMisc:
             "influence_lists",
             "query_state",
             "sorted_lists",
+            "sketch",
             "total",
         }
 

@@ -1,0 +1,44 @@
+"""Accuracy contract value object."""
+
+import pytest
+
+from repro.approx import Accuracy
+
+
+class TestValidation:
+    def test_defaults(self):
+        contract = Accuracy(epsilon=0.05)
+        assert contract.epsilon == 0.05
+        assert contract.delta == 0.01
+
+    @pytest.mark.parametrize("epsilon", [0.0, -0.1])
+    def test_bad_epsilon_rejected(self, epsilon):
+        with pytest.raises(ValueError):
+            Accuracy(epsilon=epsilon)
+
+    @pytest.mark.parametrize("delta", [-0.1, 1.0, 2.0])
+    def test_bad_delta_rejected(self, delta):
+        with pytest.raises(ValueError):
+            Accuracy(epsilon=0.05, delta=delta)
+
+    def test_zero_delta_allowed(self):
+        # The deterministic scheme honours even a zero confidence
+        # budget outright.
+        assert Accuracy(epsilon=0.05, delta=0.0).delta == 0.0
+
+    def test_frozen(self):
+        contract = Accuracy(epsilon=0.05)
+        with pytest.raises(AttributeError):
+            contract.epsilon = 0.1
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        contract = Accuracy(epsilon=0.02, delta=0.001)
+        assert Accuracy.from_dict(contract.as_dict()) == contract
+
+    def test_as_dict_shape(self):
+        assert Accuracy(epsilon=0.1).as_dict() == {
+            "epsilon": 0.1,
+            "delta": 0.01,
+        }

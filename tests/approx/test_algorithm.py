@@ -1,0 +1,188 @@
+"""ApproxTopKAlgorithm behaviour: contracts, bounds, coexistence."""
+
+import random
+
+import pytest
+
+from repro.approx import Accuracy
+from repro.core.engine import StreamMonitor
+from repro.core.errors import QueryError
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.window import CountBasedWindow
+
+from tests.conftest import brute_top_k, make_records, random_rows
+
+
+def make_monitor(algorithm="approx", capacity=120, dims=2, cells=8):
+    return StreamMonitor(
+        dims,
+        CountBasedWindow(capacity),
+        algorithm=algorithm,
+        cells_per_axis=cells,
+    )
+
+
+def drive(monitor, rng, cycles=20, rate=15, dims=2, capacity=120):
+    """Feed random cycles; yield (held_records, report) per cycle."""
+    held = []
+    next_id = 0
+    for cycle in range(cycles):
+        rows = random_rows(rng, rate, dims)
+        records = make_records(rows, start_id=next_id, time=float(cycle))
+        next_id += rate
+        report = monitor.process(records)
+        held.extend(records)
+        if len(held) > capacity:
+            held = held[-capacity:]
+        yield held, report
+
+
+class TestContractRouting:
+    def test_exact_algorithm_rejects_contract(self):
+        monitor = make_monitor(algorithm="tma")
+        with pytest.raises(QueryError):
+            monitor.add_query(
+                TopKQuery(LinearFunction([1.0, 1.0]), k=2),
+                accuracy=Accuracy(epsilon=0.05),
+            )
+
+    def test_constrained_query_rejects_contract(self):
+        from repro.core.queries import ConstrainedTopKQuery
+        from repro.core.regions import Rectangle
+
+        monitor = make_monitor()
+        query = ConstrainedTopKQuery(
+            LinearFunction([1.0, 1.0]),
+            k=2,
+            constraint=Rectangle((0.0, 0.0), (0.5, 0.5)),
+        )
+        with pytest.raises(QueryError):
+            monitor.add_query(query, accuracy=Accuracy(epsilon=0.05))
+
+    def test_contract_is_optional(self):
+        monitor = make_monitor()
+        qid = monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=2))
+        assert monitor.result(qid) == []
+
+
+class TestCertifiedBounds:
+    def test_bound_holds_cycle_by_cycle(self, rng):
+        """Every report's certified bound covers the true kth score."""
+        epsilon = 0.1
+        monitor = make_monitor()
+        query = TopKQuery(LinearFunction([0.7, 0.3]), k=5)
+        qid = monitor.add_query(query, accuracy=Accuracy(epsilon=epsilon))
+        for held, _ in drive(monitor, rng):
+            got = monitor.result(qid)
+            exact = brute_top_k(held, query)
+            assert len(got) == len(exact)
+            if not got:
+                continue
+            bound = monitor.algorithm.result_bounds()[qid]
+            assert 0.0 <= bound <= epsilon + 1e-12
+            assert exact[-1].score <= got[-1].score * (1.0 + bound) + 1e-12
+
+    def test_changes_annotated_approx_with_bound(self, rng):
+        monitor = make_monitor()
+        query = TopKQuery(LinearFunction([1.0, 1.0]), k=3)
+        qid = monitor.add_query(query, accuracy=Accuracy(epsilon=0.05))
+        saw_change = False
+        for _, report in drive(monitor, rng, cycles=12):
+            change = report.changes.get(qid)
+            if change is None or not change.changed:
+                continue
+            saw_change = True
+            assert change.cause == "approx"
+            assert change.bound is not None
+            assert 0.0 <= change.bound <= 0.05 + 1e-12
+        assert saw_change
+
+    def test_exact_queries_unannotated(self, rng):
+        monitor = make_monitor()
+        qid = monitor.add_query(TopKQuery(LinearFunction([1.0, 1.0]), k=3))
+        saw_change = False
+        for _, report in drive(monitor, rng, cycles=8):
+            change = report.changes.get(qid)
+            if change is None or not change.changed:
+                continue
+            saw_change = True
+            assert change.cause == "cycle"
+            assert change.bound is None
+        assert saw_change
+
+
+class TestCoexistence:
+    def test_exact_tier_bitwise_equals_plain_tma(self, rng):
+        """Uncontracted queries on 'approx' match 'tma' exactly."""
+        approx = make_monitor()
+        plain = make_monitor(algorithm="tma")
+        query_a = TopKQuery(LinearFunction([1.0, 1.0]), k=4)
+        query_b = TopKQuery(LinearFunction([1.0, 1.0]), k=4)
+        contracted = TopKQuery(LinearFunction([0.2, 0.8]), k=4)
+        qid_a = approx.add_query(query_a)
+        approx.add_query(contracted, accuracy=Accuracy(epsilon=0.1))
+        qid_b = plain.add_query(query_b)
+        seed = rng.random()
+        for (_, _), (_, _) in zip(
+            drive(approx, random.Random(seed)),
+            drive(plain, random.Random(seed)),
+        ):
+            left = [
+                (entry.score.hex(), entry.rid)
+                for entry in approx.result(qid_a)
+            ]
+            right = [
+                (entry.score.hex(), entry.rid)
+                for entry in plain.result(qid_b)
+            ]
+            assert left == right
+
+    def test_result_state_sizes_include_buffers(self, rng):
+        monitor = make_monitor()
+        qid = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=3),
+            accuracy=Accuracy(epsilon=0.1),
+        )
+        for _ in drive(monitor, rng, cycles=5):
+            pass
+        sizes = monitor.algorithm.result_state_sizes()
+        assert sizes[int(qid.qid)] >= 3
+
+
+class TestLifecycle:
+    def test_unregister_contracted_query(self, rng):
+        monitor = make_monitor()
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=3),
+            accuracy=Accuracy(epsilon=0.1),
+        )
+        for _ in drive(monitor, rng, cycles=3):
+            pass
+        monitor.remove_query(handle)
+        with pytest.raises(QueryError):
+            monitor.result(handle)
+        assert monitor.algorithm.result_bounds() == {}
+
+    def test_update_query_reanchors(self, rng):
+        monitor = make_monitor()
+        query = TopKQuery(LinearFunction([1.0, 1.0]), k=3)
+        handle = monitor.add_query(query, accuracy=Accuracy(epsilon=0.1))
+        held = []
+        for held, _ in drive(monitor, rng, cycles=6):
+            pass
+        entries = monitor.algorithm.update_query(int(handle.qid), k=7)
+        assert len(entries) == min(7, len(held))
+        exact = brute_top_k(held, query)
+        bound = monitor.algorithm.result_bounds()[int(handle.qid)]
+        assert exact[-1].score <= entries[-1].score * (1.0 + bound) + 1e-12
+
+    def test_accuracies_exposed(self):
+        monitor = make_monitor()
+        contract = Accuracy(epsilon=0.07, delta=0.001)
+        handle = monitor.add_query(
+            TopKQuery(LinearFunction([1.0, 1.0]), k=2), accuracy=contract
+        )
+        assert monitor.algorithm.accuracies() == {
+            int(handle.qid): contract
+        }

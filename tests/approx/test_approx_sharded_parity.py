@@ -1,0 +1,155 @@
+"""Sharded (pipe and TCP) approximate tier ≡ single process, bit for bit.
+
+ISSUE 9's parity property: the sketch state, approximate results, and
+certified bounds of a sharded ``algorithm="approx"`` pool — over pipe
+channels and over real TCP shard hosts — must be identical to the
+single-process algorithm fed the same stream. The sketch delta is
+derived once by the coordinator and shipped on the wire, so worker
+sketches match byte for byte by construction; this suite pins that.
+Bounds cross the wire only inside change reports, so they are compared
+through each cycle's report signature (cause and bound included).
+"""
+
+import random
+
+from repro.approx import Accuracy
+from repro.cluster import local_shard_hosts
+from repro.core.engine import StreamMonitor
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.window import CountBasedWindow
+
+DIMS = 2
+WINDOW = 80
+CELLS = 5
+
+
+def exact_keys(entries):
+    return [(entry.score.hex(), entry.rid) for entry in entries]
+
+
+def change_signature(report):
+    return {
+        qid: (
+            exact_keys(change.added),
+            exact_keys(change.removed),
+            exact_keys(change.top),
+            change.cause,
+            None if change.bound is None else change.bound.hex(),
+        )
+        for qid, change in report.changes.items()
+    }
+
+
+def make_monitor(shards=None):
+    return StreamMonitor(
+        DIMS,
+        CountBasedWindow(WINDOW),
+        algorithm="approx",
+        cells_per_axis=CELLS,
+        shards=shards,
+    )
+
+
+def add_mixed_queries(monitor, seed):
+    """Half the queries contracted, half exact, on one pool."""
+    rng = random.Random(seed)
+    queries = [
+        TopKQuery(
+            LinearFunction(
+                [rng.uniform(0.1, 1.0) for _ in range(DIMS)]
+            ),
+            k=rng.choice([2, 4, 6]),
+        )
+        for _ in range(6)
+    ]
+    exact_qids = monitor.add_queries(queries[:3])
+    approx_qids = monitor.add_queries(
+        queries[3:], accuracy=Accuracy(epsilon=0.1)
+    )
+    return [int(qid) for qid in exact_qids] + [
+        int(qid) for qid in approx_qids
+    ]
+
+
+def drive_parity(monitors, seed, cycles=12):
+    """Feed one stream to every monitor; assert bitwise agreement.
+
+    ``monitors`` maps names to StreamMonitors; the "mono" entry is the
+    single-process reference the sharded pools must match.
+    """
+    names = sorted(monitors)
+    qids = {
+        name: add_mixed_queries(monitor, seed)
+        for name, monitor in monitors.items()
+    }
+    for name in names:
+        assert qids[name] == qids["mono"]
+    sharded = [name for name in names if name != "mono"]
+
+    rng = random.Random(seed * 17 + 3)
+    approx_changes = 0
+    for cycle in range(cycles):
+        rows = [
+            [rng.random() for _ in range(DIMS)] for _ in range(10)
+        ]
+        reports = {
+            name: monitor.process(
+                monitor.make_records(rows, time_=float(cycle))
+            )
+            for name, monitor in monitors.items()
+        }
+        want_changes = change_signature(reports["mono"])
+        approx_changes += sum(
+            1
+            for signature in want_changes.values()
+            if signature[3] == "approx"
+        )
+        want_results = {
+            qid: exact_keys(monitors["mono"].result(qid))
+            for qid in qids["mono"]
+        }
+        want_sketch = monitors["mono"].algorithm.sketch_state()
+        assert want_sketch["tick"] == (cycle + 1) * 10
+        for name in sharded:
+            monitor = monitors[name]
+            assert change_signature(reports[name]) == want_changes, (
+                f"cycle {cycle}: {name} change reports"
+            )
+            got = {
+                qid: exact_keys(monitor.result(qid))
+                for qid in qids["mono"]
+            }
+            assert got == want_results, f"cycle {cycle}: {name} results"
+            for shard, state in enumerate(
+                monitor.algorithm.shard_sketch_states()
+            ):
+                assert state == want_sketch, (
+                    f"cycle {cycle}: {name} shard {shard} sketch"
+                )
+    # The stream must actually exercise the approximate change path.
+    assert approx_changes > 0
+
+
+def test_pipe_parity():
+    monitors = {
+        "mono": make_monitor(),
+        "pipe": make_monitor(shards=2),
+    }
+    try:
+        drive_parity(monitors, seed=11)
+    finally:
+        monitors["pipe"].close()
+
+
+def test_tcp_parity():
+    with local_shard_hosts(2, once=False) as addresses:
+        monitors = {
+            "mono": make_monitor(),
+            "tcp": make_monitor(shards=addresses),
+        }
+        try:
+            assert monitors["tcp"].algorithm.transport == "tcp"
+            drive_parity(monitors, seed=23, cycles=8)
+        finally:
+            monitors["tcp"].close()

@@ -1,0 +1,198 @@
+"""Unit tests for the sliding-window cell-population sketch."""
+
+import random
+
+import pytest
+
+from repro.approx.sketch import (
+    CellMapper,
+    CellSketch,
+    ExponentialHistogram,
+    cycle_delta,
+)
+from repro.core.tuples import RecordFactory
+from repro.grid.grid import Grid
+
+
+def make_records(count, dims=3, seed=1, lo=0.0, hi=1.0):
+    rng = random.Random(seed)
+    factory = RecordFactory()
+    return [
+        factory.make(tuple(rng.uniform(lo, hi) for _ in range(dims)))
+        for _ in range(count)
+    ]
+
+
+class TestCellMapper:
+    def test_matches_grid_coords(self):
+        """flat_of must reproduce Grid's clamped row-major indexing."""
+        grid = Grid(3, 6)
+        mapper = CellMapper(3, 6)
+        for record in make_records(200, seed=2, lo=-0.2, hi=1.2):
+            coords = grid.coords_of(record.attrs)
+            flat = 0
+            for index in coords:
+                flat = flat * 6 + index
+            assert mapper.flat_of(record.attrs) == flat
+
+    def test_columns_match_flat_of(self):
+        """The batched column reduction equals the scalar loop."""
+        mapper = CellMapper(4, 5)
+        records = make_records(300, dims=4, seed=3, lo=-0.1, hi=1.1)
+        cells, counts = mapper.columns_of(records)
+        tally = {}
+        for record in records:
+            flat = mapper.flat_of(record.attrs)
+            tally[flat] = tally.get(flat, 0) + 1
+        assert cells == sorted(tally)
+        assert counts == [tally[cell] for cell in cells]
+        assert sum(counts) == len(records)
+
+    def test_empty_batch(self):
+        assert CellMapper(2, 4).columns_of([]) == ([], [])
+
+
+class TestCycleDelta:
+    def test_empty_cycle_is_none(self):
+        assert cycle_delta(CellMapper(2, 4), [], []) is None
+
+    def test_canonical_shape(self):
+        mapper = CellMapper(2, 4)
+        arrivals = make_records(20, dims=2, seed=4)
+        expirations = make_records(7, dims=2, seed=5)
+        delta = cycle_delta(mapper, arrivals, expirations)
+        assert delta["tick"] == 20
+        assert delta["add_cells"] == sorted(delta["add_cells"])
+        assert delta["drop_cells"] == sorted(delta["drop_cells"])
+        assert sum(delta["add_counts"]) == 20
+        assert sum(delta["drop_counts"]) == 7
+
+
+class TestExponentialHistogram:
+    def test_total_conserved(self):
+        histogram = ExponentialHistogram(cap=3)
+        inserted = 0
+        rng = random.Random(6)
+        for tick in range(1, 40):
+            count = rng.randrange(1, 9)
+            histogram.insert(tick, count)
+            inserted += count
+        assert histogram.total == inserted
+        assert sum(size for _, size in histogram.buckets) == inserted
+
+    def test_cap_invariant(self):
+        """After every insert, at most cap buckets of each size."""
+        histogram = ExponentialHistogram(cap=2)
+        rng = random.Random(7)
+        for tick in range(1, 60):
+            histogram.insert(tick, rng.randrange(1, 12))
+            by_size = {}
+            sizes = [size for _, size in histogram.buckets]
+            for size in sizes:
+                by_size[size] = by_size.get(size, 0) + 1
+            assert all(count <= 2 for count in by_size.values())
+            # oldest-first, sizes non-increasing toward the newest end
+            assert sizes == sorted(sizes, reverse=True)
+
+    def test_expire_drops_old_buckets(self):
+        histogram = ExponentialHistogram(cap=3)
+        for tick in range(1, 11):
+            histogram.insert(tick, 1)
+        histogram.expire(5)
+        assert all(ts > 5 for ts, _ in histogram.buckets)
+        assert histogram.total == sum(s for _, s in histogram.buckets)
+
+    def test_estimate_error_bound(self):
+        """estimate() is within its relative error of the true count."""
+        epsilon = 0.25
+        cap = -(-1 // (2.0 * epsilon)).__trunc__() + 1
+        rng = random.Random(8)
+        histogram = ExponentialHistogram(cap)
+        arrivals = []  # timestamps of unit arrivals
+        tick = 0
+        for _ in range(400):
+            tick += 1
+            count = rng.randrange(0, 4)
+            if count:
+                histogram.insert(tick, count)
+                arrivals.extend([tick] * count)
+            if rng.random() < 0.25:
+                horizon = tick - rng.randrange(20, 120)
+                histogram.expire(horizon)
+                arrivals = [t for t in arrivals if t > horizon]
+                exact = len(arrivals)
+                estimate = histogram.estimate()
+                assert abs(estimate - exact) <= max(1, epsilon * exact)
+
+
+class TestCellSketch:
+    def feed(self, sketch, seed=9, cycles=25, rate=30, window=200):
+        mapper = CellMapper(3, 5)
+        rng = random.Random(seed)
+        factory = RecordFactory()
+        held = []
+        for _ in range(cycles):
+            arrivals = [
+                factory.make(tuple(rng.random() for _ in range(3)))
+                for _ in range(rate)
+            ]
+            held.extend(arrivals)
+            expired = []
+            while len(held) > window:
+                expired.append(held.pop(0))
+            sketch.apply_delta(cycle_delta(mapper, arrivals, expired))
+        return held
+
+    def test_window_mode_population(self):
+        sketch = CellSketch(epsilon=0.25)
+        sketch.bind_window(200)
+        held = self.feed(sketch)
+        population = sketch.estimated_population()
+        # all arrivals of a cycle share the closing tick, so expiry can
+        # lag by at most one cycle's worth of records on top of the EH
+        # bound
+        assert len(held) * 0.7 <= population <= len(held) * 1.5
+
+    def test_exact_mode_population(self):
+        sketch = CellSketch(epsilon=0.25)
+        held = self.feed(sketch)
+        assert sketch.estimated_population() == len(held)
+
+    def test_deterministic_state(self):
+        first = CellSketch(epsilon=0.25)
+        first.bind_window(200)
+        second = CellSketch(epsilon=0.25)
+        second.bind_window(200)
+        self.feed(first)
+        self.feed(second)
+        assert first.state() == second.state()
+
+    def test_state_is_canonical_jsonable(self):
+        import json
+
+        sketch = CellSketch(epsilon=0.25)
+        sketch.bind_window(200)
+        self.feed(sketch)
+        state = sketch.state()
+        assert state["mode"] == "window"
+        assert state == json.loads(json.dumps(state))
+
+    def test_space_words_counts_cells_and_buckets(self):
+        sketch = CellSketch(epsilon=0.25)
+        sketch.bind_window(200)
+        self.feed(sketch)
+        assert sketch.space_words() == (
+            2 * sketch.tracked_cells() + 2 * sketch.bucket_count()
+        )
+        assert sketch.space_words() > 0
+
+    def test_bind_window_after_data_rejected(self):
+        sketch = CellSketch(epsilon=0.25)
+        self.feed(sketch)
+        with pytest.raises(ValueError):
+            sketch.bind_window(100)
+
+    @pytest.mark.parametrize("epsilon", [0.0, -0.5, 1.5])
+    def test_bad_epsilon_rejected(self, epsilon):
+        with pytest.raises(ValueError):
+            CellSketch(epsilon=epsilon)

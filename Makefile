@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test selfcheck bench-smoke bench-json examples serve-smoke check cluster-smoke approx-smoke
+.PHONY: test selfcheck bench-smoke bench-json examples serve-smoke check cluster-smoke approx-smoke obs-smoke
 
 # Docs-facing smoke: every example must run end to end (CI mirrors
 # this on both batch backends with a hard per-script timeout).
@@ -77,6 +77,20 @@ approx-smoke:
 	PYTHONPATH=src timeout 180 python -m repro.bench run --n 4000 \
 		--rate 200 --queries 30 --cycles 5 --algorithms tma \
 		--approx 0.05,0.1
+
+# The observability gate: the obs unit suites (metrics registry,
+# tracer, HTTP endpoint, engine integration), the delivery-latency
+# instrumentation tests, and the pipe-vs-TCP metric-merge parity
+# suite; then the end-to-end loop — a traced monitor served over TCP,
+# scraped via HTTP, with every OpCounters field verified to
+# round-trip through /metrics. CI mirrors this on both batch backends
+# under hard timeouts.
+obs-smoke:
+	PYTHONPATH=src timeout 360 python -m pytest -q \
+		tests/obs tests/service/test_delivery_metrics.py \
+		tests/service/test_server_metrics.py \
+		tests/parallel/test_metrics_parity.py
+	PYTHONPATH=src timeout 120 python examples/metrics_scrape.py
 
 # Capture a machine-readable baseline on the default workload
 # (the BENCH_PR1.json format's per-run payload).

@@ -13,10 +13,29 @@ under CPython at that size).
 
 from __future__ import annotations
 
+import gc
+
 import pytest
 
 from repro.bench.reporting import format_table
 from repro.bench.workloads import TABLE_1, env_scale, scaled_defaults
+
+
+@pytest.fixture(autouse=True)
+def settle_gc():
+    """Collect cyclic garbage *before* each benchmark test.
+
+    Some benches build structures that are cyclic by nature (the TSL
+    skiplist's doubly-linked towers leave ~300k cycle objects), and a
+    full suite run accumulates that debt until a gen-2 collection
+    fires — if it fires inside another test's timed section, that test
+    is charged hundreds of milliseconds of unrelated GC work and a
+    timing assertion (e.g. TMA-vs-brute) flips on heap layout rather
+    than algorithm cost. Settling the heap up front keeps each bench's
+    measurement its own.
+    """
+    gc.collect()
+    yield
 
 
 def pytest_sessionstart(session):

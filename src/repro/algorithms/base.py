@@ -43,6 +43,7 @@ from repro.core.queries import ThresholdQuery, TopKQuery
 from repro.core.results import ResultChange, ResultEntry, diff_results
 from repro.core.stats import OpCounters
 from repro.core.tuples import StreamRecord
+from repro.obs.trace import NULL_TRACER
 
 
 class _ThresholdState:
@@ -74,8 +75,26 @@ class MonitorAlgorithm(abc.ABC):
     def __init__(self, dims: int) -> None:
         self.dims = dims
         self.counters = OpCounters()
+        #: observability hooks — NULL_TRACER / None until the engine
+        #: (or a shard worker) calls :meth:`bind_observability`; phase
+        #: spans stay unconditional no-ops when tracing is off.
+        self.tracer = NULL_TRACER
+        self.metrics = None
         self._snapshots: Dict[int, List[ResultEntry]] = {}
         self._threshold_states: Dict[int, _ThresholdState] = {}
+
+    def bind_observability(self, registry, tracer) -> None:
+        """Attach a metrics registry and cycle tracer.
+
+        Called once after construction by whoever owns the cycle loop
+        (engine, shard worker). ``registry`` may be ``None`` (no
+        metrics) and ``tracer`` :data:`~repro.obs.trace.NULL_TRACER`
+        (tracing off); algorithm code reads both through the
+        ``metrics`` / ``tracer`` attributes and never branches on the
+        engine's configuration directly.
+        """
+        self.metrics = registry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # Query lifecycle

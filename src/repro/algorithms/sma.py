@@ -238,15 +238,16 @@ class SkybandMonitoringAlgorithm(MonitorAlgorithm):
                 continue  # defensive: cannot refill mid-batch, but cheap
             refills.append(state)
 
-        if self.groups is not None and len(refills) > 1:
-            self._refill_grouped(refills)
-        else:
-            for state in refills:
-                self.counters.recomputations += 1
-                outcome = compute_and_install(
-                    self.grid, state.query, self.counters
-                )
-                state.rebuild_from(outcome.entries, self.counters)
+        with self.tracer.span("skyband"):
+            if self.groups is not None and len(refills) > 1:
+                self._refill_grouped(refills)
+            else:
+                for state in refills:
+                    self.counters.recomputations += 1
+                    outcome = compute_and_install(
+                        self.grid, state.query, self.counters
+                    )
+                    state.rebuild_from(outcome.entries, self.counters)
 
     def _refill_grouped(self, refills: List[_SmaQueryState]) -> None:
         """Skyband refills batched by similarity group (see TMA)."""

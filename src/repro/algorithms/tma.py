@@ -299,18 +299,19 @@ class TopKMonitoringAlgorithm(MonitorAlgorithm):
                     state.affected = True
                     affected.append(state)
 
-        if self.groups is not None and len(affected) > 1:
-            self._recompute_grouped(affected)
-        else:
-            for state in affected:
-                state.affected = False
-                qid = state.query.qid
-                self._touch(qid)
-                self.counters.recomputations += 1
-                outcome = compute_and_install(
-                    self.grid, state.query, self.counters
-                )
-                state.set_result(outcome.entries)
+        with self.tracer.span("traversal"):
+            if self.groups is not None and len(affected) > 1:
+                self._recompute_grouped(affected)
+            else:
+                for state in affected:
+                    state.affected = False
+                    qid = state.query.qid
+                    self._touch(qid)
+                    self.counters.recomputations += 1
+                    outcome = compute_and_install(
+                        self.grid, state.query, self.counters
+                    )
+                    state.set_result(outcome.entries)
 
     def _recompute_grouped(self, affected: List[_TmaQueryState]) -> None:
         """From-scratch recomputation batched by similarity group.

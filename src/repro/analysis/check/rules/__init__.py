@@ -1,5 +1,5 @@
 """Rule modules.  Importing this package registers every rule."""
 
-from repro.analysis.check.rules import determinism, locks, process
+from repro.analysis.check.rules import determinism, locks, obs, process
 
-__all__ = ["determinism", "locks", "process"]
+__all__ = ["determinism", "locks", "obs", "process"]

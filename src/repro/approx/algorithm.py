@@ -251,9 +251,10 @@ class ApproxTopKAlgorithm(TopKMonitoringAlgorithm):
     ) -> None:
         delta = self._staged_delta
         self._staged_delta = None
-        if delta is None:
-            delta = cycle_delta(self._mapper, arrivals, expirations)
-        self.counters.sketch_updates += self.sketch.apply_delta(delta)
+        with self.tracer.span("sketch"):
+            if delta is None:
+                delta = cycle_delta(self._mapper, arrivals, expirations)
+            self.counters.sketch_updates += self.sketch.apply_delta(delta)
 
         super()._apply_cycle(arrivals, expirations)
         if not self._approx:
@@ -341,13 +342,41 @@ class ApproxTopKAlgorithm(TopKMonitoringAlgorithm):
         self._refresh(state)
 
     def _refresh(self, state: _ApproxQueryState) -> None:
+        # Pre-size the sweep pool from the sketch's occupancy estimate
+        # (an upper bound on what a sweep can examine); the estimate's
+        # quality is published as gauges below, never consulted for
+        # correctness — results are identical with or without it.
+        expected = self.sketch.estimated_population()
         outcome = compute_top_k_relaxed(
             self.grid,
             state.query.function,
             state.query.k,
             state.accuracy.epsilon,
             self.counters,
+            expected_points=expected if expected > 0 else None,
         )
+        if self.metrics is not None:
+            actual = self.grid.point_count()
+            self.metrics.gauge(
+                "repro_approx_sketch_estimated_points",
+                "cell-sketch population estimate at the last refresh "
+                "sweep (used to pre-size the sweep pool)",
+            ).set(float(expected))
+            self.metrics.gauge(
+                "repro_approx_sketch_actual_points",
+                "true grid population at the last refresh sweep",
+            ).set(float(actual))
+            self.metrics.gauge(
+                "repro_approx_sketch_estimate_error",
+                "relative error of the sketch population estimate at "
+                "the last refresh sweep",
+            ).set(
+                abs(expected - actual) / actual if actual else 0.0
+            )
+            self.metrics.gauge(
+                "repro_approx_refresh_pooled_points",
+                "records the last refresh sweep examined and pooled",
+            ).set(float(outcome.pooled))
         state.buffer = outcome.buffer
         state.rids = {rid for _, rid, _ in outcome.buffer}
         state.g = outcome.g

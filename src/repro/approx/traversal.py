@@ -77,6 +77,8 @@ class ApproxOutcome:
         g: the frozen certificate threshold (see module docstring).
         floor: the buffer admission floor ``s_k / (1 + epsilon)``.
         bound: certified relative error of the report (<= epsilon).
+        pooled: records the sweep examined and pooled — what an
+            ``expected_points`` pre-size estimate is judged against.
     """
 
     entries: List[ResultEntry] = field(default_factory=list)
@@ -84,6 +86,7 @@ class ApproxOutcome:
     g: float = float("-inf")
     floor: float = float("-inf")
     bound: float = 0.0
+    pooled: int = 0
 
 
 #: share of the ε budget spent on the sweep's relaxed stop gate; the
@@ -132,6 +135,7 @@ def compute_top_k_relaxed(
     k: int,
     epsilon: float,
     counters: Optional[OpCounters] = None,
+    expected_points: Optional[int] = None,
 ) -> ApproxOutcome:
     """One relaxed best-first sweep (unconstrained queries only).
 
@@ -146,6 +150,12 @@ def compute_top_k_relaxed(
     certificate is vacuous (``g = floor = -inf``, ``bound = 0``) — the
     caller keeps admitting every arrival until a full refresh anchors
     a real certificate.
+
+    ``expected_points`` pre-sizes the examined-record pool (the approx
+    tier feeds the cell sketch's occupancy estimate here): slots are
+    filled in place and truncated after the sweep, so an accurate
+    estimate removes the pool's incremental growth reallocations.
+    Results are identical with or without the hint.
     """
     if counters is None:
         counters = NULL_COUNTERS
@@ -154,6 +164,9 @@ def compute_top_k_relaxed(
 
     candidates: List[BufferEntry] = []
     pool: List[BufferEntry] = []
+    pool_used = 0
+    if expected_points is not None and expected_points > 0:
+        pool = [(0.0, -1, None)] * int(expected_points)
 
     if type(function) is LinearFunction and _has_constant_maxscore_decrements(
         grid, function
@@ -205,7 +218,11 @@ def compute_top_k_relaxed(
             for index, value in zip(survivors, values):
                 record = records[index]
                 entry = (value, record.rid, record)
-                pool.append(entry)
+                if pool_used < len(pool):
+                    pool[pool_used] = entry
+                else:
+                    pool.append(entry)
+                pool_used += 1
                 if len(candidates) < k:
                     heapq.heappush(candidates, entry)
                 elif entry[:2] > candidates[0][:2]:
@@ -213,6 +230,8 @@ def compute_top_k_relaxed(
 
         for neighbour in grid.steps_toward_worse(coords, function):
             push(neighbour)
+
+    del pool[pool_used:]  # drop unfilled pre-sized slots
 
     if len(candidates) >= k:
         kth_score = candidates[0][0]
@@ -235,5 +254,10 @@ def compute_top_k_relaxed(
         )
     ]
     return ApproxOutcome(
-        entries=entries, buffer=buffer, g=g, floor=floor, bound=bound
+        entries=entries,
+        buffer=buffer,
+        g=g,
+        floor=floor,
+        bound=bound,
+        pooled=pool_used,
     )

@@ -146,6 +146,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "run with per-cycle phase tracing enabled: the report "
+            "gains a per-phase time table and --json gains per-run "
+            "'phases' and 'metrics' blocks (results are unchanged; "
+            "timings include the small tracing overhead)"
+        ),
+    )
+    run.add_argument(
         "--no-check",
         action="store_true",
         help="skip the cross-algorithm result-equality verification",
@@ -334,11 +344,12 @@ def command_run(args: argparse.Namespace) -> int:
         with local_shard_hosts(loopback_hosts, once=False) as addresses:
             spec = spec.with_(shard_hosts=tuple(addresses))
             results = compare_algorithms(
-                spec, names, check_results=not args.no_check
+                spec, names, check_results=not args.no_check,
+                trace=args.trace,
             )
     else:
         results = compare_algorithms(
-            spec, names, check_results=not args.no_check
+            spec, names, check_results=not args.no_check, trace=args.trace
         )
     sharded = spec.shards > 1 or spec.shard_hosts is not None
     rows = []
@@ -396,6 +407,35 @@ def command_run(args: argparse.Namespace) -> int:
     )
     if not args.no_check:
         print("result check: all algorithms report identical top-k sets")
+    if args.trace:
+        phase_names = sorted(
+            {
+                phase
+                for run in results.values()
+                for phase in (run.phases or {})
+            }
+        )
+        if phase_names:
+            print("\n== per-phase mean time [ms/cycle] (--trace) ==")
+            print(
+                format_table(
+                    ["algorithm"] + phase_names,
+                    [
+                        [name.upper()]
+                        + [
+                            (
+                                "{:.3f}".format(
+                                    run.phases[phase]["mean_seconds"] * 1e3
+                                )
+                                if run.phases and phase in run.phases
+                                else "-"
+                            )
+                            for phase in phase_names
+                        ]
+                        for name, run in results.items()
+                    ],
+                )
+            )
     approx_sweep = None
     if approx_epsilons is not None:
         approx_baseline, approx_legs = run_approx_sweep(
@@ -473,8 +513,12 @@ def command_run(args: argparse.Namespace) -> int:
             # optional "approx" block (the --approx sweep: one leg per
             # epsilon with observed-vs-certified rank error and the
             # per-cycle speedup over a fresh in-process exact
-            # baseline).
-            "schema": "repro-bench-run/5",
+            # baseline); /6 keeps integer counts integral (no more
+            # 17.0 in counters/churn_ops) and adds the per-run
+            # "phases" + "metrics" blocks captured by --trace (the
+            # per-phase time breakdown and the full metrics-registry
+            # snapshot; both null when untraced).
+            "schema": "repro-bench-run/6",
             "batch_backend": BACKEND,
             "workload": workload_to_dict(spec),
             "algorithms": {

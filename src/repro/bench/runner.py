@@ -63,6 +63,15 @@ class RunResult:
     #: and per-cycle bytes on the wire / in shared memory, as returned
     #: by ``ShardedMonitorAlgorithm.transport_stats``. None in-process.
     transport: Optional[Dict] = None
+    #: per-phase time breakdown from the tracer's phase histograms
+    #: (``{phase: {count, total_seconds, mean_seconds}}``) — populated
+    #: only when the run executed with ``trace=True``, else None, so
+    #: untraced benchmark numbers carry zero instrumentation cost.
+    phases: Optional[Dict] = None
+    #: full metrics-registry snapshot of the run (counters, gauges,
+    #: histograms — in sharded runs including everything merged back
+    #: from the workers). Only captured under ``trace=True``.
+    metrics: Optional[Dict] = None
 
     @property
     def total_seconds(self) -> float:
@@ -165,10 +174,33 @@ class _ChurnDriver:
         self._resume_at = []
 
 
+def phase_breakdown(snapshot: Dict) -> Dict[str, Dict[str, float]]:
+    """Per-phase time account from a metrics-registry snapshot.
+
+    Reduces every ``repro_phase_<name>_seconds`` histogram to
+    ``{count, total_seconds, mean_seconds}`` — the view BENCH_PR*.json
+    captures so phase regressions diff like counter regressions.
+    """
+    prefix, suffix = "repro_phase_", "_seconds"
+    phases: Dict[str, Dict[str, float]] = {}
+    for name, data in snapshot.get("histograms", {}).items():
+        if not (name.startswith(prefix) and name.endswith(suffix)):
+            continue
+        count = int(data["count"])
+        total = float(data["sum"])
+        phases[name[len(prefix):-len(suffix)]] = {
+            "count": count,
+            "total_seconds": round(total, 9),
+            "mean_seconds": round(total / count, 9) if count else 0.0,
+        }
+    return phases
+
+
 def run_workload(
     spec: WorkloadSpec,
     algorithm: str,
     state_size_probes: int = 4,
+    trace: bool = False,
 ) -> RunResult:
     """Execute one monitoring run and return its metrics.
 
@@ -176,6 +208,11 @@ def run_workload(
     with N warm-up tuples, register the Q queries (initial computation
     is *setup*, not measured), then process ``spec.cycles`` timestamps
     of r arrivals + r expirations each, measuring only maintenance.
+
+    ``trace=True`` additionally runs the monitor with per-cycle phase
+    tracing and captures the phase breakdown plus the full metrics
+    snapshot on the result (results stay bitwise-identical; only the
+    timings shift by the instrumentation overhead).
     """
     distribution = make_distribution(spec.distribution, spec.dims)
     driver = StreamDriver(distribution, spec.rate, seed=spec.seed)
@@ -197,6 +234,7 @@ def run_workload(
             else None
         ),
         shards=shards,
+        trace=trace,
     )
 
     try:
@@ -260,6 +298,7 @@ def run_workload(
         transport_stats = getattr(
             monitor.algorithm, "transport_stats", None
         )
+        metrics_snapshot = monitor.metrics() if trace else None
         return RunResult(
             algorithm=algorithm,
             spec=spec,
@@ -281,6 +320,12 @@ def run_workload(
             transport=(
                 transport_stats() if transport_stats is not None else None
             ),
+            phases=(
+                phase_breakdown(metrics_snapshot)
+                if metrics_snapshot is not None
+                else None
+            ),
+            metrics=metrics_snapshot,
         )
     finally:
         monitor.close()
@@ -290,6 +335,7 @@ def compare_algorithms(
     spec: WorkloadSpec,
     algorithms: Sequence[str] = ("tsl", "tma", "sma"),
     check_results: bool = True,
+    trace: bool = False,
 ) -> Dict[str, RunResult]:
     """Run several algorithms on the identical workload.
 
@@ -298,7 +344,9 @@ def compare_algorithms(
             disagree on any final top-k set — a benchmark must never
             time a wrong answer.
     """
-    results = {name: run_workload(spec, name) for name in algorithms}
+    results = {
+        name: run_workload(spec, name, trace=trace) for name in algorithms
+    }
     if check_results and len(results) > 1:
         names = list(results)
         reference = results[names[0]].final_results

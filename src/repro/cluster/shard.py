@@ -91,15 +91,19 @@ def serve_session(sock: socket.socket) -> None:
 
 def _build_algorithm(payload: dict):
     from repro.algorithms import make_algorithm
+    from repro.parallel.worker import bind_worker_observability
 
-    options = payload.get("options") or {}
+    options = dict(payload.get("options") or {})
+    obs = options.pop("_obs", None)
     cells = payload.get("cells_per_axis")
-    return make_algorithm(
+    algo = make_algorithm(
         str(payload["algorithm"]),
         int(payload["dims"]),
         None if cells is None else int(cells),
         **options,
     )
+    bind_worker_observability(algo, obs)
+    return algo
 
 
 def main(argv: Optional[list] = None) -> int:

@@ -47,6 +47,7 @@ ever sees them and reports the count in
 from __future__ import annotations
 
 import time
+import weakref
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -116,6 +117,19 @@ class StreamMonitor:
             streams: :meth:`process` takes a ``deletions`` batch, no
             window exists, and SMA is refused because the skyband
             needs the expiry order in advance).
+        trace: enable per-cycle phase tracing. Off (the default) the
+            engine holds :data:`~repro.obs.trace.NULL_TRACER` and
+            every span is a shared no-op object; on, each cycle is
+            sliced into phase spans (ingest / traversal / skyband /
+            sketch / encode / shard_rpc / dispatch — see
+            docs/OBSERVABILITY.md) collected in a ring buffer
+            (:meth:`last_traces`) and mirrored into phase histograms
+            on :attr:`metrics_registry`. Sharded runs forward the
+            flag to every worker, whose per-cycle phase deltas merge
+            into the coordinator registry.
+        slow_cycle_seconds / slow_cycle_path: with ``trace=True``,
+            cycles slower than the threshold are appended as JSON
+            lines to the path (surviving the ring buffer).
         **algorithm_options: forwarded to the algorithm factory —
             e.g. ``grouped=True`` makes TMA/SMA batch each cycle's
             from-scratch recomputations by preference-vector
@@ -141,6 +155,9 @@ class StreamMonitor:
         cells_per_axis: Optional[int] = None,
         shards: Union[int, str, Sequence[str], None] = None,
         stream_model: str = "window",
+        trace: bool = False,
+        slow_cycle_seconds: Optional[float] = None,
+        slow_cycle_path: Optional[str] = None,
         **algorithm_options,
     ) -> None:
         # Imported here to keep repro.core importable on its own
@@ -203,12 +220,42 @@ class StreamMonitor:
                     shard_hosts if shard_hosts is not None else self.shards
                 ),
                 cells_per_axis=cells_per_axis,
+                trace=trace,
                 **algorithm_options,
             )
         else:
             self.algorithm = make_algorithm(
                 algorithm, dims, cells_per_axis, **algorithm_options
             )
+        # Observability: the registry is always on (collect-time
+        # adapters cost nothing per cycle); the tracer only when asked.
+        from repro.obs.metrics import MetricsRegistry, publish_op_counters
+        from repro.obs.trace import NULL_TRACER, CycleTracer
+
+        self.metrics_registry = MetricsRegistry()
+        self.tracer = (
+            CycleTracer(
+                registry=self.metrics_registry,
+                slow_cycle_seconds=slow_cycle_seconds,
+                slow_cycle_path=slow_cycle_path,
+            )
+            if trace
+            else NULL_TRACER
+        )
+        bind_obs = getattr(self.algorithm, "bind_observability", None)
+        if bind_obs is not None:
+            bind_obs(self.metrics_registry, self.tracer)
+        # The registry must not hold the algorithm (or this monitor)
+        # strongly: the registry lives on self, so a strong closure
+        # would make every monitor a reference cycle, deferring its
+        # grid and window to gen-2 GC instead of refcount death.
+        algo_ref = weakref.ref(self.algorithm)
+
+        def _read_op_counters(ref=algo_ref):
+            algo = ref()
+            return algo.counters.as_dict() if algo is not None else {}
+
+        publish_op_counters(self.metrics_registry, _read_op_counters)
         if stream_model == "update":
             self._refuse_unordered_expiry()
         if isinstance(window, CountBasedWindow):
@@ -678,7 +725,12 @@ class StreamMonitor:
         run).
         """
         self._ensure_open("process")
-        now, live, expirations, dead = self._ingest(arrivals, now, deletions)
+        tracer = self.tracer
+        tracer.begin_cycle()
+        with tracer.span("ingest"):
+            now, live, expirations, dead = self._ingest(
+                arrivals, now, deletions
+            )
 
         started = time.perf_counter()
         changes: Dict[int, ResultChange] = self.algorithm.process_cycle(
@@ -696,7 +748,13 @@ class StreamMonitor:
             dead_on_arrival=dead,
         )
         if not self._hub.empty:
-            self._hub.dispatch(report.changes)
+            with tracer.span("dispatch"):
+                self._hub.dispatch(report.changes)
+        tracer.end_cycle(
+            arrivals=len(live),
+            expirations=len(expirations),
+            changes=len(changes),
+        )
         return report
 
     def _ingest(
@@ -791,11 +849,18 @@ class StreamMonitor:
 
         reports: List[CycleReport] = []
         pending = None  # (now, arrivals, expirations, dead, seconds)
+        tracer = self.tracer
         try:
             for index, batch in enumerate(batches):
-                now, live, expirations, dead = self._ingest(
-                    batch, None if nows is None else nows[index], None
-                )
+                # One trace per loop iteration: the previous cycle's
+                # reply wait (shard_rpc) deliberately lands in *this*
+                # iteration's trace — that is the coordinator's real
+                # blocking structure under pipelining.
+                tracer.begin_cycle(pipelined=True)
+                with tracer.span("ingest"):
+                    now, live, expirations, dead = self._ingest(
+                        batch, None if nows is None else nows[index], None
+                    )
                 started = time.perf_counter()
                 prepared = self.algorithm.prepare_cycle(
                     live, expirations
@@ -817,9 +882,14 @@ class StreamMonitor:
                     dead,
                     prep_seconds + send_seconds,
                 )
+                tracer.end_cycle(
+                    arrivals=len(live), expirations=len(expirations)
+                )
             if pending is not None:
+                tracer.begin_cycle(pipelined=True, tail=True)
                 reports.append(self._finish_pipelined(pending))
                 pending = None
+                tracer.end_cycle()
             return reports
         except BaseException:
             # A failed ingest/encode must not strand the in-flight
@@ -850,7 +920,8 @@ class StreamMonitor:
             dead_on_arrival=dead,
         )
         if not self._hub.empty:
-            self._hub.dispatch(report.changes)
+            with self.tracer.span("dispatch"):
+                self._hub.dispatch(report.changes)
         return report
 
     def _apply_update_batch(
@@ -900,6 +971,14 @@ class StreamMonitor:
         for handle in self._handles.values():
             if handle._state != CANCELLED:
                 handle._state = CLOSED
+        # Release the handle table: handles hold the monitor, so
+        # keeping them here would tie every closed monitor (and its
+        # window/grid) into a reference cycle that only gen-2 GC can
+        # free — large enough piles of those turn into multi-ms GC
+        # pauses inside later cycle loops. After close the handles
+        # are CLOSED anyway; only the caller's own references remain.
+        self._handles.clear()
+        self._paused.clear()
         self._hub.close()
         shutdown = getattr(self.algorithm, "close", None)
         if shutdown is not None:
@@ -957,6 +1036,17 @@ class StreamMonitor:
     def counters(self):
         """The algorithm's operation counters (additive, resettable)."""
         return self.algorithm.counters
+
+    def metrics(self) -> Dict[str, Dict[str, object]]:
+        """One snapshot of :attr:`metrics_registry` (counters, gauges,
+        histograms — including the collect-time OpCounters mirror and,
+        in a sharded run, everything merged from the workers)."""
+        return self.metrics_registry.snapshot()
+
+    def last_traces(self, n: Optional[int] = None) -> List[Dict[str, object]]:
+        """The most recent per-cycle phase traces (oldest first).
+        Empty unless the monitor was built with ``trace=True``."""
+        return self.tracer.last_traces(n)
 
     def stats(self) -> Dict[str, object]:
         """One JSON-serialisable snapshot of the monitor's accounting.

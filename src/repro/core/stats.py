@@ -13,7 +13,7 @@ the counters against the analytical predictions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, List
+from typing import Dict, List, Union
 
 
 @dataclass(slots=True)
@@ -114,13 +114,15 @@ class RunStats:
         self.cycle_seconds.append(seconds)
         self.counters.add(counters)
 
-    def summary(self) -> Dict[str, float]:
-        data: Dict[str, float] = {
-            "cycles": float(self.cycles),
+    def summary(self) -> Dict[str, Union[int, float]]:
+        """Flat run summary. Counts stay ``int`` (cycles and every
+        OpCounters field); only the timing aggregates are floats —
+        downstream JSON (bench ``--json``) renders ``17``, not
+        ``17.0``."""
+        data: Dict[str, Union[int, float]] = {
+            "cycles": self.cycles,
             "total_seconds": self.total_seconds,
             "mean_cycle_seconds": self.mean_cycle_seconds,
         }
-        data.update(
-            {name: float(value) for name, value in self.counters.as_dict().items()}
-        )
+        data.update(self.counters.as_dict())
         return data

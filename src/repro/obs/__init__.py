@@ -1,0 +1,51 @@
+"""repro.obs — unified metrics, phase tracing, and telemetry exposition.
+
+The observability layer threaded through engine, shards, and serving
+(docs/OBSERVABILITY.md):
+
+- :mod:`repro.obs.metrics` — ``Counter``/``Gauge``/``Histogram``
+  instruments in a :class:`~repro.obs.metrics.MetricsRegistry` with
+  explicit cross-shard ``merge()`` and a collect-time ``OpCounters``
+  adapter;
+- :mod:`repro.obs.trace` — per-cycle phase spans
+  (``with tracer.span("traversal")``), ring-buffered traces, and a
+  slow-cycle JSONL policy, with a :data:`~repro.obs.trace.NULL_TRACER`
+  null object when disabled;
+- :mod:`repro.obs.http` — a stdlib HTTP thread serving Prometheus
+  text format on ``/metrics`` and trace JSON on ``/trace``.
+"""
+
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE, MetricsHTTPServer
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    OP_COUNTER_PREFIX,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    op_counter_names,
+    publish_op_counters,
+)
+from repro.obs.trace import (
+    DEFAULT_RING_SIZE,
+    NULL_TRACER,
+    PHASE_NAMES,
+    CycleTracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsHTTPServer",
+    "CycleTracer",
+    "NULL_TRACER",
+    "PHASE_NAMES",
+    "PROMETHEUS_CONTENT_TYPE",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_RING_SIZE",
+    "OP_COUNTER_PREFIX",
+    "publish_op_counters",
+    "op_counter_names",
+]

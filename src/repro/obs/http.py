@@ -1,0 +1,151 @@
+"""Stdlib HTTP exposition for the metrics registry and cycle traces.
+
+One daemon thread running :class:`http.server.ThreadingHTTPServer`
+serves:
+
+- ``GET /metrics`` — Prometheus text exposition format
+  (``Content-Type: text/plain; version=0.0.4; charset=utf-8``);
+- ``GET /trace`` — the tracer's ring buffer of recent cycle traces
+  plus cumulative phase totals, as JSON (``?n=K`` limits to the last
+  K traces);
+- ``GET /healthz`` — liveness probe, ``ok``.
+
+The handler only *reads* instruments (snapshot semantics under the
+GIL), so no lock is shared with the engine hot path. Bind with
+``port=0`` to let the OS pick — the bound port is on
+:attr:`MetricsHTTPServer.port` after :meth:`start`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
+
+__all__ = ["MetricsHTTPServer", "PROMETHEUS_CONTENT_TYPE"]
+
+#: the exposition content type Prometheus scrapers expect.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # set per-server via type() subclassing in MetricsHTTPServer
+    registry: MetricsRegistry
+    tracer = NULL_TRACER
+
+    # quiet: scrape traffic must not spam stderr
+    def log_message(self, format: str, *args: object) -> None:
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        if parsed.path == "/metrics":
+            body = self.registry.to_prometheus().encode("utf-8")
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif parsed.path == "/trace":
+            query = parse_qs(parsed.query)
+            limit: Optional[int] = None
+            if "n" in query:
+                try:
+                    limit = max(0, int(query["n"][0]))
+                except ValueError:
+                    self._reply(
+                        400, "text/plain", b"query parameter n must be an int"
+                    )
+                    return
+            payload = {
+                "enabled": bool(self.tracer.enabled),
+                "cycles": self.tracer.cycles,
+                "slow_cycles": self.tracer.slow_cycles,
+                "phase_totals": self.tracer.phase_totals(),
+                "traces": self.tracer.last_traces(limit),
+            }
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self._reply(200, "application/json", body)
+        elif parsed.path == "/healthz":
+            self._reply(200, "text/plain", b"ok\n")
+        else:
+            self._reply(404, "text/plain", b"not found\n")
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class MetricsHTTPServer:
+    """Background scrape endpoint for one registry (+ optional tracer).
+
+    ``start()`` binds and spawns the serving thread; ``stop()`` shuts
+    the listener down and joins. Both are idempotent.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tracer=NULL_TRACER,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        self._tracer = tracer
+        self._host = host
+        self._requested_port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (0 before :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    def start(self) -> "MetricsHTTPServer":
+        if self._server is not None:
+            return self
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {"registry": self._registry, "tracer": self._tracer},
+        )
+        self._server = ThreadingHTTPServer(
+            (self._host, self._requested_port), handler
+        )
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"repro-metrics-http-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    close = stop
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

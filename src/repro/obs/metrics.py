@@ -1,0 +1,425 @@
+"""Zero-dependency metrics instruments and the process-wide registry.
+
+Three instrument kinds, modelled on the Prometheus client data model
+but with none of its dependencies:
+
+- :class:`Counter` — monotonically increasing int;
+- :class:`Gauge` — last-written float;
+- :class:`Histogram` — fixed buckets chosen at registration, cumulative
+  counts rendered Prometheus-style (``le`` upper bounds + ``+Inf``).
+
+Every instrument is a plain-attribute object mutated by exactly one
+writer thread (the engine loop, a delivery consumer, a shard worker).
+Under CPython's GIL an ``int += 1`` / attribute store is atomic, so the
+fast path takes no lock — the "lock-free single-writer" discipline.
+Cross-thread/cross-process aggregation happens explicitly instead:
+:meth:`MetricsRegistry.snapshot` captures a picklable/JSON-able dict,
+and :meth:`MetricsRegistry.merge` folds such a snapshot (typically a
+shard worker's per-cycle *delta*) into another registry.
+
+Merging mirrors the sharded engine's replicated-counter discipline
+(:mod:`repro.parallel.sharded`): counters and histograms are additive
+across shards (each shard owns a disjoint slice of the query work),
+but instruments whose names are passed in ``replicated`` describe
+stream state every shard holds a full copy of — those are adopted from
+one designated shard (``adopt_replicated=True``) and skipped for the
+rest, keeping merged totals equal to a single-process run. Gauges are
+last-writer-wins in merge order.
+
+Existing :class:`~repro.core.stats.OpCounters` fields are *not*
+mirrored into counter instruments at increment time — that would make
+every algorithm hot loop pay twice. Instead
+:func:`publish_op_counters` registers a collect-time adapter: the
+registry re-reads ``counters.as_dict()`` whenever a snapshot or
+exposition is taken, so the wire view is always current and no
+algorithm code double-counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "publish_op_counters",
+    "DEFAULT_LATENCY_BUCKETS",
+    "OP_COUNTER_PREFIX",
+]
+
+#: default histogram buckets for latency-flavoured instruments, in
+#: seconds: 100µs .. 10s, roughly ×3 apart, plus +Inf implicitly.
+DEFAULT_LATENCY_BUCKETS: Sequence[float] = (
+    0.0001,
+    0.0003,
+    0.001,
+    0.003,
+    0.01,
+    0.03,
+    0.1,
+    0.3,
+    1.0,
+    3.0,
+    10.0,
+)
+
+#: prefix under which :func:`publish_op_counters` exposes OpCounters
+#: fields (``repro_op_arrivals_total`` and friends).
+OP_COUNTER_PREFIX = "repro_op_"
+
+
+class Counter:
+    """Monotonic integer counter. Single-writer fast path: ``inc()``
+    is one int add, no lock."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written float value."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative counts are derived at render
+    time from per-bucket tallies, so ``observe()`` stays one index
+    scan + two int adds."""
+
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        # one tally per finite bound plus the +Inf overflow slot
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        bounds = self.bounds
+        index = len(bounds)
+        for i, bound in enumerate(bounds):
+            if value <= bound:
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative per-``le`` counts (ending with
+        the +Inf bucket, which equals ``count``)."""
+        out: List[int] = []
+        running = 0
+        for tally in self.bucket_counts:
+            running += tally
+            out.append(running)
+        return out
+
+
+def _render_value(value: float) -> str:
+    """Prometheus sample value: ints without a trailing ``.0``."""
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class MetricsRegistry:
+    """Name-keyed instrument registry with snapshot/merge/exposition.
+
+    Instrument *creation* takes a lock (rare); instrument *mutation*
+    does not (hot). ``get_or_create`` semantics make registration
+    idempotent so call sites never race on "who registers first".
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, object] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # -- registration -------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            instrument = Histogram(name, help, buckets)
+            self._instruments[name] = instrument
+            return instrument
+
+    def _get_or_create(self, cls, name: str, help: str):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            instrument = cls(name, help)
+            self._instruments[name] = instrument
+            return instrument
+
+    def add_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Register a collect-time callback run before every snapshot
+        or exposition; it refreshes derived instruments (the
+        OpCounters adapter pattern)."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def instruments(self) -> List[object]:
+        self._collect()
+        with self._lock:
+            return [
+                self._instruments[name] for name in sorted(self._instruments)
+            ]
+
+    def names(self) -> List[str]:
+        self._collect()
+        with self._lock:
+            return sorted(self._instruments)
+
+    def _collect(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            collector(self)
+
+    # -- snapshot / merge ---------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Picklable/JSON-able view: ``{"counters": {...}, "gauges":
+        {...}, "histograms": {name: {"bounds": [...], "bucket_counts":
+        [...], "sum": .., "count": ..}}}``."""
+        self._collect()
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, object]] = {}
+        with self._lock:
+            items = list(self._instruments.items())
+        for name, instrument in sorted(items):
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            elif isinstance(instrument, Histogram):
+                histograms[name] = {
+                    "bounds": list(instrument.bounds),
+                    "bucket_counts": list(instrument.bucket_counts),
+                    "sum": instrument.sum,
+                    "count": instrument.count,
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge(
+        self,
+        snapshot: Dict[str, Dict[str, object]],
+        replicated: FrozenSet[str] = frozenset(),
+        adopt_replicated: bool = True,
+    ) -> None:
+        """Fold a :meth:`snapshot`-shaped dict (typically a shard
+        worker's per-cycle delta) into this registry.
+
+        Counters and histograms add; gauges overwrite (last writer in
+        merge order wins). Names in ``replicated`` describe
+        stream-replicated state: they are *added* only when
+        ``adopt_replicated`` is true (the designated shard, by
+        convention shard 0) and skipped otherwise, so merged totals
+        match a single-process run — the same discipline
+        ``_REPLICATED_COUNTERS`` applies to ``OpCounters``.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            if name in replicated and not adopt_replicated:
+                continue
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            if name in replicated and not adopt_replicated:
+                continue
+            self.gauge(name).set(float(value))
+        for name, data in snapshot.get("histograms", {}).items():
+            if name in replicated and not adopt_replicated:
+                continue
+            histogram = self.histogram(
+                name, buckets=[float(b) for b in data["bounds"]]
+            )
+            if list(histogram.bounds) != [float(b) for b in data["bounds"]]:
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds differ across merge"
+                )
+            incoming = [int(c) for c in data["bucket_counts"]]
+            for i, tally in enumerate(incoming):
+                histogram.bucket_counts[i] += tally
+            histogram.sum += float(data["sum"])
+            histogram.count += int(data["count"])
+
+    @staticmethod
+    def delta(
+        current: Dict[str, Dict[str, object]],
+        previous: Dict[str, Dict[str, object]],
+    ) -> Dict[str, Dict[str, object]]:
+        """``current - previous`` for two cumulative snapshots of the
+        *same* registry: counters and histogram tallies subtract,
+        gauges pass through at their current value. This is what a
+        shard worker ships per cycle so the coordinator can
+        :meth:`merge` without double counting."""
+        counters = {
+            name: value - previous.get("counters", {}).get(name, 0)
+            for name, value in current.get("counters", {}).items()
+        }
+        gauges = dict(current.get("gauges", {}))
+        histograms: Dict[str, Dict[str, object]] = {}
+        prev_hists = previous.get("histograms", {})
+        for name, data in current.get("histograms", {}).items():
+            prior = prev_hists.get(name)
+            if prior is None:
+                histograms[name] = {
+                    "bounds": list(data["bounds"]),
+                    "bucket_counts": list(data["bucket_counts"]),
+                    "sum": data["sum"],
+                    "count": data["count"],
+                }
+                continue
+            histograms[name] = {
+                "bounds": list(data["bounds"]),
+                "bucket_counts": [
+                    int(c) - int(p)
+                    for c, p in zip(
+                        data["bucket_counts"], prior["bucket_counts"]
+                    )
+                ],
+                "sum": float(data["sum"]) - float(prior["sum"]),
+                "count": int(data["count"]) - int(prior["count"]),
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    # -- exposition ---------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Render the registry in Prometheus text exposition format
+        0.0.4 (the ``text/plain; version=0.0.4`` body)."""
+        lines: List[str] = []
+        for instrument in self.instruments():
+            name = instrument.name
+            if instrument.help:
+                help_text = instrument.help.replace("\\", "\\\\")
+                help_text = help_text.replace("\n", "\\n")
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            if isinstance(instrument, Counter):
+                lines.append(f"{name} {instrument.value}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"{name} {_render_value(instrument.value)}")
+            elif isinstance(instrument, Histogram):
+                cumulative = instrument.cumulative_counts()
+                for bound, tally in zip(instrument.bounds, cumulative):
+                    lines.append(
+                        f'{name}_bucket{{le="{_render_value(bound)}"}} '
+                        f"{tally}"
+                    )
+                lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative[-1]}')
+                lines.append(f"{name}_sum {_render_value(instrument.sum)}")
+                lines.append(f"{name}_count {instrument.count}")
+        return "\n".join(lines) + "\n"
+
+
+def publish_op_counters(
+    registry: MetricsRegistry,
+    source: Callable[[], Dict[str, int]],
+    prefix: str = OP_COUNTER_PREFIX,
+) -> None:
+    """Auto-publish :class:`~repro.core.stats.OpCounters` fields as
+    counter instruments, refreshed at collect time.
+
+    ``source`` is called on every snapshot/exposition (e.g.
+    ``monitor.counters.as_dict``) and each field lands as
+    ``<prefix><field>_total`` with its *current cumulative* value —
+    algorithm hot loops keep writing plain ``OpCounters`` attributes
+    and never touch the registry.
+    """
+
+    def collect(reg: MetricsRegistry) -> None:
+        for field, value in source().items():
+            counter = reg.counter(
+                f"{prefix}{field}_total",
+                f"cumulative OpCounters.{field} since counter reset",
+            )
+            counter.value = int(value)
+
+    registry.add_collector(collect)
+
+
+def op_counter_names(fields: Iterable[str]) -> List[str]:
+    """The metric names :func:`publish_op_counters` produces for the
+    given OpCounters field names (exposed for tests and smoke
+    checks)."""
+    return [f"{OP_COUNTER_PREFIX}{field}_total" for field in fields]

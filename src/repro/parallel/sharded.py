@@ -89,6 +89,7 @@ from repro.transport.base import (
     ShardChannel,
     WorkerFailure,
     prepare_cycle as encode_prepared_cycle,
+    publish_channel_metrics,
     wait_ready,
 )
 from repro.transport.pipe import PipeChannel
@@ -134,6 +135,13 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
             shard per address.
         cells_per_axis: grid granularity forwarded to grid-based
             algorithms (workers resolve the same default when None).
+        trace: enable per-cycle phase tracing in every worker. Each
+            worker runs its own :class:`~repro.obs.trace.CycleTracer`
+            over a worker-local registry and ships the registry's
+            per-cycle *delta* in its cycle reply; the coordinator
+            merges the deltas, so merged phase histograms measure
+            pool-wide work (replicated phases like the approximate
+            tier's sketch update genuinely run on every shard).
         **options: forwarded to the per-shard algorithm factory
             (e.g. ``grouped=True``). Must be JSON-serialisable when
             remote addresses are used (they cross the configure
@@ -148,6 +156,7 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
         dims: int,
         shards: Union[int, Sequence[str]],
         cells_per_axis: Optional[int] = None,
+        trace: bool = False,
         **options,
     ) -> None:
         from repro.algorithms import ALGORITHMS
@@ -189,6 +198,12 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
         self.supports_accuracy = key.split("-")[0] == "approx"
         self._cells_per_axis = cells_per_axis
         self._sketch_mapper = None
+        self.trace = bool(trace)
+        #: reserved key the worker factories pop before constructing
+        #: the per-shard algorithm (JSON-serialisable: it crosses the
+        #: TCP configure handshake verbatim).
+        worker_options = dict(options)
+        worker_options["_obs"] = {"trace": self.trace}
         self.planner = ShardPlanner(count)
         self._queries: Dict[int, TopKQuery] = {}
         self._results: Dict[int, List[ResultEntry]] = {}
@@ -214,7 +229,7 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
                         PipeChannel.spawn(
                             context,
                             worker_main,
-                            (key, dims, cells_per_axis, options),
+                            (key, dims, cells_per_axis, worker_options),
                             name=f"repro-shard-{shard}",
                         )
                     )
@@ -227,7 +242,7 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
                                 algorithm=key,
                                 dims=dims,
                                 cells_per_axis=cells_per_axis,
-                                options=options,
+                                options=worker_options,
                                 timeout=self._timeout,
                             )
                         )
@@ -528,12 +543,13 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
         once, and ship it inside every transport's payload.
         """
         self._ensure_open()
-        return encode_prepared_cycle(
-            self._channels,
-            arrivals,
-            expirations,
-            self._sketch_delta(arrivals, expirations),
-        )
+        with self.tracer.span("encode"):
+            return encode_prepared_cycle(
+                self._channels,
+                arrivals,
+                expirations,
+                self._sketch_delta(arrivals, expirations),
+            )
 
     def _sketch_delta(
         self,
@@ -595,7 +611,8 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
             raise StreamError(f"{self.name} has no cycle in flight")
         (prepared, baseline), self._pending = self._pending, None
         try:
-            replies = self._recv_all()
+            with self.tracer.span("shard_rpc"):
+                replies = self._recv_all()
         finally:
             # Workers copy out of the shared segment before replying,
             # so the segment is release-safe once every reply (or the
@@ -603,8 +620,20 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
             prepared.close()
         self._record_cycle(prepared, baseline)
         changes: Dict[int, ResultChange] = {}
-        for shard, (shard_changes, counters) in enumerate(replies):
+        for shard, reply in enumerate(replies):
+            # Cycle replies grew a third element (the worker's
+            # per-cycle metrics delta) in protocol revision 3; accept
+            # bare 2-tuples so a newer coordinator can still merge a
+            # revision-2 host's replies.
+            shard_changes, counters = reply[0], reply[1]
+            metrics_delta = reply[2] if len(reply) > 2 else None
             self._merge_counters(shard, counters)
+            if metrics_delta and self.metrics is not None:
+                # Worker registries hold phase histograms and gauges
+                # only (OpCounters merge via _merge_counters above);
+                # histograms sum to pool-wide work, gauges are
+                # last-writer-wins in shard order.
+                self.metrics.merge(metrics_delta)
             for qid, change in shard_changes.items():
                 changes[qid] = change
                 self._results[qid] = list(change.top)
@@ -653,6 +682,12 @@ class ShardedMonitorAlgorithm(MonitorAlgorithm):
         self._cycles_recorded += 1
         self._cycle_wire_total += sample["wire_bytes"]
         self._cycle_shared_total += sample["shared_bytes"]
+        if self.metrics is not None:
+            publish_channel_metrics(self.metrics, self._channels)
+            self.metrics.gauge(
+                "repro_transport_cycle_shared_bytes",
+                "bytes the last cycle placed in shared memory",
+            ).set(float(sample["shared_bytes"]))
 
     def transport_stats(self) -> Dict:
         """Bytes-on-the-wire accounting, merged across the pool.

@@ -13,7 +13,8 @@ Protocol (``(command, payload)`` in, ``(status, payload)`` out)::
     register_many [TopKQuery]   -> ok ({qid: [ResultEntry]}, counters)
     unregister    qid           -> ok (None, counters)
     update        (qid, k, fn)  -> ok ([ResultEntry], counters)
-    cycle         snapshot      -> ok ({qid: ResultChange}, counters)
+    cycle         snapshot      -> ok ({qid: ResultChange}, counters,
+                                       metrics_delta_or_None)
     stats         None          -> ok ((state_sizes, il_entries), counters)
     space         None          -> ok SpaceBreakdown
     sketch        None          -> ok sketch state (None if sketch-less)
@@ -57,12 +58,59 @@ def worker_main(
     """Entry point of a shard worker process (blocks until ``stop``)."""
     from repro.algorithms import make_algorithm
 
+    options = dict(options)
+    obs = options.pop("_obs", None)
     algo = make_algorithm(algorithm, dims, cells_per_axis, **options)
+    bind_worker_observability(algo, obs)
     channel = PipeServerChannel(conn)
     try:
         serve_shard(channel, algo)
     finally:
         channel.close()
+
+
+def bind_worker_observability(algo, obs) -> None:
+    """Give a shard worker its own registry (plus a tracer when the
+    coordinator asked for tracing via the reserved ``_obs`` option).
+
+    Workers always hold a worker-local
+    :class:`~repro.obs.metrics.MetricsRegistry` so gauges published by
+    the algorithm (the approximate tier's sketch-accuracy gauges,
+    chiefly) reach the coordinator even with tracing off; phase
+    histograms appear only when tracing is on. Every cycle reply ships
+    the registry's delta since the previous cycle
+    (:func:`cycle_metrics_delta`), which the coordinator ``merge()``s.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import NULL_TRACER, CycleTracer
+
+    bind = getattr(algo, "bind_observability", None)
+    if bind is None:
+        return
+    registry = MetricsRegistry()
+    tracer = (
+        CycleTracer(registry=registry)
+        if obs and obs.get("trace")
+        else NULL_TRACER
+    )
+    bind(registry, tracer)
+
+
+def cycle_metrics_delta(algo):
+    """The worker registry's delta since the previous cycle reply
+    (None when the worker has no registry or nothing changed)."""
+    registry = getattr(algo, "metrics", None)
+    if registry is None:
+        return None
+    current = registry.snapshot()
+    previous = getattr(algo, "_obs_prev_snapshot", None)
+    algo._obs_prev_snapshot = current
+    delta = (
+        current if previous is None else registry.delta(current, previous)
+    )
+    if not any(delta.values()):
+        return None
+    return delta
 
 
 def serve_shard(channel, algo) -> None:
@@ -104,8 +152,15 @@ def dispatch_command(algo, command: str, payload):
                 # of re-deriving them, so every shard's sketch state is
                 # byte-identical to the coordinator's by construction.
                 stage(delta)
+        tracer = getattr(algo, "tracer", None)
+        if tracer is not None:
+            tracer.begin_cycle(
+                arrivals=len(arrivals), expirations=len(expirations)
+            )
         changes = algo.process_cycle(arrivals, expirations)
-        return changes, algo.counters.as_dict()
+        if tracer is not None:
+            tracer.end_cycle(changes=len(changes))
+        return changes, algo.counters.as_dict(), cycle_metrics_delta(algo)
     if command == "register_many":
         results = algo.register_many(payload)
         return results, algo.counters.as_dict()

@@ -433,6 +433,14 @@ class MonitorClient:
     def stats(self) -> Dict:
         return self.request("stats")
 
+    def metrics(self, traces: Optional[int] = None) -> Dict:
+        """The server monitor's metrics snapshot (and, when ``traces``
+        is given, its last N cycle traces): ``{"metrics": {...},
+        "traces": [...]}``."""
+        if traces is None:
+            return self.request("metrics")
+        return self.request("metrics", traces=int(traces))
+
     def ping(self) -> bool:
         return bool(self.request("ping").get("pong"))
 

@@ -48,10 +48,12 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.results import ResultChange, merge_changes
+from repro.obs.trace import NULL_TRACER
 
 #: recognised overflow policies.
 POLICIES = ("block", "drop_oldest", "coalesce")
@@ -205,6 +207,7 @@ class Delivery:
                 self._callback(change, enqueued_at)
                 with self._cond:
                     self._delivered += 1
+                self._hub._observe_latency(time.time() - enqueued_at)
             except Exception:
                 with self._cond:
                     self._errors += 1
@@ -348,6 +351,7 @@ class DeliveryHub:
         monitor,
         default_policy: str = "coalesce",
         default_maxlen: int = DEFAULT_MAXLEN,
+        registry=None,
     ) -> None:
         if default_policy not in POLICIES:
             raise ValueError(
@@ -361,6 +365,44 @@ class DeliveryHub:
         self._by_qid: Dict[int, List[Delivery]] = {}
         self._all: List[Delivery] = []
         self._closed = False
+        #: cumulative totals of deliveries that have since detached,
+        #: so collect-time counters stay monotonic across churn.
+        self._retired = {
+            "delivered": 0,
+            "dropped": 0,
+            "coalesced": 0,
+            "errors": 0,
+        }
+        #: metrics default to the monitor's registry; pass an explicit
+        #: registry (or an object without one) to opt out.
+        if registry is None:
+            registry = getattr(monitor, "metrics_registry", None)
+        self.registry = registry
+        self._latency = None
+        if registry is not None:
+            # Histogram observes come from many consumer threads, so
+            # this one instrument takes a lock (delivery events are
+            # per-delta, never per-record — the cost is noise).
+            self._metrics_lock = threading.Lock()
+            self._latency = registry.histogram(
+                "repro_delivery_latency_seconds",
+                "seconds from delta enqueue to subscriber callback "
+                "return",
+            )
+            # Registered through a WeakMethod: the monitor owns this
+            # registry, so a strong bound method would tie hub and
+            # monitor into a reference cycle (hub -> monitor ->
+            # registry -> hub) that outlives close() and defers both
+            # to gen-2 GC.
+            collect_ref = weakref.WeakMethod(self._collect_metrics)
+
+            def _collect(reg, ref=collect_ref):
+                method = ref()
+                if method is not None:
+                    method(reg)
+
+            registry.add_collector(_collect)
+        self._tracer = getattr(monitor, "tracer", None) or NULL_TRACER
         self._subscription = monitor.subscribe_all(self._route)
         self._subscription.add_cancel_hook(self._on_monitor_gone)
 
@@ -372,8 +414,14 @@ class DeliveryHub:
         with self._lock:
             targets = list(self._by_qid.get(change.qid, ()))
             targets.extend(self._all)
-        for delivery in targets:
-            delivery._enqueue(change)
+        if not targets:
+            return
+        # Runs on the engine's dispatch thread, inside its "dispatch"
+        # span — the "delivery" sub-span isolates enqueue time (and
+        # any block-policy backpressure wait) from raw fan-out.
+        with self._tracer.span("delivery"):
+            for delivery in targets:
+                delivery._enqueue(change)
 
     # ------------------------------------------------------------------
     # Registration
@@ -411,7 +459,10 @@ class DeliveryHub:
         return delivery
 
     def _forget(self, delivery: Delivery) -> None:
+        snapshot = delivery.stats()
         with self._lock:
+            for key in self._retired:
+                self._retired[key] += snapshot[key]
             if delivery.qid is None:
                 if delivery in self._all:
                     self._all.remove(delivery)
@@ -472,6 +523,45 @@ class DeliveryHub:
                 totals["high_watermark"], snapshot["high_watermark"]
             )
         return totals
+
+    # ------------------------------------------------------------------
+    # Metrics (no-ops when the hub has no registry)
+    # ------------------------------------------------------------------
+
+    def _observe_latency(self, seconds: float) -> None:
+        histogram = self._latency
+        if histogram is None:
+            return
+        with self._metrics_lock:
+            histogram.observe(seconds)
+
+    def _collect_metrics(self, registry) -> None:
+        """Collect-time adapter (the ``publish_op_counters`` pattern):
+        queue accounting is re-read on every snapshot/exposition, so
+        consumer threads never touch the registry beyond the latency
+        histogram."""
+        totals = self.stats()
+        with self._lock:
+            retired = dict(self._retired)
+        for key in ("delivered", "dropped", "coalesced", "errors"):
+            counter = registry.counter(
+                f"repro_delivery_{key}_total",
+                f"cumulative {key} deltas across all deliveries "
+                "(detached deliveries included)",
+            )
+            counter.value = totals[key] + retired[key]
+        registry.gauge(
+            "repro_delivery_queue_depth",
+            "deltas currently queued across all live deliveries",
+        ).set(float(totals["pending"]))
+        registry.gauge(
+            "repro_delivery_queue_high_watermark",
+            "deepest queue depth observed by any live delivery",
+        ).set(float(totals["high_watermark"]))
+        registry.gauge(
+            "repro_delivery_subscribers",
+            "live deliveries attached to the hub",
+        ).set(float(totals["deliveries"]))
 
     @property
     def closed(self) -> bool:

@@ -100,6 +100,12 @@ class MonitorServer:
         allow_ingest: accept ``process`` / ``advance`` ops from
             clients. Disable when only the embedding application may
             drive cycles.
+        metrics_port: when not None, also serve the monitor's metrics
+            registry over HTTP (:class:`repro.obs.http.MetricsHTTPServer`)
+            on ``metrics_host:metrics_port`` — ``GET /metrics`` is
+            Prometheus text exposition 0.0.4, ``GET /trace`` the
+            tracer's recent cycle traces as JSON. Port 0 picks a free
+            port; :attr:`metrics_address` reports the bound endpoint.
 
     Example::
 
@@ -118,11 +124,16 @@ class MonitorServer:
         default_policy: str = "coalesce",
         default_maxlen: int = 256,
         allow_ingest: bool = True,
+        metrics_host: str = "127.0.0.1",
+        metrics_port: Optional[int] = None,
     ) -> None:
         self.monitor = monitor
         self._host = host
         self._port = port
         self.allow_ingest = allow_ingest
+        self._metrics_host = metrics_host
+        self._metrics_port = metrics_port
+        self._metrics_server = None
         self.hub = DeliveryHub(
             monitor,
             default_policy=default_policy,
@@ -160,7 +171,31 @@ class MonitorServer:
             raise self._startup_error
         if self._address is None:
             raise RuntimeError("service loop failed to start")
+        if self._metrics_port is not None:
+            self._start_metrics_server()
         return self._address
+
+    def _start_metrics_server(self) -> None:
+        from repro.obs.http import MetricsHTTPServer
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import NULL_TRACER
+
+        registry = getattr(self.monitor, "metrics_registry", None)
+        if registry is None:  # served object predates the obs tier
+            registry = MetricsRegistry()
+        tracer = getattr(self.monitor, "tracer", None) or NULL_TRACER
+        self._metrics_server = MetricsHTTPServer(
+            registry,
+            tracer=tracer,
+            host=self._metrics_host,
+            port=int(self._metrics_port),
+        )
+        try:
+            self._metrics_server.start()
+        except BaseException:
+            self._metrics_server = None
+            self.stop()
+            raise
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -168,6 +203,17 @@ class MonitorServer:
         if self._address is None:
             raise RuntimeError("MonitorServer is not started")
         return self._address
+
+    @property
+    def metrics_address(self) -> Tuple[str, int]:
+        """``(host, port)`` of the metrics HTTP endpoint (only when
+        the server was built with ``metrics_port``)."""
+        if self._metrics_server is None:
+            raise RuntimeError(
+                "MonitorServer has no metrics endpoint (pass "
+                "metrics_port= and start() first)"
+            )
+        return (self._metrics_host, self._metrics_server.port)
 
     def _run_loop(self) -> None:
         loop = asyncio.new_event_loop()
@@ -213,6 +259,9 @@ class MonitorServer:
         if self._stopping:
             return
         self._stopping = True
+        if self._metrics_server is not None:
+            self._metrics_server.stop()
+            self._metrics_server = None
         self.hub.close()
         loop = self._loop
         if loop is not None and self._stop_event is not None:
@@ -560,6 +609,30 @@ class MonitorServer:
             len(self.monitor.cycle_seconds),
         )
 
+    async def _op_metrics(self, conn, message) -> Dict:
+        traces = message.get("traces")
+        snapshot, trace_list = await self._engine(
+            self._metrics_snapshot,
+            None if traces is None else int(traces),
+        )
+        return {"metrics": snapshot, "traces": trace_list}
+
+    def _metrics_snapshot(self, traces):
+        """Registry snapshot + recent traces under the engine lock (the
+        op-counter collector reads ``counters`` mid-collection)."""
+        metrics = getattr(self.monitor, "metrics", None)
+        snapshot = (
+            metrics()
+            if metrics is not None
+            else {"counters": {}, "gauges": {}, "histograms": {}}
+        )
+        last = getattr(self.monitor, "last_traces", None)
+        if traces is None or last is None:
+            trace_list = []
+        else:
+            trace_list = last(traces)
+        return snapshot, trace_list
+
     _OPS = {
         "hello": _op_hello,
         "ping": _op_ping,
@@ -575,6 +648,7 @@ class MonitorServer:
         "process": _op_process,
         "advance": _op_advance,
         "stats": _op_stats,
+        "metrics": _op_metrics,
     }
 
     # ------------------------------------------------------------------

@@ -155,6 +155,17 @@ class ShardChannel(abc.ABC):
     def bytes_received(self) -> int:
         """Cumulative reply bytes read from this channel."""
 
+    @property
+    def frames_sent(self) -> int:
+        """Cumulative request/broadcast frames written (0 when the
+        transport does not count frames)."""
+        return 0
+
+    @property
+    def frames_received(self) -> int:
+        """Cumulative reply frames read (0 when uncounted)."""
+        return 0
+
 
 def wait_ready(
     channels: Sequence[ShardChannel], timeout: float
@@ -231,6 +242,56 @@ def prepare_cycle(
         handles.append(handle)
         shared_bytes += nbytes
     return PreparedCycle(payloads, handles, shared_bytes)
+
+
+def publish_channel_metrics(registry, channels: Sequence[ShardChannel]) -> None:
+    """Publish every channel's cumulative byte/frame totals as gauges.
+
+    Per-channel gauges are keyed by shard index in the metric *name*
+    (``repro_transport_shard0_sent_bytes`` ...) — the exposition format
+    here is label-free — plus pool-wide totals under
+    ``repro_transport_{sent,received}_bytes`` and
+    ``repro_transport_frames_{sent,received}``. Gauges rather than
+    counters: channel totals restart from zero when a pool is rebuilt,
+    which a counter must never do.
+    """
+    total_sent = total_received = 0
+    total_frames_sent = total_frames_received = 0
+    for index, channel in enumerate(channels):
+        prefix = f"repro_transport_shard{index}_"
+        help_suffix = f"on the shard-{index} {channel.kind} channel"
+        registry.gauge(
+            prefix + "sent_bytes", f"cumulative bytes written {help_suffix}"
+        ).set(float(channel.bytes_sent))
+        registry.gauge(
+            prefix + "received_bytes", f"cumulative bytes read {help_suffix}"
+        ).set(float(channel.bytes_received))
+        registry.gauge(
+            prefix + "frames_sent", f"cumulative frames written {help_suffix}"
+        ).set(float(channel.frames_sent))
+        registry.gauge(
+            prefix + "frames_received", f"cumulative frames read {help_suffix}"
+        ).set(float(channel.frames_received))
+        total_sent += channel.bytes_sent
+        total_received += channel.bytes_received
+        total_frames_sent += channel.frames_sent
+        total_frames_received += channel.frames_received
+    registry.gauge(
+        "repro_transport_sent_bytes",
+        "cumulative bytes written across all shard channels",
+    ).set(float(total_sent))
+    registry.gauge(
+        "repro_transport_received_bytes",
+        "cumulative bytes read across all shard channels",
+    ).set(float(total_received))
+    registry.gauge(
+        "repro_transport_frames_sent",
+        "cumulative frames written across all shard channels",
+    ).set(float(total_frames_sent))
+    registry.gauge(
+        "repro_transport_frames_received",
+        "cumulative frames read across all shard channels",
+    ).set(float(total_frames_received))
 
 
 def parse_address(address: str) -> Tuple[str, int]:

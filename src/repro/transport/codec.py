@@ -51,7 +51,10 @@ from repro.service.protocol import (
 #: handshake; a host refuses a coordinator with a different revision.
 #: Revision 2 added the optional columnar sketch delta on ``cycle``
 #: requests and the ``sketch`` introspection op (approximate tier).
-SHARD_PROTOCOL_VERSION = 2
+#: Revision 3 added the optional ``metrics`` key on ``cycle`` replies
+#: (the worker registry's per-cycle delta) and the reserved ``_obs``
+#: entry in configure options (observability tier).
+SHARD_PROTOCOL_VERSION = 3
 
 #: hard per-frame ceiling — a length header beyond this is treated as
 #: stream corruption, not an allocation request.
@@ -349,8 +352,9 @@ def encode_reply(command: str, payload: Any) -> Dict[str, Any]:
     ``command``.
     """
     if command == "cycle":
-        changes_by_qid, counters = payload
-        return {
+        changes_by_qid, counters = payload[0], payload[1]
+        metrics_delta = payload[2] if len(payload) > 2 else None
+        message = {
             "ok": True,
             "changes": [
                 change_to_wire(change)
@@ -358,6 +362,12 @@ def encode_reply(command: str, payload: Any) -> Dict[str, Any]:
             ],
             "counters": _counters_to_wire(counters),
         }
+        if metrics_delta is not None:
+            # Snapshot-shaped dicts (MetricsRegistry.delta) are plain
+            # JSON already: counters/gauges are flat name→number maps,
+            # histograms carry bounds + tallies.
+            message["metrics"] = metrics_delta
+        return message
     if command == "register_many":
         per_qid, counters = payload
         return {
@@ -418,7 +428,11 @@ def decode_reply(
             for spec in message["changes"]:
                 change = change_from_wire(spec)
                 changes[change.qid] = change
-            return "ok", (changes, _counters_from_wire(message["counters"]))
+            return "ok", (
+                changes,
+                _counters_from_wire(message["counters"]),
+                message.get("metrics"),
+            )
         if command == "register_many":
             per_qid: Dict[int, List[ResultEntry]] = {}
             for item in message["results"]:

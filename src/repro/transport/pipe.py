@@ -52,6 +52,8 @@ class PipeChannel(ShardChannel):
         self._process = process
         self._bytes_sent = 0
         self._bytes_received = 0
+        self._frames_sent = 0
+        self._frames_received = 0
 
     @classmethod
     def spawn(
@@ -115,6 +117,7 @@ class PipeChannel(ShardChannel):
                 f"worker pipe is closed ({exc})"
             ) from None
         self._bytes_sent += len(frame)
+        self._frames_sent += 1
 
     def response(self, timeout: float) -> Any:
         try:
@@ -128,6 +131,7 @@ class PipeChannel(ShardChannel):
                 f"worker process {self.describe()} died mid-request"
             ) from None
         self._bytes_received += len(frame)
+        self._frames_received += 1
         status, payload = pickle.loads(frame)
         if status != "ok":
             raise WorkerFailure(payload)
@@ -174,6 +178,14 @@ class PipeChannel(ShardChannel):
     @property
     def bytes_received(self) -> int:
         return self._bytes_received
+
+    @property
+    def frames_sent(self) -> int:
+        return self._frames_sent
+
+    @property
+    def frames_received(self) -> int:
+        return self._frames_received
 
 
 class PipeServerChannel:

@@ -74,6 +74,8 @@ class TcpChannel(ShardChannel):
         self._pending_commands: List[str] = []
         self._bytes_sent = 0
         self._bytes_received = 0
+        self._frames_sent = 0
+        self._frames_received = 0
 
     @classmethod
     def connect(
@@ -156,6 +158,7 @@ class TcpChannel(ShardChannel):
                 f"send to shard host {self._address} failed ({exc})"
             ) from None
         self._bytes_sent += len(frame)
+        self._frames_sent += 1
 
     def response(self, timeout: float) -> Any:
         if not self._pending_commands:
@@ -166,6 +169,7 @@ class TcpChannel(ShardChannel):
         header = self._read_exact(codec.HEADER_BYTES, deadline)
         body = self._read_exact(codec.body_length(header), deadline)
         command = self._pending_commands.pop(0)
+        self._frames_received += 1
         status, payload = codec.decode_reply(
             command, codec.decode_body(body)
         )
@@ -256,6 +260,14 @@ class TcpChannel(ShardChannel):
     @property
     def bytes_received(self) -> int:
         return self._bytes_received
+
+    @property
+    def frames_sent(self) -> int:
+        return self._frames_sent
+
+    @property
+    def frames_received(self) -> int:
+        return self._frames_received
 
 
 class TcpServerChannel:

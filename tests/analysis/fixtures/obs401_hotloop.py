@@ -1,0 +1,47 @@
+"""OBS401 fixture: per-record clock reads in a hot loop."""
+
+import time
+
+from repro.core.batch import score_batch  # noqa: F401  (marks hot module)
+
+
+def process(records, tracer):
+    timings = []
+    for record in records:
+        started = time.perf_counter()  # expect: OBS401
+        record.work()
+        timings.append(time.perf_counter() - started)  # expect: OBS401
+    return timings
+
+
+def process_gated(records, tracer):
+    timings = []
+    for record in records:
+        if tracer.enabled:
+            started = time.perf_counter()
+            record.work()
+            timings.append(time.perf_counter() - started)
+        else:
+            record.work()
+    return timings
+
+
+def process_cycle_granularity(records):
+    started = time.perf_counter()
+    for record in records:
+        record.work()
+    return time.perf_counter() - started
+
+
+def drain(queue, budget_seconds):
+    deadline = time.monotonic() + budget_seconds
+    while time.monotonic() < deadline:
+        item = queue.poll(remaining=deadline - time.monotonic())
+        if item is None:
+            break
+
+
+def sample_ns(records):
+    for record in records:
+        record.stamp = time.monotonic_ns()  # repro: ignore[OBS401] -- arrival stamps are the payload here, not instrumentation
+    return records

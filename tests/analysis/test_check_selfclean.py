@@ -19,11 +19,11 @@ def test_src_repro_is_clean():
     assert report.findings == [], report.render_human()
 
 
-def test_rule_inventory_spans_three_families():
+def test_rule_inventory_spans_four_families():
     rules = all_rules()
-    assert len(known_rule_ids()) >= 8
+    assert len(known_rule_ids()) >= 9
     families = {rule.family for rule in rules}
-    assert families == {"determinism", "locks", "process"}
+    assert families == {"determinism", "locks", "observability", "process"}
     for rule in rules:
         assert rule.id and rule.name and rule.description
 

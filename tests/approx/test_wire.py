@@ -63,8 +63,9 @@ def sample_delta():
 
 class TestShardCodec:
     def test_protocol_revision(self):
-        # Revision 2 added the sketch delta + sketch introspection op.
-        assert codec.SHARD_PROTOCOL_VERSION == 2
+        # Revision 2 added the sketch delta + sketch introspection op;
+        # revision 3 the optional per-cycle "metrics" reply key.
+        assert codec.SHARD_PROTOCOL_VERSION == 3
 
     def test_cycle_with_sketch_round_trip(self):
         arrivals_cols = ([1], [0.0], [[0.5, 0.5]])

@@ -55,5 +55,17 @@ class TestRunStats:
         stats = RunStats()
         stats.record_cycle(1.0, OpCounters(expirations=4))
         summary = stats.summary()
-        assert summary["cycles"] == 1.0
-        assert summary["expirations"] == 4.0
+        assert summary["cycles"] == 1
+        assert summary["expirations"] == 4
+
+    def test_summary_keeps_counts_integral(self):
+        # Counts must stay int (bench --json renders 17, not 17.0);
+        # only the timing aggregates are floats.
+        stats = RunStats()
+        stats.record_cycle(0.25, OpCounters(arrivals=17))
+        summary = stats.summary()
+        assert isinstance(summary["cycles"], int)
+        assert isinstance(summary["arrivals"], int)
+        assert isinstance(summary["expirations"], int)
+        assert isinstance(summary["total_seconds"], float)
+        assert isinstance(summary["mean_cycle_seconds"], float)

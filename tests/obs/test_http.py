@@ -1,0 +1,99 @@
+"""Tests for the stdlib HTTP exposition endpoint."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE, MetricsHTTPServer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import CycleTracer
+
+
+def fetch(server, path):
+    url = f"http://{server.host}:{server.port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.headers, response.read()
+
+
+@pytest.fixture()
+def served():
+    registry = MetricsRegistry()
+    registry.counter("repro_demo_total").inc(3)
+    tracer = CycleTracer(registry=registry)
+    for index in range(3):
+        tracer.begin_cycle(arrivals=index)
+        with tracer.span("ingest"):
+            pass
+        tracer.end_cycle()
+    server = MetricsHTTPServer(registry, tracer)
+    with server:
+        yield server
+
+
+class TestEndpoints:
+    def test_metrics_scrape(self, served):
+        status, headers, body = fetch(served, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        text = body.decode("utf-8")
+        assert "repro_demo_total 3" in text
+        assert "repro_phase_ingest_seconds_count 3" in text
+
+    def test_trace_json(self, served):
+        status, headers, body = fetch(served, "/trace")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert payload["cycles"] == 3
+        assert len(payload["traces"]) == 3
+        assert payload["phase_totals"]["ingest"]["spans"] == 3
+
+    def test_trace_limit(self, served):
+        _, _, body = fetch(served, "/trace?n=1")
+        payload = json.loads(body)
+        assert len(payload["traces"]) == 1
+        assert payload["traces"][0]["cycle"] == 2
+
+    def test_trace_bad_limit_is_400(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(served, "/trace?n=banana")
+        assert excinfo.value.code == 400
+
+    def test_healthz(self, served):
+        status, _, body = fetch(served, "/healthz")
+        assert status == 200
+        assert body == b"ok\n"
+
+    def test_unknown_path_is_404(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(served, "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent(self):
+        server = MetricsHTTPServer(MetricsRegistry())
+        server.start()
+        port = server.port
+        assert port > 0
+        server.start()
+        assert server.port == port
+        server.stop()
+        server.stop()
+
+    def test_port_zero_binds_ephemeral(self):
+        with MetricsHTTPServer(MetricsRegistry()) as server:
+            assert server.port != 0
+
+    def test_scrape_reflects_live_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_live_total")
+        with MetricsHTTPServer(registry) as server:
+            counter.inc(1)
+            _, _, body = fetch(server, "/metrics")
+            assert b"repro_live_total 1" in body
+            counter.inc(1)
+            _, _, body = fetch(server, "/metrics")
+            assert b"repro_live_total 2" in body

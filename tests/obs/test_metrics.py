@@ -1,0 +1,189 @@
+"""Tests for the zero-dependency metrics instruments and registry."""
+
+import pickle
+
+import pytest
+
+from repro.core.stats import OpCounters
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    op_counter_names,
+    publish_op_counters,
+)
+
+
+class TestInstruments:
+    def test_counter_monotonic_int(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert isinstance(counter.value, int)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(2.5)
+        gauge.inc()
+        gauge.dec(0.5)
+        assert gauge.value == 3.0
+
+    def test_histogram_buckets_and_cumulative(self):
+        histogram = Histogram("h", buckets=[0.1, 1.0])
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(0.5)
+        histogram.observe(5.0)  # lands in the +Inf overflow slot
+        assert histogram.bucket_counts == [1, 2, 1]
+        assert histogram.cumulative_counts() == [1, 3, 4]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(6.05)
+
+    def test_histogram_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[])
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_snapshot_shape_and_pickles(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=[1.0]).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["bucket_counts"] == [1, 0]
+        # the wire contract: shard workers pickle snapshots verbatim
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.histogram("h", buckets=[1.0]).observe(0.5)
+        b.histogram("h", buckets=[1.0]).observe(2.0)
+        b.gauge("g").set(7.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["c"] == 3
+        assert snap["gauges"]["g"] == 7.0
+        assert snap["histograms"]["h"]["bucket_counts"] == [1, 1]
+        assert snap["histograms"]["h"]["count"] == 2
+
+    def test_merge_replicated_skipped_unless_adopted(self):
+        target = MetricsRegistry()
+        shard = MetricsRegistry()
+        shard.counter("repl").inc(5)
+        shard.counter("owned").inc(5)
+        replicated = frozenset(["repl"])
+        target.merge(
+            shard.snapshot(), replicated=replicated, adopt_replicated=True
+        )
+        target.merge(
+            shard.snapshot(), replicated=replicated, adopt_replicated=False
+        )
+        snap = target.snapshot()
+        assert snap["counters"]["repl"] == 5  # adopted once
+        assert snap["counters"]["owned"] == 10  # added from both shards
+
+    def test_merge_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=[1.0])
+        b.histogram("h", buckets=[2.0]).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+    def test_delta_subtracts_tallies_gauges_pass_through(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h", buckets=[1.0]).observe(0.5)
+        before = registry.snapshot()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(9.0)
+        registry.histogram("h").observe(2.0)
+        delta = MetricsRegistry.delta(registry.snapshot(), before)
+        assert delta["counters"]["c"] == 3
+        assert delta["gauges"]["g"] == 9.0
+        assert delta["histograms"]["h"]["bucket_counts"] == [0, 1]
+        assert delta["histograms"]["h"]["count"] == 1
+
+    def test_delta_then_merge_roundtrips(self):
+        # the exact path a shard worker drives every cycle
+        worker = MetricsRegistry()
+        coordinator = MetricsRegistry()
+        for cycle in range(3):
+            before = worker.snapshot()
+            worker.counter("c").inc(cycle + 1)
+            worker.histogram("h", buckets=[1.0]).observe(0.5)
+            coordinator.merge(
+                MetricsRegistry.delta(worker.snapshot(), before)
+            )
+        assert coordinator.snapshot()["counters"]["c"] == 6
+        assert coordinator.snapshot()["histograms"]["h"]["count"] == 3
+
+
+class TestPrometheusExposition:
+    def test_render_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total", "a counter").inc(2)
+        registry.gauge("repro_g").set(1.5)
+        registry.histogram("repro_h_seconds", buckets=[0.1, 1.0]).observe(
+            0.05
+        )
+        text = registry.to_prometheus()
+        assert "# HELP repro_c_total a counter" in text
+        assert "# TYPE repro_c_total counter" in text
+        assert "repro_c_total 2" in text
+        assert "repro_g 1.5" in text
+        assert 'repro_h_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_h_seconds_bucket{le="1"} 1' in text
+        assert 'repro_h_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_h_seconds_sum 0.05" in text
+        assert "repro_h_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_integral_floats_render_without_dot_zero(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3.0)
+        assert "g 3\n" in registry.to_prometheus()
+
+
+class TestOpCounterAdapter:
+    def test_every_field_round_trips(self):
+        counters = OpCounters(arrivals=7, skyband_insertions=2)
+        registry = MetricsRegistry()
+        publish_op_counters(registry, counters.as_dict)
+        snap = registry.snapshot()
+        expected = set(op_counter_names(counters.as_dict()))
+        assert expected <= set(snap["counters"])
+        assert snap["counters"]["repro_op_arrivals_total"] == 7
+        assert snap["counters"]["repro_op_skyband_insertions_total"] == 2
+
+    def test_collect_time_refresh_no_double_count(self):
+        counters = OpCounters()
+        registry = MetricsRegistry()
+        publish_op_counters(registry, counters.as_dict)
+        counters.arrivals = 5
+        assert registry.snapshot()["counters"]["repro_op_arrivals_total"] == 5
+        # repeated snapshots re-read, never accumulate
+        assert registry.snapshot()["counters"]["repro_op_arrivals_total"] == 5
+        counters.arrivals = 6
+        assert registry.snapshot()["counters"]["repro_op_arrivals_total"] == 6

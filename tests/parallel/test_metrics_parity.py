@@ -1,0 +1,95 @@
+"""Metric-merge parity across transports.
+
+The worker-metric shipping path (cycle reply frames carrying registry
+deltas) must produce the same merged totals whether the shards sit
+behind pipes or TCP remote hosts — and the op-counter mirror must
+match a single-process run exactly, because counter merging follows
+the same replicated-shard discipline either way.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import local_shard_hosts
+from repro.core.engine import StreamMonitor
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.window import CountBasedWindow
+
+
+def drive(monitor, cycles=4, batch=8, seed=0xBEEF):
+    rng = random.Random(seed)
+    qids = [
+        monitor.add_query(TopKQuery(LinearFunction(w), k=3))
+        for w in ([0.7, 0.3], [0.2, 0.8], [0.5, 0.5])
+    ]
+    for cycle in range(cycles):
+        rows = [[rng.random(), rng.random()] for _ in range(batch)]
+        monitor.process(monitor.make_records(rows, time_=float(cycle)))
+    return {qid: [e.rid for e in monitor.result(qid)] for qid in qids}
+
+
+def run_monitor(shards, trace):
+    monitor = StreamMonitor(
+        2,
+        CountBasedWindow(24),
+        algorithm="tma",
+        cells_per_axis=4,
+        shards=shards,
+        trace=trace,
+    )
+    try:
+        results = drive(monitor)
+        return results, monitor.metrics()
+    finally:
+        monitor.close()
+
+
+def op_counters_of(snapshot):
+    return {
+        name: value
+        for name, value in snapshot["counters"].items()
+        if name.startswith("repro_op_")
+    }
+
+
+def phase_counts_of(snapshot):
+    return {
+        name: data["count"]
+        for name, data in snapshot["histograms"].items()
+        if name.startswith("repro_phase_")
+    }
+
+
+@pytest.mark.parametrize("trace", [False, True])
+def test_pipe_and_tcp_merge_identically(trace):
+    pipe_results, pipe_metrics = run_monitor(2, trace)
+    with local_shard_hosts(2) as addresses:
+        tcp_results, tcp_metrics = run_monitor(list(addresses), trace)
+    assert pipe_results == tcp_results
+    assert op_counters_of(pipe_metrics) == op_counters_of(tcp_metrics)
+    if trace:
+        # identical work → identical span *counts* per phase (span
+        # durations legitimately differ between transports)
+        assert phase_counts_of(pipe_metrics) == phase_counts_of(tcp_metrics)
+        assert phase_counts_of(pipe_metrics)  # non-empty
+
+
+def test_sharded_op_counters_match_single_process():
+    single_results, single_metrics = run_monitor(None, False)
+    pipe_results, pipe_metrics = run_monitor(2, False)
+    assert single_results == pipe_results
+    assert op_counters_of(single_metrics) == op_counters_of(pipe_metrics)
+
+
+def test_transport_gauges_present_on_both_transports():
+    _, pipe_metrics = run_monitor(2, False)
+    with local_shard_hosts(2) as addresses:
+        _, tcp_metrics = run_monitor(list(addresses), False)
+    for snapshot in (pipe_metrics, tcp_metrics):
+        gauges = snapshot["gauges"]
+        assert gauges["repro_transport_sent_bytes"] > 0
+        assert gauges["repro_transport_received_bytes"] > 0
+        assert gauges["repro_transport_frames_sent"] > 0
+        assert gauges["repro_transport_frames_received"] > 0

@@ -1,0 +1,227 @@
+"""Delivery-layer metrics: latency histograms and counters per policy.
+
+Satellite of the observability PR: every overflow policy must keep the
+delivered/dropped/coalesced accounting consistent with the latency
+histogram (one observation per successful callback), counters must
+stay monotonic across subscriber churn, and none of it may require
+tracing to be on.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.engine import StreamMonitor
+from repro.core.queries import TopKQuery
+from repro.core.scoring import LinearFunction
+from repro.core.window import CountBasedWindow
+from repro.obs.metrics import MetricsRegistry
+from repro.service.delivery import DeliveryHub
+
+
+def make_monitor():
+    return StreamMonitor(
+        2, CountBasedWindow(30), algorithm="tma", cells_per_axis=4
+    )
+
+
+def rows(rng, count):
+    return [(rng.random(), rng.random()) for _ in range(count)]
+
+
+def drive(monitor, rng, cycles=6, batch=10, start=0):
+    for cycle in range(start, start + cycles):
+        monitor.process(
+            monitor.make_records(rows(rng, batch), time_=float(cycle))
+        )
+
+
+def delivery_metrics(monitor):
+    snap = monitor.metrics()
+    return snap["counters"], snap["gauges"], snap["histograms"]
+
+
+@pytest.mark.parametrize("policy", ["block", "drop_oldest", "coalesce"])
+class TestLatencyHistogramPerPolicy:
+    def test_histogram_matches_delivered_count(self, rng, policy):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        try:
+            handle = monitor.add_query(
+                TopKQuery(LinearFunction([0.8, 1.2]), k=3)
+            )
+            seen = []
+            hub.deliver(
+                lambda change, at: seen.append(change),
+                qid=handle.qid,
+                policy=policy,
+                maxlen=4,
+            )
+            drive(monitor, rng)
+            assert hub.flush(timeout=10)
+            counters, gauges, histograms = delivery_metrics(monitor)
+            latency = histograms["repro_delivery_latency_seconds"]
+            assert latency["count"] == len(seen) > 0
+            assert latency["count"] == counters["repro_delivery_delivered_total"]
+            assert latency["sum"] >= 0.0
+            # bucket tallies account for every observation
+            assert sum(latency["bucket_counts"]) == latency["count"]
+            assert gauges["repro_delivery_queue_depth"] == 0
+            assert gauges["repro_delivery_subscribers"] == 1
+        finally:
+            hub.close()
+            monitor.close()
+
+
+class TestOverflowAccounting:
+    def held_run(self, rng, policy, maxlen=2, cycles=10):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        try:
+            handle = monitor.add_query(
+                TopKQuery(LinearFunction([1.0, 1.0]), k=3)
+            )
+            delivery = hub.deliver(
+                lambda change, at: None,
+                qid=handle.qid,
+                policy=policy,
+                maxlen=maxlen,
+            )
+            delivery.hold()
+            drive(monitor, rng, cycles=cycles)
+            delivery.release()
+            assert hub.flush(timeout=10)
+            return monitor, hub, delivery
+        except BaseException:
+            hub.close()
+            monitor.close()
+            raise
+
+    def test_drop_oldest_losses_surface_as_counter(self, rng):
+        monitor, hub, delivery = self.held_run(rng, "drop_oldest")
+        try:
+            counters, _, histograms = delivery_metrics(monitor)
+            assert counters["repro_delivery_dropped_total"] == (
+                delivery.dropped
+            ) > 0
+            # dropped changes never reach the callback, so never land
+            # in the latency histogram
+            latency = histograms["repro_delivery_latency_seconds"]
+            assert latency["count"] == delivery.delivered
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_coalesce_merges_surface_as_counter(self, rng):
+        monitor, hub, delivery = self.held_run(rng, "coalesce")
+        try:
+            counters, _, _ = delivery_metrics(monitor)
+            assert counters["repro_delivery_coalesced_total"] == (
+                delivery.coalesced
+            ) > 0
+            assert counters["repro_delivery_dropped_total"] == 0
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_block_policy_loses_nothing(self, rng):
+        monitor, hub, delivery = self.held_run(
+            rng, "block", maxlen=64, cycles=6
+        )
+        try:
+            counters, _, histograms = delivery_metrics(monitor)
+            assert counters["repro_delivery_dropped_total"] == 0
+            assert counters["repro_delivery_coalesced_total"] == 0
+            latency = histograms["repro_delivery_latency_seconds"]
+            assert latency["count"] == delivery.delivered > 0
+        finally:
+            hub.close()
+            monitor.close()
+
+
+class TestChurnAndErrors:
+    def test_counters_monotonic_across_subscriber_churn(self, rng):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        try:
+            handle = monitor.add_query(
+                TopKQuery(LinearFunction([1.0, 0.5]), k=2)
+            )
+            first = hub.deliver(lambda c, at: None, qid=handle.qid)
+            drive(monitor, rng, cycles=3)
+            assert hub.flush(timeout=10)
+            counters, _, _ = delivery_metrics(monitor)
+            before = counters["repro_delivery_delivered_total"]
+            assert before > 0
+            first.close()  # totals must survive the delivery's exit
+            hub.deliver(lambda c, at: None, qid=handle.qid)
+            drive(monitor, rng, cycles=3, start=3)
+            assert hub.flush(timeout=10)
+            counters, _, _ = delivery_metrics(monitor)
+            assert counters["repro_delivery_delivered_total"] > before
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_callback_errors_counted(self, rng):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        try:
+            handle = monitor.add_query(
+                TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+            )
+
+            def bad(change, at):
+                raise RuntimeError("subscriber bug")
+
+            hub.deliver(bad, qid=handle.qid)
+            drive(monitor, rng, cycles=3)
+            assert hub.flush(timeout=10)
+            counters, _, _ = delivery_metrics(monitor)
+            assert counters["repro_delivery_errors_total"] > 0
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_explicit_registry_without_monitor_support(self, rng):
+        # A hub can aim its instruments at any registry, independent of
+        # the monitor owning one.
+        registry = MetricsRegistry()
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor, registry=registry)
+        try:
+            handle = monitor.add_query(
+                TopKQuery(LinearFunction([1.0, 1.0]), k=2)
+            )
+            hub.deliver(lambda c, at: None, qid=handle.qid)
+            drive(monitor, rng, cycles=3)
+            assert hub.flush(timeout=10)
+            snap = registry.snapshot()
+            assert snap["counters"]["repro_delivery_delivered_total"] > 0
+        finally:
+            hub.close()
+            monitor.close()
+
+    def test_concurrent_consumers_observe_safely(self, rng):
+        monitor = make_monitor()
+        hub = DeliveryHub(monitor)
+        try:
+            barrier = threading.Barrier(3, timeout=10)
+            handles = [
+                monitor.add_query(
+                    TopKQuery(LinearFunction([1.0, w]), k=2)
+                )
+                for w in (0.2, 0.6, 1.0)
+            ]
+            for handle in handles:
+                hub.deliver(lambda c, at: None, qid=handle.qid)
+            drive(monitor, rng, cycles=6)
+            assert hub.flush(timeout=10)
+            counters, _, histograms = delivery_metrics(monitor)
+            latency = histograms["repro_delivery_latency_seconds"]
+            assert latency["count"] == counters[
+                "repro_delivery_delivered_total"
+            ]
+        finally:
+            hub.close()
+            monitor.close()

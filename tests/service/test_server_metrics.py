@@ -1,0 +1,163 @@
+"""Wire-scrapeable telemetry on the serving tier.
+
+Acceptance for the observability PR: a Prometheus scrape of the
+server's /metrics endpoint round-trips every OpCounters field and the
+delivery-latency buckets; the ``metrics`` protocol op returns the same
+snapshot to socket clients.
+"""
+
+import json
+import random
+import urllib.request
+
+import pytest
+
+from repro.core.engine import StreamMonitor
+from repro.core.stats import OpCounters
+from repro.core.window import CountBasedWindow
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE
+from repro.obs.metrics import op_counter_names
+from repro.service import MonitorClient, MonitorServer
+
+
+def rows(rng, count):
+    return [(rng.random(), rng.random()) for _ in range(count)]
+
+
+@pytest.fixture
+def served():
+    monitor = StreamMonitor(
+        2,
+        CountBasedWindow(60),
+        algorithm="tma",
+        cells_per_axis=4,
+        trace=True,
+    )
+    server = MonitorServer(monitor, default_maxlen=64, metrics_port=0)
+    host, port = server.start()
+    clients = []
+
+    def connect(**kwargs):
+        client = MonitorClient(host, port, **kwargs)
+        clients.append(client)
+        return client
+
+    yield monitor, server, connect
+    for client in clients:
+        client.close()
+    server.stop()
+    monitor.close()
+
+
+def scrape(server, path="/metrics"):
+    host, port = server.metrics_address
+    with urllib.request.urlopen(
+        f"http://{host}:{port}{path}", timeout=10
+    ) as response:
+        return response.status, response.headers, response.read()
+
+
+def exercise(monitor, connect, cycles=5):
+    rng = random.Random(31)
+    client = connect()
+    handle = client.add_query(weights=[0.6, 0.4], k=3)
+    stream = handle.subscribe()
+    for cycle in range(cycles):
+        client.process(rows(rng, 10), now=float(cycle))
+    return client, handle, stream
+
+
+class TestHTTPScrape:
+    def test_scrape_round_trips_every_op_counter(self, served):
+        monitor, server, connect = served
+        client, handle, _ = exercise(monitor, connect)
+        status, headers, body = scrape(server)
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        text = body.decode("utf-8")
+        scraped = {}
+        for line in text.splitlines():
+            if line.startswith("#") or "{" in line:
+                continue
+            name, _, value = line.partition(" ")
+            scraped[name] = value
+        for metric in op_counter_names(OpCounters().as_dict()):
+            assert metric in scraped, f"{metric} missing from scrape"
+        # values match the engine's live counters exactly
+        assert int(scraped["repro_op_arrivals_total"]) == (
+            monitor.counters.arrivals
+        )
+        assert int(scraped["repro_op_arrivals_total"]) == 50
+
+    def test_scrape_includes_delivery_latency_buckets(self, served):
+        monitor, server, connect = served
+        exercise(monitor, connect)
+        _, _, body = scrape(server)
+        text = body.decode("utf-8")
+        assert 'repro_delivery_latency_seconds_bucket{le="+Inf"}' in text
+        assert "repro_delivery_latency_seconds_count" in text
+        assert "repro_delivery_queue_depth" in text
+
+    def test_trace_endpoint_serves_cycle_traces(self, served):
+        monitor, server, connect = served
+        exercise(monitor, connect)
+        status, _, body = scrape(server, "/trace?n=2")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert len(payload["traces"]) == 2
+        assert "ingest" in payload["traces"][-1]["phases"]
+
+    def test_metrics_server_stops_with_server(self):
+        monitor = StreamMonitor(
+            2, CountBasedWindow(16), algorithm="tma", cells_per_axis=4
+        )
+        server = MonitorServer(monitor, metrics_port=0)
+        server.start()
+        host, port = server.metrics_address
+        server.stop()
+        monitor.close()
+        with pytest.raises(OSError):
+            urllib.request.urlopen(
+                f"http://{host}:{port}/healthz", timeout=2
+            )
+
+
+class TestMetricsOp:
+    def test_client_metrics_matches_engine(self, served):
+        monitor, server, connect = served
+        client, handle, _ = exercise(monitor, connect)
+        snapshot = client.metrics()
+        assert (
+            snapshot["metrics"]["counters"]["repro_op_arrivals_total"]
+            == monitor.counters.arrivals
+        )
+        assert "traces" not in snapshot or snapshot.get("traces") == []
+
+    def test_client_metrics_with_traces(self, served):
+        monitor, server, connect = served
+        client, handle, _ = exercise(monitor, connect)
+        snapshot = client.metrics(traces=3)
+        assert len(snapshot["traces"]) == 3
+        assert all("phases" in trace for trace in snapshot["traces"])
+
+    def test_metrics_op_without_metrics_port(self):
+        # the protocol op works even when no HTTP endpoint was opened
+        monitor = StreamMonitor(
+            2, CountBasedWindow(16), algorithm="tma", cells_per_axis=4
+        )
+        server = MonitorServer(monitor)
+        host, port = server.start()
+        client = MonitorClient(host, port)
+        try:
+            rng = random.Random(5)
+            client.process(rows(rng, 8), now=0.0)
+            snapshot = client.metrics()
+            assert (
+                snapshot["metrics"]["counters"]["repro_op_arrivals_total"]
+                == 8
+            )
+        finally:
+            client.close()
+            server.stop()
+            monitor.close()

@@ -180,12 +180,36 @@ class TestReplies:
             "cycle", ({2: change}, {"arrivals": 4})
         )
         assert status == "ok"
-        changes, counters = payload
+        changes, counters, metrics = payload
         assert counters == {"arrivals": 4}
+        assert metrics is None  # revision-2 shaped reply: no delta
         got = changes[2].top[0]
         assert got.rid == 5
         assert got.score.hex() == entry.score.hex()
         assert got.record.attrs == entry.record.attrs
+
+    def test_cycle_reply_carries_metrics_delta(self):
+        entry = make_entry(7, 0.5)
+        change = ResultChange(qid=1, added=[entry], removed=[], top=[entry])
+        delta = {
+            "counters": {"repro_delivery_dropped_total": 2},
+            "gauges": {"repro_approx_sketch_estimate_error": 0.125},
+            "histograms": {
+                "repro_phase_traversal_seconds": {
+                    "bounds": [0.001, 0.1],
+                    "bucket_counts": [3, 1, 0],
+                    "sum": 0.0625,
+                    "count": 4,
+                }
+            },
+        }
+        status, payload = roundtrip_reply(
+            "cycle", ({1: change}, {"arrivals": 1}, delta)
+        )
+        assert status == "ok"
+        _, counters, metrics = payload
+        assert counters == {"arrivals": 1}
+        assert metrics == delta
 
     def test_register_many_reply_roundtrip(self):
         per_qid = {
